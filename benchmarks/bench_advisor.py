@@ -1,0 +1,40 @@
+"""Advisor regression bench: the paper's §4 guidance as assertions.
+
+The survey's summary guidance must fall out of the advisor: BUS-COM
+when area rules, CoNoChi for reconfiguration-heavy flexible designs,
+the bus family when variable module shapes are not needed and latency
+budgets are tight."""
+
+from repro.core.advisor import Requirements, recommend
+
+
+def test_advisor_reproduces_paper_guidance(benchmark):
+    def run():
+        return {
+            "area_first": recommend(Requirements(
+                weight_area=10.0, weight_latency=0.1,
+                weight_flexibility=0.1, weight_scalability=0.1)).best,
+            "reconfig_heavy": recommend(Requirements(
+                variable_module_shape=True, reconfigures_often=True,
+                needs_runtime_growth=True,
+                weight_flexibility=5.0, weight_scalability=3.0,
+                weight_area=0.2, weight_latency=0.2)).best,
+            "parallel_bus": recommend(Requirements(
+                min_parallel_transfers=10,
+                weight_latency=4.0, weight_area=2.0,
+                weight_flexibility=0.3, weight_scalability=0.3)).best,
+        }
+
+    picks = benchmark(run)
+    print()
+    for case, best in picks.items():
+        print(f"  {case:14s} -> {best}")
+    # §4: "If area efficiency is the main design parameter, the
+    # bus-based systems are the first choice. Especially BUS-COM."
+    assert picks["area_first"] == "BUS-COM"
+    # §4: "CoNoChi offers the best structural parameters and the best
+    # conceptional support for dynamic reconfiguration."
+    assert picks["reconfig_heavy"] == "CoNoChi"
+    # 10 parallel transfers excludes BUS-COM (k=4) and the mesh
+    # estimates (2m=8); only RMBoC's s*k=12 qualifies
+    assert picks["parallel_bus"] == "RMBoC"

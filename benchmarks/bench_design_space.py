@@ -1,0 +1,30 @@
+"""Design-space sweep + Pareto frontier across all six interconnects.
+
+Not a paper table: the computed version of the §4 trade-off prose —
+who dominates in (area, latency) space, at which widths."""
+
+from repro.analysis.pareto import dominated_by, pareto_frontier, render_frontier
+from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
+
+
+def test_design_space_pareto(benchmark):
+    grid = SweepGrid(
+        arch=["rmboc", "buscom", "dynoc", "conochi", "sharedbus",
+              "staticmesh"],
+        width=[16, 32],
+        payload_bytes=[64],
+    )
+    points = benchmark.pedantic(lambda: run_sweep(grid), rounds=1,
+                                iterations=1)
+    print()
+    print(render_sweep(grid, points))
+    frontier = pareto_frontier(points, objectives=("area", "latency"))
+    print()
+    print(render_frontier(frontier, ("area", "latency")))
+    names = {e.point.params["arch"] for e in frontier}
+    # the cheapest (shared bus) and something fast are always on the
+    # frontier; the pure-loss points are dominated
+    assert "sharedbus" in names
+    assert len(names) >= 2
+    mapping = dominated_by(points, ("area", "latency"))
+    assert any(mapping.values())  # somebody dominates somebody

@@ -1,0 +1,23 @@
+"""E10 — the reconfigurability tax (extension).
+
+§2.2 describes the conventional shared bus and static NoC the DPR
+architectures grew out of; E10 measures what runtime module exchange
+costs relative to those static baselines in area, clock and latency —
+and asserts the baselines indeed cannot exchange modules."""
+
+from repro.analysis.experiments import e10_reconfigurability_tax
+
+
+def test_e10_reconfigurability_tax(benchmark):
+    result = benchmark.pedantic(e10_reconfigurability_tax, rounds=1,
+                                iterations=1)
+    print()
+    print("  arch      vs          area tax  clock tax  latency tax")
+    for arch, row in result.rows.items():
+        print(f"  {arch:8s}  {row['baseline']:10s}  {row['area_tax']:8.2f}"
+              f"  {row['clock_tax']:9.2f}  {row['latency_tax']:11.2f}")
+    assert result.static_cannot_reconfigure
+    # every DPR architecture pays area for its reconfigurability
+    for arch in result.rows:
+        assert result.tax(arch, "area_tax") > 1.0
+        assert result.tax(arch, "clock_tax") >= 1.0

@@ -1,0 +1,21 @@
+"""E11 — real-time capability study (extension).
+
+The automotive control workload (BUS-COM's target domain) with bursty
+interference, run on every interconnect including the static §2.2
+baselines: who keeps the deadlines?"""
+
+from repro.analysis.experiments import e11_realtime_study
+
+
+def test_e11_realtime_study(benchmark):
+    result = benchmark.pedantic(e11_realtime_study, rounds=1, iterations=1)
+    print()
+    print("  arch        met-ratio  worst control latency")
+    for arch, row in result.rows.items():
+        print(f"  {arch:10s}  {row['met_ratio']:9.3f}  "
+              f"{row['worst_latency']:21.0f}")
+    # the TDMA bus and the circuit bus keep their guarantees
+    assert result.met_ratio("buscom") >= 0.99
+    assert result.met_ratio("rmboc") >= 0.99
+    # the single shared bus collapses under the interference
+    assert result.met_ratio("sharedbus") < result.met_ratio("buscom")

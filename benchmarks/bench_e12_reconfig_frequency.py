@@ -1,0 +1,28 @@
+"""E12 — sustainable reconfiguration frequency (extension).
+
+One slot is churned at a fixed cadence while a bystander stream runs:
+how much module availability does the cadence cost, and does the
+interconnect's service degrade? (Frame rewrites of a 4-column region
+take ~150-210k user cycles, so the sweep brackets that.)"""
+
+from repro.analysis.experiments import e12_reconfiguration_frequency
+
+
+def test_e12_reconfiguration_frequency(benchmark):
+    result = benchmark.pedantic(e12_reconfiguration_frequency, rounds=1,
+                                iterations=1)
+    print()
+    print("  arch      period     swaps  availability  bystander lat")
+    for arch, by_period in result.rows.items():
+        for period, row in by_period.items():
+            print(f"  {arch:8s}  {period:8d}  {row['swaps']:5.0f}  "
+                  f"{row['availability']:12.3f}  "
+                  f"{row['bystander_mean_latency']:13.1f}")
+    for arch, by_period in result.rows.items():
+        periods = sorted(by_period)
+        # slower churn -> higher availability of the churned slot
+        assert result.availability(arch, periods[-1]) >= \
+            result.availability(arch, periods[0])
+        # bystander service survives every cadence
+        for row in by_period.values():
+            assert row["bystander_mean_latency"] < 200

@@ -1,0 +1,32 @@
+"""E1 — RMBoC connection-setup latency (§3.1, Table 2).
+
+Paper: minimum 8 cycles for the 4-module/4-bus system; data transfer in
+a single cycle once established. Our hop model yields setup = 2d + 6
+over d segments, bounded by 2m + 4 (matching the paper's garbled
+upper-bound expression's '2m+4' fragment)."""
+
+from repro.analysis.experiments import e1_rmboc_setup
+
+
+def test_e1_setup_latency(benchmark):
+    result = benchmark.pedantic(e1_rmboc_setup, rounds=1, iterations=1)
+    print()
+    print("  distance  measured  model(2d+6)")
+    for dist, measured, model in result.rows:
+        print(f"  {dist:8d}  {measured:8d}  {model:11d}")
+    print(f"  min setup = {result.min_setup} (paper: 8); "
+          f"upper bound = {result.upper_bound} (model 2m+4 = "
+          f"{result.model_upper_bound})")
+    assert result.matches_paper
+
+
+def test_e1_setup_scales_with_module_count(benchmark):
+    def sweep():
+        return {m: e1_rmboc_setup(num_modules=m).upper_bound
+                for m in (4, 6, 8)}
+
+    bounds = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for m, bound in bounds.items():
+        print(f"  m={m}: worst-case setup {bound} cycles (2m+4={2*m+4})")
+        assert bound == 2 * m + 4

@@ -1,0 +1,20 @@
+"""E2 — parallelism d_max (§4.2).
+
+Paper: RMBoC reaches s*k (12 for m=4, k=4), BUS-COM only k (4); the
+NoCs are limited by their link count."""
+
+from repro.analysis.experiments import e2_parallelism
+
+
+def test_e2_parallelism(benchmark):
+    result = benchmark.pedantic(e2_parallelism, rounds=1, iterations=1)
+    print()
+    print("  arch      observed  theoretical")
+    for arch, (obs, theo) in result.rows.items():
+        print(f"  {arch:8s}  {obs:8d}  {theo:11d}")
+    assert result.rows["rmboc"] == (12, 12)
+    assert result.rows["buscom"] == (4, 4)
+    assert result.rmboc_beats_buscom
+    for key in ("dynoc", "conochi"):
+        obs, theo = result.rows[key]
+        assert obs <= theo

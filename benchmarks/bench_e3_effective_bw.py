@@ -1,0 +1,20 @@
+"""E3 — effective bandwidth / protocol overhead (§4.2).
+
+Paper: header overheads reduce BUS-COM and CoNoChi to ~90 %; RMBoC's
+circuit-switched overhead is negligible."""
+
+from repro.analysis.experiments import e3_effective_bandwidth
+
+
+def test_e3_effective_bandwidth(benchmark):
+    result = benchmark.pedantic(e3_effective_bandwidth, rounds=1,
+                                iterations=1)
+    print()
+    for arch, eff in result.rows.items():
+        print(f"  {arch:8s}: {eff:6.3f}")
+    print("  CoNoChi payload sweep (payload bytes -> efficiency):")
+    for payload, eff in result.conochi_sweep:
+        print(f"    {payload:5d} B  {eff:6.3f}")
+    assert result.close_to_claim("buscom")
+    assert result.close_to_claim("conochi")
+    assert result.rows["rmboc"] > 0.99

@@ -1,0 +1,24 @@
+"""E4 — path-latency scaling with module size (§4.2).
+
+Paper: bus path latency is 1 once established; NoC latency scales with
+the number of switches traversed, and for larger modules DyNoC passes
+more switches than CoNoChi (whose switch count depends only on the
+module count)."""
+
+from repro.analysis.experiments import e4_latency_scaling
+
+
+def test_e4_latency_scaling(benchmark):
+    result = benchmark.pedantic(e4_latency_scaling, rounds=1, iterations=1)
+    print()
+    print("  DyNoC obstacle-size sweep (side, hops, latency):")
+    for side, hops, lat in result.dynoc_rows:
+        print(f"    {side}x{side}: {hops:2d} hops, {lat:3d} cycles")
+    print("  CoNoChi (side, latency):")
+    for side, lat in result.conochi_rows:
+        print(f"    {side}x{side}: {lat:3d} cycles")
+    print(f"  RMBoC established circuit: "
+          f"{result.rmboc_established_cpw} cycles/word")
+    assert result.dynoc_latency_grows
+    assert result.conochi_latency_flat
+    assert result.rmboc_established_cpw == 1.0

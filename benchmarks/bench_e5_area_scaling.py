@@ -1,0 +1,23 @@
+"""E5 — area scaling (§4.1).
+
+Paper: per added module CoNoChi needs one switch, DyNoC possibly
+several (module-size dependent); Table 3 is the m=4 point."""
+
+from repro.analysis.experiments import e5_area_scaling
+
+
+def test_e5_area_scaling(benchmark):
+    result = benchmark(e5_area_scaling)
+    print()
+    print("  slices vs module count (m, area):")
+    for arch, series in result.by_modules.items():
+        pts = "  ".join(f"{m}:{a}" for m, a in series[:6])
+        print(f"    {arch:8s} {pts} ...")
+    print("  slices vs module side (4 modules of side x side):")
+    for (side, d), (_, c) in zip(result.dynoc_by_size,
+                                 result.conochi_by_size):
+        print(f"    {side}x{side}: DyNoC {d:6d}  CoNoChi {c:6d}")
+    by4 = {k: dict(v)[4] for k, v in result.by_modules.items()}
+    assert by4 == {"rmboc": 5084, "buscom": 1294,
+                   "dynoc": 1480, "conochi": 1640}
+    assert result.conochi_beats_dynoc_for_large_modules

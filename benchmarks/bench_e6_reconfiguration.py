@@ -1,0 +1,37 @@
+"""E6 — communication during reconfiguration (§3, §4).
+
+Paper: RMBoC freezes cross-points (established circuits keep working);
+BUS-COM reassigns slots; CoNoChi adds/removes switches without stalling
+the NoC. The harness swaps a module on every architecture under
+bystander traffic, then drives CoNoChi's live switch insert/remove."""
+
+from repro.analysis.experiments import (
+    e6_reconfiguration,
+    e6b_conochi_topology_change,
+)
+
+
+def test_e6_module_swap_under_traffic(benchmark):
+    result = benchmark.pedantic(e6_reconfiguration, rounds=1, iterations=1)
+    print()
+    print("  arch      reconfig[cyc]  downtime[cyc]  bystander msgs  "
+          "mean lat during")
+    for arch, row in result.rows.items():
+        print(f"  {arch:8s}  {row['reconfig_cycles']:13.0f}  "
+              f"{row['downtime_cycles']:13.0f}  "
+              f"{row['bystander_delivered']:14.0f}  "
+              f"{row['bystander_mean_latency_during']:15.1f}")
+    for arch in result.rows:
+        assert result.survived(arch)
+
+
+def test_e6b_conochi_switch_insert_remove(benchmark):
+    result = benchmark.pedantic(e6b_conochi_topology_change, rounds=1,
+                                iterations=1)
+    print()
+    print(f"  switch added: {result.added_ok}, removed: {result.removed_ok}")
+    print(f"  stream messages delivered: {result.messages_delivered}")
+    print(f"  mean latency before {result.mean_latency_before:.1f} / "
+          f"after insertion {result.mean_latency_after_add:.1f} cycles")
+    assert result.added_ok and result.removed_ok
+    assert result.messages_delivered > 0

@@ -1,0 +1,29 @@
+"""E7 — bus serialization vs NoC concurrency (§2.2).
+
+Paper: shared buses split their effective bandwidth as components are
+added; NoCs add links with every module. Two sweeps: offered load at
+fixed size, and module count at fixed per-module load."""
+
+from repro.analysis.experiments import e7_bus_vs_noc, e7b_module_scaling
+
+
+def test_e7_load_sweep(benchmark):
+    result = benchmark.pedantic(e7_bus_vs_noc, rounds=1, iterations=1)
+    print()
+    print("  mean latency vs injection rate (msgs/module/cycle):")
+    for arch, series in result.rows.items():
+        pts = "  ".join(f"{rate:g}:{lat:.0f}" for rate, lat in series)
+        print(f"    {arch:8s} {pts}")
+    for series in result.rows.values():
+        assert all(lat > 0 for _, lat in series)
+
+
+def test_e7b_module_count_sweep(benchmark):
+    result = benchmark.pedantic(e7b_module_scaling, rounds=1, iterations=1)
+    print()
+    print("  mean latency vs module count:")
+    for arch, series in result.rows.items():
+        pts = "  ".join(f"m={m}:{lat:.0f}" for m, lat in series)
+        print(f"    {arch:8s} {pts}  "
+              f"(degradation x{result.degradation(arch):.2f})")
+    assert result.degradation("buscom") > result.degradation("dynoc")

@@ -1,0 +1,20 @@
+"""E8 — energy per delivered byte (extension).
+
+The survey's §2.2 argues buses burn power in long unsegmented lines
+while NoCs use local wires; E8 quantifies it with a shared per-bit
+energy model (synthetic coefficients — ratios meaningful, absolute
+joules not calibrated)."""
+
+from repro.analysis.experiments import e8_energy
+
+
+def test_e8_energy_per_byte(benchmark):
+    result = benchmark.pedantic(e8_energy, rounds=1, iterations=1)
+    print()
+    for arch, pj in sorted(result.rows.items(), key=lambda kv: kv[1]):
+        print(f"  {arch:8s} {pj:7.2f} pJ/payload-byte")
+    assert result.buscom_worst        # unsegmented broadcast is costliest
+    assert result.segmentation_helps  # RMBoC segments beat the broadcast
+    # NoCs use local wires: cheapest of all (paper's qualitative claim)
+    noc_best = min(result.rows["dynoc"], result.rows["conochi"])
+    assert noc_best < result.rows["rmboc"] < result.rows["buscom"]

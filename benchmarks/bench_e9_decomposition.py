@@ -1,0 +1,23 @@
+"""E9 — latency decomposition under load (extension).
+
+Splits each architecture's mean latency into queueing (waiting for the
+interconnect to start serving: TDMA slot wait, circuit setup) and
+transport. Buses concentrate latency in queueing; NoCs in multi-hop
+transport — the structural difference behind the §4.2 numbers."""
+
+from repro.analysis.experiments import e9_latency_decomposition
+
+
+def test_e9_latency_decomposition(benchmark):
+    result = benchmark.pedantic(e9_latency_decomposition, rounds=1,
+                                iterations=1)
+    print()
+    print("  arch      queueing  transport  queue-fraction")
+    for arch, (q, t) in result.rows.items():
+        print(f"  {arch:8s}  {q:8.1f}  {t:9.1f}  {result.queueing_fraction(arch):13.2f}")
+    # buses queue (slot wait / setup); NoCs spend latency in transport
+    assert result.queueing_fraction("buscom") > result.queueing_fraction("dynoc")
+    assert result.queueing_fraction("rmboc") > result.queueing_fraction("conochi")
+    for arch in result.rows:
+        q, t = result.rows[arch]
+        assert q >= 0 and t > 0

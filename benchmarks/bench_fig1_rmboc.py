@@ -1,0 +1,21 @@
+"""F1 — Figure 1: the RMBoC architecture (m=4 cross-points, k=4
+segmented buses) rendered from a live system, with a circuit held."""
+
+from repro.analysis.render import render_rmboc_figure
+from repro.arch import build_architecture
+
+
+def build_and_render():
+    arch = build_architecture("rmboc")
+    arch.ports["m0"].send("m2", 4096)   # hold a circuit while drawing
+    arch.sim.run(16)
+    return arch, render_rmboc_figure(arch)
+
+
+def test_fig1_rmboc_architecture(benchmark):
+    arch, text = benchmark(build_and_render)
+    print()
+    print(text)
+    assert "XP0" in text and "XP3" in text
+    assert "#" in text  # reserved lane segments visible
+    assert arch.lanes_in_use() == 2  # two segments held by the circuit

@@ -1,0 +1,13 @@
+"""F2 — Figure 2: the BUS-COM architecture (4 interface modules, 4 TDMA
+buses, central arbiter)."""
+
+from repro.analysis.render import render_buscom_figure
+from repro.arch import build_architecture
+
+
+def test_fig2_buscom_architecture(benchmark):
+    text = benchmark(lambda: render_buscom_figure(build_architecture("buscom")))
+    print()
+    print(text)
+    assert text.count("BUS-COM") == 4
+    assert "Arbiter" in text

@@ -1,0 +1,24 @@
+"""F3 — Figure 3: a 5x5 DyNoC with a multi-PE module (interior routers
+removed) and two single-PE modules, as in the paper's example."""
+
+from repro.analysis.render import render_dynoc_figure
+from repro.arch import build_architecture
+from repro.fabric.geometry import Rect
+
+
+def build_and_render():
+    arch = build_architecture("dynoc", num_modules=0, mesh=(5, 5))
+    arch.attach("a", rect=Rect(1, 1, 2, 2))
+    arch.attach("b", rect=Rect(0, 4, 1, 1))
+    arch.attach("c", rect=Rect(4, 4, 1, 1))
+    return arch, render_dynoc_figure(arch)
+
+
+def test_fig3_dynoc_architecture(benchmark):
+    arch, text = benchmark(build_and_render)
+    print()
+    print(text)
+    assert arch.active_routers() == 21  # 25 - 4 interior routers
+    msg = arch.ports["b"].send("c", 32)
+    arch.run_to_completion()
+    assert msg.delivered

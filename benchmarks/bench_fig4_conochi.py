@@ -1,0 +1,22 @@
+"""F4 — Figure 4: a CoNoChi tile grid with S/H/V/0 tiles, including a
+runtime-inserted switch joined by a wire tile."""
+
+from repro.analysis.render import render_conochi_figure
+from repro.arch import build_architecture
+from repro.fabric.tiles import TileType
+
+
+def build_and_render():
+    arch = build_architecture("conochi")
+    arch.add_switch((2, 3), wires=[((2, 2), TileType.VWIRE)])
+    arch.sim.run(arch.cfg.table_update_latency + 2)
+    return arch, render_conochi_figure(arch)
+
+
+def test_fig4_conochi_architecture(benchmark):
+    arch, text = benchmark(build_and_render)
+    print()
+    print(text)
+    for symbol in ("S", "V", "M", "0"):
+        assert symbol in text
+    assert arch.grid.is_connected()

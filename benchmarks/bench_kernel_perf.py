@@ -1,0 +1,71 @@
+"""Kernel and model micro-benchmarks (true pytest-benchmark timing).
+
+These are not paper artifacts; they track the simulator's own speed so
+performance regressions in the hot paths (kernel step, FIFO, S-XY
+decision, end-to-end scenario) are visible."""
+
+from repro.arch import build_architecture
+from repro.arch.dynoc.routing import NORMAL, sxy_next
+from repro.core.scenario import minimal_scenario
+from repro.sim import FIFO, Component, Simulator
+
+
+class _Spin(Component):
+    def __init__(self):
+        super().__init__("spin")
+        self.count = 0
+
+    def tick(self, sim):
+        self.count += 1
+
+
+def test_perf_kernel_step(benchmark):
+    def run():
+        sim = Simulator()
+        for i in range(8):
+            sim.add(_Spin())
+        sim.run(2000)
+        return sim.cycle
+
+    assert benchmark(run) == 2000
+
+
+def test_perf_fifo_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        f = FIFO(sim, "f")
+        for i in range(500):
+            f.push(i)
+            sim.step()
+            f.pop()
+        return sim.cycle
+
+    assert benchmark(run) == 500
+
+
+def test_perf_sxy_decision(benchmark):
+    def active(c):
+        x, y = c
+        return 0 <= x < 16 and 0 <= y < 16 and not (4 <= x < 8 and 4 <= y < 8)
+
+    def run():
+        hops = 0
+        cur, state = (0, 5), NORMAL
+        while cur != (15, 5):
+            cur, state = sxy_next(cur, (15, 5), state, active)
+            hops += 1
+        return hops
+
+    assert benchmark(run) > 10
+
+
+def test_perf_minimal_scenario_all_archs(benchmark):
+    def run():
+        total = 0
+        for name in ("rmboc", "buscom", "dynoc", "conochi"):
+            arch = build_architecture(name)
+            total += minimal_scenario(arch, payload_bytes=64,
+                                      pattern="ring").total_cycles
+        return total
+
+    assert benchmark(run) > 0

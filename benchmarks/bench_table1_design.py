@@ -1,0 +1,13 @@
+"""T1 — regenerate Table 1 (design parameters) and verify it against
+the paper's transcription."""
+
+from repro.core import tables
+from repro.core.parameters import PAPER_TABLE_1
+from repro.core.report import render_table1
+
+
+def test_table1_design_parameters(benchmark):
+    data = benchmark(tables.table1)
+    print()
+    print(render_table1(data))
+    assert data == PAPER_TABLE_1

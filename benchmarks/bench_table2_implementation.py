@@ -1,0 +1,19 @@
+"""T2 — regenerate Table 2 (implementation parameters): measured cycle
+figures + calibrated area/timing, normalized to the 4-module system."""
+
+from repro.core import tables
+from repro.core.report import render_table2
+
+
+def test_table2_implementation_parameters(benchmark):
+    data = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    print()
+    print(render_table2(data))
+    # paper's published values
+    assert data["RMBoC"].setup_latency_cycles == 8
+    assert data["RMBoC"].slices == 5084
+    assert data["RMBoC"].fmax_mhz == 94.0
+    assert data["BUS-COM"].fmax_mhz == 66.0
+    assert data["CoNoChi"].per_hop_latency_cycles == 5
+    assert data["CoNoChi"].slices == 410
+    assert all(row.data_cycles_per_word == 1.0 for row in data.values())

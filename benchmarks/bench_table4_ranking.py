@@ -1,0 +1,14 @@
+"""T4 — regenerate Table 4 (structural characteristics) from the
+capability rubric."""
+
+from repro.core import tables
+from repro.core.parameters import PAPER_TABLE_4
+from repro.core.report import render_table4
+
+
+def test_table4_structural_ranking(benchmark):
+    data = benchmark(tables.table4)
+    print()
+    print(render_table4(data))
+    for name, expected in PAPER_TABLE_4.items():
+        assert data[name].as_tuple() == expected.as_tuple()

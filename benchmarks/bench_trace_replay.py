@@ -1,0 +1,52 @@
+"""Identical-workload comparison via trace replay (extension).
+
+Captures one bursty workload and replays it on all six interconnects —
+the cleanest apples-to-apples latency comparison the taxonomy allows
+(the §2.2 serialization argument shows up as the shared bus's tail)."""
+
+from repro.arch import build_architecture
+from repro.sim import make_rng
+from repro.traffic.generators import RandomTraffic
+from repro.traffic.patterns import uniform_chooser
+from repro.traffic.trace import capture_trace, replay_trace
+
+
+def _reference_trace():
+    ref = build_architecture("buscom")
+    for src in ref.modules:
+        ref.sim.add(RandomTraffic(
+            f"g.{src}", ref.ports[src],
+            uniform_chooser(src, list(ref.modules), make_rng(17, src, "c")),
+            make_rng(17, src, "r"), rate=0.015, payload_bytes=96,
+            stop=3000))
+    ref.sim.run(3000)
+    ref.run_to_completion(max_cycles=200_000)
+    return capture_trace(ref.log)
+
+
+def test_identical_trace_on_every_interconnect(benchmark):
+    trace = _reference_trace()
+
+    def run():
+        return {
+            name: replay_trace(build_architecture(name), trace)
+            for name in ("rmboc", "buscom", "dynoc", "conochi",
+                         "sharedbus", "staticmesh")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"  trace: {len(trace)} messages")
+    print("  arch        mean lat  max lat  done @")
+    for name, r in results.items():
+        print(f"  {name:10s}  {r.mean_latency:8.1f}  {r.max_latency:7d}  "
+              f"{r.completion_cycle:6d}")
+    # everyone carries the full trace
+    assert all(r.messages == len(trace) for r in results.values())
+    # the single shared bus pays the serialization tail
+    parallel_max = max(r.mean_latency for n, r in results.items()
+                       if n != "sharedbus")
+    assert results["sharedbus"].mean_latency > parallel_max
+    # staticmesh == dynoc transport, identical numbers
+    assert results["staticmesh"].mean_latency == \
+        results["dynoc"].mean_latency

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Automotive demo — BUS-COM's target domain.
+
+Four inner-cabin functions exchange hard-periodic control frames over
+the FlexRay-like TDMA buses, with sporadic infotainment bursts in the
+background. Mid-run, the slot tables are rewritten (BUS-COM's virtual
+topology adaptation) to grant the busiest module more guaranteed
+bandwidth, and the deadline statistics before/after are compared.
+
+Run:  python examples/automotive_buscom.py
+"""
+
+from repro import build_architecture
+from repro.core.report import format_table
+from repro.traffic.apps import automotive_workload
+
+
+def deadline_stats(gens, start, end):
+    rows = []
+    for g in gens:
+        if not g.name.startswith("auto.ctrl"):
+            continue
+        window = [m for m in g.sent
+                  if m.delivered and start <= m.created_cycle < end]
+        if not window:
+            continue
+        lats = [m.latency for m in window]
+        misses = sum(1 for l in lats if l > g.deadline)
+        rows.append([g.name, len(window), f"{sum(lats) / len(lats):.1f}",
+                     max(lats), misses])
+    return rows
+
+
+def main() -> None:
+    arch = build_architecture("buscom", num_modules=4, width=32)
+    sim = arch.sim
+    gens = automotive_workload(arch, control_period=64, deadline=200,
+                               infotainment_rate=0.05, stop=40_000)
+
+    # Phase 1: the design-time fair slot table.
+    sim.run(20_000)
+
+    # Virtual topology adaptation: give m0 (the infotainment source)
+    # every static slot of bus 3 — rewritten through the LUT-based
+    # reconfiguration path, one slot entry at a time.
+    for slot in range(arch.cfg.static_slots):
+        arch.reassign_slot(3, slot, "m0")
+
+    sim.run(20_000)
+    sim.run_until(lambda s: arch.log.all_delivered() and arch.idle(),
+                  max_cycles=500_000)
+
+    print("Phase 1 (fair round-robin table), cycles 0-20000:")
+    print(format_table(["stream", "frames", "mean lat", "max lat",
+                        "misses"], deadline_stats(gens, 0, 20_000)))
+    print("\nPhase 2 (bus 3 granted to m0), cycles 20000-40000:")
+    print(format_table(["stream", "frames", "mean lat", "max lat",
+                        "misses"], deadline_stats(gens, 20_000, 40_000)))
+    print(f"\nslot reassignments applied: "
+          f"{sim.stats.counter('buscom.slots.reassigned').value}")
+    util = arch.bus_utilization()
+    print("bus utilization: "
+          + ", ".join(f"bus{i}={u:.2f}" for i, u in enumerate(util)))
+    m0 = [m for m in arch.log.delivered() if m.src == "m0"
+          and m.payload_bytes > 100]
+    early = [m.latency for m in m0 if m.created_cycle < 20_000]
+    late = [m.latency for m in m0 if m.created_cycle >= 20_000]
+    if early and late:
+        print(f"infotainment mean latency: "
+              f"{sum(early) / len(early):.0f} -> "
+              f"{sum(late) / len(late):.0f} cycles after adaptation")
+
+
+if __name__ == "__main__":
+    main()

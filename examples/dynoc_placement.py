@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""DyNoC online-placement demo.
+
+A 9x7 DyNoC hosts a stream between two fixed endpoints while modules of
+growing size are placed and removed *between* them at runtime. The
+S-XY routing detours around each obstacle; the printout shows the mesh,
+the live hop counts, and the latency penalty each placement causes —
+the §4.2 effect that makes DyNoC's path latency depend on module sizes.
+
+Run:  python examples/dynoc_placement.py
+"""
+
+from repro import build_architecture
+from repro.analysis.render import render_dynoc_figure
+from repro.fabric.geometry import Rect
+from repro.reconfig import FreeRectPlacer
+from repro.traffic.generators import PeriodicStream
+
+
+def phase_stats(gen, start, end):
+    window = [m for m in gen.sent
+              if m.delivered and start <= m.created_cycle < end]
+    if not window:
+        return "no frames"
+    lats = [m.latency for m in window]
+    return f"{len(lats)} frames, mean latency {sum(lats) / len(lats):.1f}"
+
+
+def main() -> None:
+    arch = build_architecture("dynoc", num_modules=0, mesh=(9, 7))
+    sim = arch.sim
+    arch.attach("src", rect=Rect(0, 3, 1, 1))
+    arch.attach("dst", rect=Rect(8, 3, 1, 1))
+    stream = PeriodicStream("stream", arch.ports["src"], "dst",
+                            period=60, payload_bytes=64, stop=24_000)
+    sim.add(stream)
+
+    # an online placer managing the free area between the endpoints,
+    # with DyNoC's margin-1 / gap-1 surround rules
+    placer = FreeRectPlacer(9, 7, margin=1, gap=1)
+
+    print("phase 0: empty mesh")
+    sim.run(6000)
+    print(" ", phase_stats(stream, 0, 6000))
+
+    for phase, side in enumerate((2, 3), start=1):
+        rect = placer.place(f"job{side}", side, side, strategy="best")
+        # keep clear of the endpoints' row edges if the placer chose them
+        arch.attach(f"job{side}", rect=rect)
+        print(f"\nphase {phase}: placed a {side}x{side} module at {rect}")
+        print(render_dynoc_figure(arch))
+        sim.run(6000)
+        print(" ", phase_stats(stream, phase * 6000, (phase + 1) * 6000))
+
+    # remove both obstacle modules: latency returns to baseline
+    for side in (2, 3):
+        arch.detach(f"job{side}")
+        placer.remove(f"job{side}")
+    print("\nphase 3: obstacles removed")
+    sim.run(6000)
+    sim.run_until(lambda s: stream.all_delivered() and arch.idle(),
+                  max_cycles=200_000)
+    print(" ", phase_stats(stream, 18_000, 24_000))
+
+    hops = arch.sim.stats.histogram("dynoc.hops")
+    print(f"\nhop-count distribution: min {hops.min:.0f}, "
+          f"mean {hops.mean:.1f}, max {hops.max:.0f}")
+    assert stream.all_delivered()
+    print("every frame arrived despite three topology changes.")
+
+
+if __name__ == "__main__":
+    main()

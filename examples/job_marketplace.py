@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""A long-running reconfigurable accelerator service on DyNoC.
+
+Jobs arrive over time; each is served by the best repository variant
+that fits, placed online (S-XY-routability validated), streams results
+to the I/O module, and is removed when done. A mid-mesh removal leaves
+the free space split; when a wide job then cannot be placed, the
+defragmentation planner compacts the layout and placement succeeds —
+the full DPR operations story (repository, online placement,
+fragmentation, compaction) in one run.
+
+Run:  python examples/job_marketplace.py
+"""
+
+from repro import build_architecture
+from repro.arch.dynoc.placement import place_module_online, placer_for
+from repro.fabric.geometry import Rect
+from repro.reconfig.defrag import fragmentation, plan_compaction
+from repro.reconfig.module import ModuleSpec
+from repro.reconfig.placement import PlacementError
+from repro.reconfig.repository import ModuleRepository, Variant
+from repro.traffic.generators import PeriodicStream
+
+
+def build_repo() -> ModuleRepository:
+    repo = ModuleRepository()
+    repo.add("fir", Variant(ModuleSpec("fir_l", 3, 3, 900), 2.0))
+    repo.add("fft", Variant(ModuleSpec("fft_l", 3, 3, 950), 2.0))
+    repo.add("aes", Variant(ModuleSpec("aes_l", 3, 3, 800), 2.0))
+    repo.add("video", Variant(ModuleSpec("video_l", 4, 3, 1300), 2.0))
+    return repo
+
+
+# (arrival cycle, function, run duration in cycles)
+JOBS = [
+    (0, "fir", 9_000),     # 3x3 -> (1,1), long-running
+    (200, "fft", 2_000),   # 3x3 -> (5,1), finishes early: mid-mesh hole
+    (400, "aes", 9_000),   # 3x3 -> (9,1)
+    (4_000, "video", 5_000),  # 4x3: fragmented! triggers compaction
+]
+
+
+def main() -> None:
+    arch = build_architecture("dynoc", num_modules=0, mesh=(14, 8))
+    sim = arch.sim
+    arch.attach("io", rect=Rect(0, 6, 1, 1))
+    repo = build_repo()
+    placer = placer_for(arch)
+    active = {}
+    stats = {"placed": 0, "compaction_moves": 0, "rejected": 0}
+
+    def try_place(name, spec) -> bool:
+        try:
+            place_module_online(arch, name, spec.width, spec.height,
+                                placer=placer)
+            return True
+        except PlacementError:
+            pass
+        frag_before = fragmentation(placer)
+        try:
+            moves = plan_compaction(placer, spec.width, spec.height)
+        except PlacementError:
+            return False
+        for move in moves:
+            arch.detach(move.module)
+            placer.remove(move.module)
+            arch.attach(move.module, rect=move.dst)
+            placer.commit(move.module, move.dst)
+            gen = active.get(move.module)
+            if gen is not None:
+                gen.port = arch.ports[move.module]  # re-home the stream
+            print(f"  [cycle {sim.cycle}] compaction: moved "
+                  f"{move.module} {move.src} -> {move.dst}")
+        stats["compaction_moves"] += len(moves)
+        print(f"  [cycle {sim.cycle}] fragmentation "
+              f"{frag_before:.2f} -> {fragmentation(placer):.2f}")
+        place_module_online(arch, name, spec.width, spec.height,
+                            placer=placer)
+        return True
+
+    for job_no, (arrive, function, duration) in enumerate(JOBS, start=1):
+        def start(sim_, job_no=job_no, function=function,
+                  duration=duration):
+            name = f"{function}{job_no}"
+            variant = repo.select(function)
+            if not try_place(name, variant.spec):
+                stats["rejected"] += 1
+                print(f"  [cycle {sim_.cycle}] {name} REJECTED (no fit)")
+                return
+            stats["placed"] += 1
+            print(f"  [cycle {sim_.cycle}] placed {name} "
+                  f"({variant.spec.width}x{variant.spec.height}) at "
+                  f"{arch.placement_of(name).rect}")
+            gen = PeriodicStream(f"s.{name}", arch.ports[name], "io",
+                                 period=80, payload_bytes=64,
+                                 start=sim_.cycle,
+                                 stop=sim_.cycle + duration)
+            sim_.add(gen)
+            active[name] = gen
+
+            def finish(sim2, name=name):
+                gen = active[name]
+                if not gen.all_delivered():
+                    sim2.after(50, finish)
+                    return
+                del active[name]
+                arch.detach(name)
+                placer.remove(name)
+                print(f"  [cycle {sim2.cycle}] removed {name} "
+                      f"({len(gen.sent)} frames delivered)")
+
+            sim_.after(duration + 200, finish)
+
+        sim.at(arrive, start)
+
+    sim.run(14_000)
+    sim.run_until(lambda s: arch.log.all_delivered() and arch.idle(),
+                  max_cycles=200_000)
+    print(f"\ndone: {arch.log.total} frames delivered, "
+          f"{stats['placed']} jobs placed, {stats['rejected']} rejected, "
+          f"{stats['compaction_moves']} compaction move(s)")
+    assert arch.log.all_delivered()
+    assert stats["compaction_moves"] >= 1, "scenario should defragment"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: build all four interconnects, run the paper's minimal
+4-module scenario on each, and print the normalized comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_architecture, minimal_scenario
+from repro.core.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for name in ("rmboc", "buscom", "dynoc", "conochi"):
+        arch = build_architecture(name, num_modules=4, width=32)
+        result = minimal_scenario(arch, payload_bytes=64, pattern="ring")
+        rows.append([
+            name,
+            result.messages,
+            result.total_cycles,
+            f"{result.mean_latency:.1f}",
+            result.min_latency,
+            result.max_latency,
+            f"{result.observed_dmax}/{arch.theoretical_dmax()}",
+            arch.area_slices(),
+            f"{arch.fmax_hz() / 1e6:.0f}",
+        ])
+    print(format_table(
+        ["arch", "msgs", "cycles", "mean lat", "min", "max",
+         "d_max obs/theo", "slices", "f_max MHz"],
+        rows,
+        title="Minimal scenario: 4 modules, ring traffic, 64 B payloads",
+    ))
+    print()
+    print("Reading the table against the paper:")
+    print(" * RMBoC pays its 8-cycle circuit setup, then streams a word")
+    print("   per cycle (Table 2).")
+    print(" * BUS-COM has no setup; latency is TDMA slot waiting.")
+    print(" * The NoCs pay per-switch latency (DyNoC ~4, CoNoChi ~6 per")
+    print("   hop) but win on concurrency and structural flexibility.")
+    print(" * Slice counts are the paper's Table 3: 5084 / 1294 / 1480 /")
+    print("   1640.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Apples-to-apples comparison via trace replay.
+
+A bursty network workload is generated once (on BUS-COM), its trace
+captured, and the *identical* offered traffic replayed on all four DPR
+architectures plus the two static §2.2 baselines — the cleanest way to
+compare interconnects the taxonomy allows.
+
+Run:  python examples/trace_comparison.py
+"""
+
+from repro.arch import build_architecture
+from repro.core.report import format_table
+from repro.sim import make_rng
+from repro.traffic.generators import RandomTraffic
+from repro.traffic.patterns import uniform_chooser
+from repro.traffic.trace import capture_trace, replay_trace
+
+
+def main() -> None:
+    # 1. generate the reference workload
+    ref = build_architecture("buscom")
+    for src in ref.modules:
+        ref.sim.add(RandomTraffic(
+            f"g.{src}", ref.ports[src],
+            uniform_chooser(src, list(ref.modules), make_rng(17, src, "c")),
+            make_rng(17, src, "r"), rate=0.015, payload_bytes=96,
+            stop=4000))
+    ref.sim.run(4000)
+    ref.run_to_completion(max_cycles=200_000)
+    trace = capture_trace(ref.log)
+    print(f"captured {len(trace)} messages "
+          f"({sum(t[3] for t in trace)} payload bytes)\n")
+
+    # 2. replay on everything
+    rows = []
+    for name in ("rmboc", "buscom", "dynoc", "conochi",
+                 "sharedbus", "staticmesh"):
+        arch = build_architecture(name)
+        result = replay_trace(arch, trace)
+        rows.append([
+            name, result.messages, f"{result.mean_latency:.1f}",
+            result.max_latency, result.completion_cycle,
+            arch.area_slices(),
+        ])
+    print(format_table(
+        ["arch", "msgs", "mean lat", "max lat", "done @", "slices"],
+        rows,
+        title="identical trace on every interconnect",
+    ))
+    print("\nnote how the shared bus (d_max = 1) stretches the tail and")
+    print("how the DPR architectures compare to their static baselines")
+    print("at the area cost Table 3 and E10 quantify.")
+
+
+if __name__ == "__main__":
+    main()

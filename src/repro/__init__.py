@@ -1,0 +1,36 @@
+"""repro — reproduction of Pionteck et al., "Communication Architectures
+for Dynamically Reconfigurable FPGA Designs" (IPPS/IPDPS 2007).
+
+The package provides cycle-level simulators of the four surveyed
+runtime-adaptable on-chip interconnects (RMBoC, BUS-COM, DyNoC,
+CoNoChi), a parametric Virtex-II-like fabric substrate with calibrated
+area/timing models, a reconfiguration manager, workload generators, and
+the comparison framework that regenerates the paper's Tables 1-4 and all
+quantitative claims of its evaluation.
+
+Quickstart::
+
+    from repro import build_architecture, minimal_scenario
+    arch = build_architecture("conochi", num_modules=4, width=32)
+    result = minimal_scenario(arch, payload_bytes=64)
+    print(result.mean_latency)
+
+See ``examples/`` and DESIGN.md for the full tour.
+"""
+
+__version__ = "1.0.0"
+
+from repro.arch import ARCHITECTURES, build_architecture
+from repro.core.scenario import MinimalScenarioResult, minimal_scenario
+from repro.sim import Simulator
+from repro.system import ReconfigurableSystem
+
+__all__ = [
+    "ARCHITECTURES",
+    "MinimalScenarioResult",
+    "ReconfigurableSystem",
+    "Simulator",
+    "__version__",
+    "build_architecture",
+    "minimal_scenario",
+]

@@ -1,0 +1,20 @@
+"""Analysis layer: experiment harnesses (E1-E7) and figure renderers.
+
+Every table and figure of the paper, plus every quantitative claim of
+its §3/§4 discussion, has a harness here; the benchmark suite under
+``benchmarks/`` is a thin wrapper that runs these and prints the rows.
+"""
+
+from repro.analysis.render import (
+    render_buscom_figure,
+    render_conochi_figure,
+    render_dynoc_figure,
+    render_rmboc_figure,
+)
+
+__all__ = [
+    "render_buscom_figure",
+    "render_conochi_figure",
+    "render_dynoc_figure",
+    "render_rmboc_figure",
+]

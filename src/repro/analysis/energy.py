@@ -1,0 +1,86 @@
+"""Energy accounting over finished simulations (experiment E8).
+
+Converts the word-traversal counters each architecture maintains into
+picojoules through :class:`~repro.fabric.power.EnergyModel`, with the
+geometric lengths the paper's §2.2 argument rests on: a BUS-COM frame
+drives the full unsegmented bus, an RMBoC word crosses only its
+reserved segments, a NoC word hops over short local links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.base import CommArchitecture
+from repro.fabric.power import EnergyModel
+
+
+@dataclass(frozen=True)
+class InterconnectGeometry:
+    """Geometric lengths (in CLBs) for the energy conversion.
+
+    Defaults model the paper's 4-slot XC2V6000 floorplan: 88 CLB
+    columns split into 4 slots of 22; NoC tiles/PEs of 4x4 CLBs give
+    ~4-CLB links, CoNoChi wire tiles add 4 CLBs each.
+    """
+
+    bus_length_clbs: float = 88.0
+    rmboc_segment_clbs: float = 22.0
+    noc_link_clbs: float = 4.0
+    conochi_tile_clbs: float = 4.0
+
+    def __post_init__(self) -> None:
+        for f in ("bus_length_clbs", "rmboc_segment_clbs",
+                  "noc_link_clbs", "conochi_tile_clbs"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+
+
+@dataclass
+class EnergyReport:
+    arch_key: str
+    total_pj: float
+    delivered_payload_bytes: int
+
+    @property
+    def pj_per_payload_byte(self) -> float:
+        if self.delivered_payload_bytes == 0:
+            return float("nan")
+        return self.total_pj / self.delivered_payload_bytes
+
+
+def measure_energy(
+    arch: CommArchitecture,
+    model: EnergyModel = EnergyModel(),
+    geometry: InterconnectGeometry = InterconnectGeometry(),
+) -> EnergyReport:
+    """Energy consumed by all traffic the architecture has carried."""
+    stats = arch.sim.stats
+    width = arch.width
+    total = 0.0
+
+    if arch.KEY == "rmboc":
+        seg_words = stats.counter("rmboc.word_segments").value
+        xp_words = stats.counter("rmboc.word_crosspoints").value
+        total += model.wire_pj(seg_words * width, geometry.rmboc_segment_clbs)
+        total += xp_words * width * model.crosspoint_pj_per_bit
+    elif arch.KEY == "buscom":
+        frame_words = stats.counter("buscom.frame_words").value
+        total += model.bus_broadcast_pj(frame_words * width,
+                                        geometry.bus_length_clbs)
+    elif arch.KEY == "dynoc":
+        hop_words = stats.counter("dynoc.word_hops").value
+        total += model.noc_hop_pj(hop_words * width, geometry.noc_link_clbs)
+    elif arch.KEY == "conochi":
+        hop_words = stats.counter("conochi.word_hops").value
+        wire_words = stats.counter("conochi.word_wire_tiles").value
+        total += hop_words * width * model.switch_pj_per_bit
+        total += model.wire_pj(wire_words * width, geometry.conochi_tile_clbs)
+    else:
+        raise KeyError(f"unknown architecture {arch.KEY!r}")
+
+    return EnergyReport(
+        arch_key=arch.KEY,
+        total_pj=total,
+        delivered_payload_bytes=stats.counter("delivered.bytes").value,
+    )

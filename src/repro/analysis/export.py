@@ -1,0 +1,62 @@
+"""JSON export of experiment results.
+
+Every experiment result object is a plain dataclass; :func:`to_jsonable`
+turns them (and anything nested inside) into JSON-serializable
+structures so runs can be archived and diffed — `repro experiment e1
+--json` uses this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/enums/numpy/tuples for JSON.
+
+    Non-finite floats become strings ("nan"/"inf") because JSON has no
+    representation for them and silent nulls hide measurement gaps.
+    Dict keys that are not primitives are stringified.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.name
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return to_jsonable(float(obj))
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "nan"
+        if math.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, dict):
+        return {
+            k if isinstance(k, str) else str(k): to_jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def dumps(obj: Any, **kwargs: Any) -> str:
+    """JSON-encode any experiment result."""
+    kwargs.setdefault("indent", 2)
+    kwargs.setdefault("sort_keys", True)
+    return json.dumps(to_jsonable(obj), **kwargs)

@@ -1,0 +1,104 @@
+"""Pareto-frontier analysis over sweep results.
+
+The survey's §4 discussion is implicitly multi-objective: area against
+latency against flexibility. This module extracts the Pareto frontier
+from :mod:`~repro.analysis.sweeps` results so "which architecture
+dominates where" becomes a computed statement instead of prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.sweeps import SweepPoint
+
+#: objective extractor: point -> value where LOWER is better
+Objective = Callable[[SweepPoint], float]
+
+OBJECTIVES: Dict[str, Objective] = {
+    "area": lambda p: float(p.area_slices),
+    "latency": lambda p: p.mean_latency,
+    "max_latency": lambda p: float(p.max_latency),
+    "cycles": lambda p: float(p.total_cycles),
+    # parallelism is better high; negate for the lower-is-better frame
+    "neg_dmax": lambda p: -float(p.observed_dmax),
+}
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """a dominates b: no worse anywhere, strictly better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+@dataclass(frozen=True)
+class FrontierEntry:
+    point: SweepPoint
+    objectives: Tuple[float, ...]
+
+
+def pareto_frontier(points: Sequence[SweepPoint],
+                    objectives: Sequence[str] = ("area", "latency"),
+                    ) -> List[FrontierEntry]:
+    """Non-dominated points under the named objectives (lower=better)."""
+    for name in objectives:
+        if name not in OBJECTIVES:
+            raise KeyError(
+                f"unknown objective {name!r}; known: {sorted(OBJECTIVES)}"
+            )
+    extractors = [OBJECTIVES[name] for name in objectives]
+    scored = [
+        FrontierEntry(p, tuple(f(p) for f in extractors)) for p in points
+    ]
+    frontier = [
+        entry for entry in scored
+        if not any(
+            dominates(other.objectives, entry.objectives)
+            for other in scored
+            if other is not entry
+        )
+    ]
+    # stable presentation: sort by the first objective
+    return sorted(frontier, key=lambda e: e.objectives)
+
+
+def dominated_by(points: Sequence[SweepPoint],
+                 objectives: Sequence[str] = ("area", "latency"),
+                 ) -> Dict[str, List[str]]:
+    """For each architecture on the frontier, which architectures it
+    dominates (by arch name of the points involved)."""
+    frontier = pareto_frontier(points, objectives)
+    frontier_set = {id(e.point) for e in frontier}
+    extractors = [OBJECTIVES[name] for name in objectives]
+    out: Dict[str, List[str]] = {}
+    for entry in frontier:
+        losers = [
+            p.params["arch"]
+            for p in points
+            if id(p) not in frontier_set
+            and dominates(entry.objectives,
+                          tuple(f(p) for f in extractors))
+        ]
+        out[entry.point.params["arch"]] = sorted(set(losers))
+    return out
+
+
+def render_frontier(entries: Sequence[FrontierEntry],
+                    objectives: Sequence[str]) -> str:
+    from repro.core.report import format_table
+
+    headers = ["arch"] + [
+        k for k in entries[0].point.params if k != "arch"
+    ] + list(objectives)
+    rows = []
+    for e in entries:
+        params = e.point.params
+        rows.append(
+            [params["arch"]]
+            + [params[k] for k in params if k != "arch"]
+            + [round(v, 1) for v in e.objectives]
+        )
+    return format_table(headers, rows,
+                        title="Pareto frontier (lower is better)")

@@ -1,0 +1,122 @@
+"""Full-run markdown report: every table, figure and fast experiment in
+one document (``repro report``).
+
+The heavy sweeps (E6/E7) are included only with ``full=True``; the
+default report runs in a few seconds and is suitable for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+def _section(buf: io.StringIO, title: str) -> None:
+    buf.write(f"\n## {title}\n\n")
+
+
+def _code(buf: io.StringIO, text: str) -> None:
+    buf.write("```\n")
+    buf.write(text.rstrip("\n"))
+    buf.write("\n```\n")
+
+
+def generate_report(full: bool = False, width: int = 32) -> str:
+    """Build the markdown report; pure function of the models."""
+    from repro.analysis import experiments as E
+    from repro.analysis.render import (
+        render_buscom_figure,
+        render_conochi_figure,
+        render_dynoc_figure,
+        render_rmboc_figure,
+    )
+    from repro.arch import build_architecture
+    from repro.core import tables
+    from repro.core.report import (
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    buf = io.StringIO()
+    buf.write("# repro run report\n")
+    buf.write(
+        "\nRegenerated artifacts of Pionteck et al., IPPS 2007 "
+        "(see EXPERIMENTS.md for the paper-vs-measured ledger).\n"
+    )
+
+    _section(buf, "Tables 1-4")
+    _code(buf, render_table1(tables.table1()))
+    buf.write("\n")
+    _code(buf, render_table2(tables.table2(width=width)))
+    buf.write("\n")
+    _code(buf, render_table3(tables.table3(width=width)))
+    buf.write("\n")
+    _code(buf, render_table4(tables.table4()))
+
+    _section(buf, "Figures 1-4")
+    _code(buf, render_rmboc_figure(build_architecture("rmboc")))
+    buf.write("\n")
+    _code(buf, render_buscom_figure(build_architecture("buscom")))
+    buf.write("\n")
+    _code(buf, render_dynoc_figure(build_architecture("dynoc")))
+    buf.write("\n")
+    _code(buf, render_conochi_figure(build_architecture("conochi")))
+
+    _section(buf, "E1 — RMBoC setup latency")
+    e1 = E.e1_rmboc_setup()
+    buf.write("| distance | measured | model 2d+6 |\n|---|---|---|\n")
+    for dist, measured, model in e1.rows:
+        buf.write(f"| {dist} | {measured} | {model} |\n")
+    buf.write(f"\nminimum {e1.min_setup} (paper: 8); "
+              f"bound {e1.upper_bound} (2m+4).\n")
+
+    _section(buf, "E3 — effective bandwidth")
+    e3 = E.e3_effective_bandwidth(width=width)
+    buf.write("| architecture | efficiency |\n|---|---|\n")
+    for arch, eff in e3.rows.items():
+        buf.write(f"| {arch} | {eff:.3f} |\n")
+
+    _section(buf, "E5 — area scaling")
+    e5 = E.e5_area_scaling(width=width)
+    buf.write("| side | DyNoC slices | CoNoChi slices |\n|---|---|---|\n")
+    for (side, d), (_, c) in zip(e5.dynoc_by_size, e5.conochi_by_size):
+        buf.write(f"| {side}x{side} | {d} | {c} |\n")
+
+    _section(buf, "E8 — energy per byte (extension)")
+    e8 = E.e8_energy(width=width)
+    buf.write("| architecture | pJ/payload-byte |\n|---|---|\n")
+    for arch, pj in sorted(e8.rows.items(), key=lambda kv: kv[1]):
+        buf.write(f"| {arch} | {pj:.1f} |\n")
+
+    _section(buf, "E10 — reconfigurability tax (extension)")
+    e10 = E.e10_reconfigurability_tax(width=width)
+    buf.write("| architecture | baseline | area | clock | latency |\n"
+              "|---|---|---|---|---|\n")
+    for arch, row in e10.rows.items():
+        buf.write(f"| {arch} | {row['baseline']} | "
+                  f"x{row['area_tax']:.2f} | x{row['clock_tax']:.2f} | "
+                  f"x{row['latency_tax']:.2f} |\n")
+
+    if full:
+        _section(buf, "E2 — parallelism")
+        e2 = E.e2_parallelism(width=width)
+        buf.write("| architecture | observed | theoretical |\n|---|---|---|\n")
+        for arch, (obs, theo) in e2.rows.items():
+            buf.write(f"| {arch} | {obs} | {theo} |\n")
+
+        _section(buf, "E4 — latency vs module size")
+        e4 = E.e4_latency_scaling(width=width)
+        buf.write("| side | DyNoC hops | DyNoC latency | CoNoChi latency |\n"
+                  "|---|---|---|---|\n")
+        for (side, hops, lat), (_, clat) in zip(e4.dynoc_rows,
+                                                e4.conochi_rows):
+            buf.write(f"| {side}x{side} | {hops} | {lat} | {clat} |\n")
+
+        _section(buf, "E9 — latency decomposition (extension)")
+        e9 = E.e9_latency_decomposition(width=width)
+        buf.write("| architecture | queueing | transport |\n|---|---|---|\n")
+        for arch, (q, t) in e9.rows.items():
+            buf.write(f"| {arch} | {q:.1f} | {t:.1f} |\n")
+
+    return buf.getvalue()

@@ -1,0 +1,16 @@
+"""Static baseline architectures — §2.2's conventional schemes.
+
+The survey's §2.2 frames the four DPR architectures against the
+*conventional* SoC interconnects they grew out of: a plain shared bus
+(AMBA/CoreConnect-style) and a static mesh NoC. Neither supports
+runtime module exchange — their module set is fixed at design time —
+which makes them the reference points for quantifying what
+reconfigurability costs (experiment E10): bus macros, freezeable
+cross-points, removable routers, routing tables and control units all
+show up as area, clock and latency deltas against these baselines.
+"""
+
+from repro.arch.baselines.sharedbus import SharedBus, build_sharedbus
+from repro.arch.baselines.staticmesh import StaticMesh, build_staticmesh
+
+__all__ = ["SharedBus", "StaticMesh", "build_sharedbus", "build_staticmesh"]

@@ -1,0 +1,19 @@
+"""BUS-COM (Hübner et al.): unsegmented multi-bus with TDMA arbitration.
+
+All modules are physically connected to all ``k`` buses through BUS-COM
+interface modules; *virtual* network topologies are formed purely by the
+slot-assignment tables of a FlexRay-like TDMA scheme (32 time slots per
+bus, split into fixed-duration *static* slots granting guaranteed
+bandwidth and priority-arbitrated *dynamic* slots with payloads up to
+256 bytes). Changing the tables — by dynamic reconfiguration of the
+LUT-based arbiter — re-shapes the topology at runtime without touching
+the physical buses.
+"""
+
+from repro.arch.buscom.adaptivity import AdaptiveArbiter
+from repro.arch.buscom.arch import BusCom, build_buscom
+from repro.arch.buscom.config import BusComConfig
+from repro.arch.buscom.schedule import SlotKind, SlotTable
+
+__all__ = ["AdaptiveArbiter", "BusCom", "BusComConfig", "SlotKind",
+           "SlotTable", "build_buscom"]

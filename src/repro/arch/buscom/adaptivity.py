@@ -1,0 +1,146 @@
+"""Application-dependent slot adaptation — BUS-COM's defining feature.
+
+The BUS-COM source paper ("Scalable Application-dependent Network on
+Chip Adaptivity for Dynamical Reconfigurable Real-Time Systems")
+adapts the distribution of bus resources to the running application by
+rewriting the LUT-based slot tables. :class:`AdaptiveArbiter` implements
+that control loop:
+
+* each *epoch*, it samples every module's transmit backlog;
+* modules get static-slot shares proportional to their demand (with a
+  guaranteed floor, so a quiet control module never starves);
+* changed table entries are rewritten through
+  :meth:`~repro.arch.buscom.arch.BusCom.reassign_slot`, charging the
+  reconfiguration latency per entry — adaptation is never free.
+
+The controller only touches the static segment; the dynamic segment
+already self-arbitrates by priority.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.buscom.arch import BusCom
+from repro.arch.buscom.schedule import SlotKind
+from repro.sim import Component, Simulator
+
+
+class AdaptiveArbiter(Component):
+    """Epoch-based demand-proportional static-slot allocator."""
+
+    def __init__(self, name: str, arch: BusCom, epoch_cycles: int = 2048,
+                 min_slots_per_module: int = 1, hysteresis: float = 0.15):
+        super().__init__(name)
+        if epoch_cycles < 1:
+            raise ValueError("epoch_cycles must be >= 1")
+        if min_slots_per_module < 0:
+            raise ValueError("min_slots_per_module must be >= 0")
+        if not 0.0 <= hysteresis < 1.0:
+            raise ValueError("hysteresis must be in [0, 1)")
+        self.arch = arch
+        self.epoch_cycles = epoch_cycles
+        self.min_slots = min_slots_per_module
+        self.hysteresis = hysteresis
+        self.adaptations = 0
+        self.slots_moved = 0
+        self._demand: Dict[str, float] = {}
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, sim: Simulator) -> None:
+        # sample demand continuously; act on epoch boundaries
+        for module, backlog in self.arch.total_backlog().items():
+            self._demand[module] = self._demand.get(module, 0.0) + backlog
+        self._samples += 1
+        if sim.cycle and sim.cycle % self.epoch_cycles == 0:
+            self._adapt(sim)
+
+    # ------------------------------------------------------------------
+    def _static_positions(self) -> List[Tuple[int, int]]:
+        table = self.arch.table
+        return [
+            (b, s)
+            for b in range(table.num_buses)
+            for s in range(table.slots_per_bus)
+            if table.entry(b, s).kind is SlotKind.STATIC
+        ]
+
+    def target_shares(self) -> Optional[Dict[str, int]]:
+        """Demand-proportional static-slot counts (None: no demand)."""
+        modules = list(self.arch.modules)
+        if not modules:
+            return None
+        positions = self._static_positions()
+        n_static = len(positions)
+        if n_static == 0:
+            return None
+        mean_demand = {
+            m: self._demand.get(m, 0.0) / max(self._samples, 1)
+            for m in modules
+        }
+        total = sum(mean_demand.values())
+        floor = min(self.min_slots, n_static // max(len(modules), 1))
+        spare = n_static - floor * len(modules)
+        shares = {m: floor for m in modules}
+        if total <= 0:
+            # no demand anywhere: spread evenly
+            for i, m in enumerate(modules):
+                shares[m] += spare // len(modules) + (
+                    1 if i < spare % len(modules) else 0
+                )
+            return shares
+        # largest-remainder proportional split of the spare slots
+        quotas = {m: spare * mean_demand[m] / total for m in modules}
+        for m in modules:
+            shares[m] += math.floor(quotas[m])
+        leftover = spare - sum(math.floor(quotas[m]) for m in modules)
+        for m in sorted(modules, key=lambda x: quotas[x] - math.floor(quotas[x]),
+                        reverse=True)[:leftover]:
+            shares[m] += 1
+        return shares
+
+    def _adapt(self, sim: Simulator) -> None:
+        shares = self.target_shares()
+        self._reset_window()
+        if shares is None:
+            return
+        table = self.arch.table
+        current = {m: 0 for m in shares}
+        positions = self._static_positions()
+        for b, s in positions:
+            owner = table.entry(b, s).owner
+            if owner in current:
+                current[owner] += 1
+        # hysteresis: skip when the largest deviation is small
+        n_static = len(positions)
+        worst = max(abs(shares[m] - current.get(m, 0)) for m in shares)
+        if worst <= self.hysteresis * n_static:
+            return
+        # move slots from over-provisioned to under-provisioned modules
+        overs = {m: current[m] - shares[m] for m in shares
+                 if current[m] > shares[m]}
+        unders = [m for m in shares for _ in range(shares[m] - current[m])
+                  if shares[m] > current[m]]
+        moved = 0
+        idx = 0
+        for b, s in positions:
+            owner = table.entry(b, s).owner
+            if idx >= len(unders):
+                break
+            if owner in overs and overs[owner] > 0:
+                target = unders[idx]
+                idx += 1
+                overs[owner] -= 1
+                self.arch.reassign_slot(b, s, target)
+                moved += 1
+        if moved:
+            self.adaptations += 1
+            self.slots_moved += moved
+            sim.stats.counter("buscom.adaptivity.epochs").inc()
+            sim.stats.counter("buscom.adaptivity.slots_moved").inc(moved)
+
+    def _reset_window(self) -> None:
+        self._demand.clear()
+        self._samples = 0

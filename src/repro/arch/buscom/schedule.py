@@ -1,0 +1,118 @@
+"""TDMA slot tables — BUS-COM's virtual-topology mechanism.
+
+A :class:`SlotTable` maps every (bus, slot) pair to either a statically
+assigned owner module or the dynamic segment. The *virtual topology* of
+a BUS-COM system is exactly this table: a module pair can communicate
+with guaranteed bandwidth iff the sender owns static slots. Runtime
+adaptation = rewriting entries (through the reconfiguration manager,
+which charges the LUT-reconfiguration latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class SlotKind(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+@dataclass
+class SlotEntry:
+    kind: SlotKind
+    owner: Optional[str] = None  # meaningful for STATIC only
+
+    def __post_init__(self) -> None:
+        if self.kind is SlotKind.STATIC and self.owner is None:
+            raise ValueError("static slot needs an owner")
+        if self.kind is SlotKind.DYNAMIC and self.owner is not None:
+            raise ValueError("dynamic slot cannot have an owner")
+
+
+class SlotTable:
+    """Per-bus TDMA schedules for a BUS-COM system."""
+
+    def __init__(self, num_buses: int, slots_per_bus: int):
+        if num_buses < 1 or slots_per_bus < 1:
+            raise ValueError("need at least one bus and one slot")
+        self.num_buses = num_buses
+        self.slots_per_bus = slots_per_bus
+        self._table: List[List[SlotEntry]] = [
+            [SlotEntry(SlotKind.DYNAMIC) for _ in range(slots_per_bus)]
+            for _ in range(num_buses)
+        ]
+
+    # ------------------------------------------------------------------
+    def entry(self, bus: int, slot: int) -> SlotEntry:
+        return self._table[bus][slot]
+
+    def set_static(self, bus: int, slot: int, owner: str) -> None:
+        self._table[bus][slot] = SlotEntry(SlotKind.STATIC, owner)
+
+    def set_dynamic(self, bus: int, slot: int) -> None:
+        self._table[bus][slot] = SlotEntry(SlotKind.DYNAMIC)
+
+    # ------------------------------------------------------------------
+    def static_slots_of(self, module: str) -> List[Tuple[int, int]]:
+        """All (bus, slot) positions statically owned by ``module``."""
+        return [
+            (b, s)
+            for b in range(self.num_buses)
+            for s in range(self.slots_per_bus)
+            if self._table[b][s].kind is SlotKind.STATIC
+            and self._table[b][s].owner == module
+        ]
+
+    def bandwidth_share(self, module: str) -> float:
+        """Fraction of all static slots owned by ``module``."""
+        total = sum(
+            1
+            for b in range(self.num_buses)
+            for s in range(self.slots_per_bus)
+            if self._table[b][s].kind is SlotKind.STATIC
+        )
+        if total == 0:
+            return 0.0
+        return len(self.static_slots_of(module)) / total
+
+    def owners(self) -> Dict[str, int]:
+        """Module -> number of static slots owned."""
+        out: Dict[str, int] = {}
+        for bus in self._table:
+            for entry in bus:
+                if entry.kind is SlotKind.STATIC and entry.owner:
+                    out[entry.owner] = out.get(entry.owner, 0) + 1
+        return out
+
+    def drop_module(self, module: str) -> int:
+        """Convert all of ``module``'s static slots to dynamic; returns count."""
+        n = 0
+        for b in range(self.num_buses):
+            for s in range(self.slots_per_bus):
+                e = self._table[b][s]
+                if e.kind is SlotKind.STATIC and e.owner == module:
+                    self._table[b][s] = SlotEntry(SlotKind.DYNAMIC)
+                    n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def round_robin(
+        cls,
+        num_buses: int,
+        slots_per_bus: int,
+        static_slots: int,
+        modules: Sequence[str],
+    ) -> "SlotTable":
+        """Design-time default: the first ``static_slots`` positions of
+        every bus are dealt round-robin to the modules; the rest are
+        dynamic."""
+        table = cls(num_buses, slots_per_bus)
+        if modules:
+            for b in range(num_buses):
+                for s in range(static_slots):
+                    table.set_static(b, s, modules[(s + b) % len(modules)])
+        return table

@@ -1,0 +1,67 @@
+"""CoNoChi configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoNoChiConfig:
+    """Structural and timing parameters of a CoNoChi instance.
+
+    Defaults reproduce the survey's published figures: a 96-bit
+    three-layer protocol header (three words on 32-bit links), a
+    1024-byte maximum payload, and a 5-cycle virtual cut-through switch
+    traversal (Table 2). With a three-word header the effective
+    bandwidth is p/(p+3) for p payload words — ~90 % at the ~100-byte
+    packets of the streaming applications CoNoChi targets, which is the
+    survey's quoted figure (experiment E3 sweeps the whole curve).
+    """
+
+    grid_cols: int = 4
+    grid_rows: int = 4
+    width: int = 32
+    switch_latency: int = 5       # per-switch cut-through latency (Table 2)
+    link_latency: int = 1         # cycles per hop between adjacent tiles
+    header_bits: int = 96         # 3-layer protocol header (Table 1)
+    max_payload_bytes: int = 1024  # Table 1
+    table_update_latency: int = 16  # control-unit to switch table rewrite
+    max_ports: int = 4            # full-duplex links per switch
+
+    def __post_init__(self) -> None:
+        if self.grid_cols < 2 or self.grid_rows < 2:
+            raise ValueError("grid must be at least 2x2")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.switch_latency < 1 or self.link_latency < 1:
+            raise ValueError("latencies must be >= 1")
+        if self.header_bits < 1 or self.max_payload_bytes < 1:
+            raise ValueError("header and payload must be positive")
+        if self.table_update_latency < 0:
+            raise ValueError("table_update_latency must be >= 0")
+        if self.max_ports < 2:
+            raise ValueError("switches need at least 2 ports")
+
+    @property
+    def header_words(self) -> int:
+        return math.ceil(self.header_bits / self.width)
+
+    def payload_words(self, payload_bytes: int) -> int:
+        if payload_bytes > self.max_payload_bytes:
+            raise ValueError(
+                f"payload {payload_bytes} exceeds {self.max_payload_bytes}"
+            )
+        return math.ceil(payload_bytes * 8 / self.width)
+
+    def packet_words(self, payload_bytes: int) -> int:
+        return self.header_words + self.payload_words(payload_bytes)
+
+    def fragments(self, payload_bytes: int) -> int:
+        """Packets needed for a message of ``payload_bytes``."""
+        return math.ceil(payload_bytes / self.max_payload_bytes)
+
+    def efficiency(self, payload_bytes: int) -> float:
+        """Effective-bandwidth fraction for ``payload_bytes`` packets."""
+        p = self.payload_words(payload_bytes)
+        return p / (p + self.header_words)

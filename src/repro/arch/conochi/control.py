@@ -1,0 +1,192 @@
+"""CoNoChi global control unit: addresses, directories, routing tables.
+
+The control unit owns everything the paper centralizes: assignment of
+physical addresses to attachment points, the logical-address directory
+used by the interface modules, shortest-path routing-table computation,
+and the staging of table updates during topology reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.tiles import TileGrid
+
+Coord = Tuple[int, int]
+#: routing next-hop: neighbouring switch coordinate, or "local" delivery
+NextHop = object
+
+
+def compute_tables(
+    grid: TileGrid, attach_switch: Dict[int, Coord]
+) -> Dict[Coord, Dict[int, object]]:
+    """Shortest-path routing tables for every switch.
+
+    ``attach_switch`` maps physical address -> the switch its interface
+    hangs off. Returns ``tables[switch][phys_addr] -> next switch coord
+    or "local"``. Link weights are the wire-tile counts + 1, so paths
+    minimize actual cycle latency, not hop count.
+    """
+    switches = grid.switches()
+    adj: Dict[Coord, List[Tuple[Coord, int]]] = {s: [] for s in switches}
+    for a, b, wire_tiles in grid.links():
+        cost = wire_tiles + 1
+        adj[a].append((b, cost))
+        adj[b].append((a, cost))
+
+    tables: Dict[Coord, Dict[int, object]] = {s: {} for s in switches}
+    for phys, target in attach_switch.items():
+        if target not in adj:
+            raise ValueError(f"address {phys} attached to non-switch {target}")
+        # BFS/Dijkstra-lite from the target over unit-ish costs: since
+        # costs are small positive ints, run Dijkstra without heap
+        # (networks here are tiny) for exact latency-shortest paths.
+        dist: Dict[Coord, int] = {target: 0}
+        nxt_toward: Dict[Coord, object] = {target: "local"}
+        frontier = [target]
+        while frontier:
+            frontier.sort(key=lambda c: dist[c])
+            cur = frontier.pop(0)
+            for nbr, cost in adj[cur]:
+                nd = dist[cur] + cost
+                if nbr not in dist or nd < dist[nbr]:
+                    dist[nbr] = nd
+                    nxt_toward[nbr] = cur
+                    if nbr not in frontier:
+                        frontier.append(nbr)
+        for s in switches:
+            if s == target:
+                tables[s][phys] = "local"
+            elif s in nxt_toward:
+                tables[s][phys] = nxt_toward[s]
+            # unreachable switches simply lack the entry; lookups raise
+    return tables
+
+
+class GlobalControl:
+    """Address authority + staged routing-table owner."""
+
+    def __init__(self, grid: TileGrid):
+        self.grid = grid
+        self._next_phys = 0
+        self._directory: Dict[str, int] = {}      # logical name -> phys addr
+        self._aliases: Dict[str, str] = {}        # logical alias -> logical
+        self._attach_switch: Dict[int, Coord] = {}  # phys addr -> switch
+        self._tables: Dict[Coord, Dict[int, object]] = {}
+
+    # ------------------------------------------------------------------
+    # addresses
+    # ------------------------------------------------------------------
+    def register(self, logical: str, switch: Coord) -> int:
+        """Assign a fresh physical address for ``logical`` at ``switch``."""
+        if logical in self._directory:
+            raise ValueError(f"logical address {logical!r} already registered")
+        phys = self._next_phys
+        self._next_phys += 1
+        self._directory[logical] = phys
+        self._attach_switch[phys] = switch
+        return phys
+
+    def unregister(self, logical: str) -> None:
+        phys = self._directory.pop(logical, None)
+        if phys is None:
+            raise KeyError(f"logical address {logical!r} unknown")
+        del self._attach_switch[phys]
+
+    def migrate(self, logical: str, new_switch: Coord) -> None:
+        """Re-home a logical address to another switch (module move) —
+        peers keep using the unchanged logical address."""
+        phys = self._directory.get(logical)
+        if phys is None:
+            raise KeyError(f"logical address {logical!r} unknown")
+        self._attach_switch[phys] = new_switch
+
+    def resolve(self, logical: str) -> int:
+        """Resolve a logical address, following aliases.
+
+        Aliases implement the paper's "moved or combined": when one
+        module absorbs another's service, an alias redirects the old
+        logical address to the survivor — peers never change.
+        """
+        seen = set()
+        while logical in self._aliases:
+            if logical in seen:
+                raise ValueError(f"alias cycle through {logical!r}")
+            seen.add(logical)
+            logical = self._aliases[logical]
+        if logical not in self._directory:
+            raise KeyError(f"logical address {logical!r} unknown")
+        return self._directory[logical]
+
+    def add_alias(self, alias: str, target: str) -> None:
+        """Redirect logical address ``alias`` to ``target``'s module."""
+        if alias in self._directory:
+            raise ValueError(
+                f"{alias!r} is a live logical address; unregister it first"
+            )
+        probe = self._aliases.copy()
+        probe[alias] = target
+        # reject cycles up front
+        cur, seen = target, {alias}
+        while cur in probe:
+            if cur in seen:
+                raise ValueError(f"alias {alias!r} -> {target!r} forms a cycle")
+            seen.add(cur)
+            cur = probe[cur]
+        self._aliases[alias] = target
+
+    def remove_alias(self, alias: str) -> None:
+        if alias not in self._aliases:
+            raise KeyError(f"{alias!r} is not an alias")
+        del self._aliases[alias]
+
+    def switch_of(self, phys: int) -> Coord:
+        return self._attach_switch[phys]
+
+    def attachments_at(self, switch: Coord) -> int:
+        return sum(1 for s in self._attach_switch.values() if s == switch)
+
+    # ------------------------------------------------------------------
+    # routing tables
+    # ------------------------------------------------------------------
+    def recompute_tables(self) -> Dict[Coord, Dict[int, object]]:
+        self._tables = compute_tables(self.grid, self._attach_switch)
+        return self._tables
+
+    @property
+    def tables(self) -> Dict[Coord, Dict[int, object]]:
+        return self._tables
+
+    def lookup(self, switch: Coord, phys: int) -> object:
+        try:
+            return self._tables[switch][phys]
+        except KeyError:
+            raise KeyError(
+                f"switch {switch} has no route to physical address {phys}"
+            ) from None
+
+    def route_latency(self, src_switch: Coord, phys: int,
+                      switch_latency: int, link_latency_per_tile: int = 1
+                      ) -> Optional[int]:
+        """Analytic header latency from ``src_switch`` to the address's
+        switch under current tables (None if unroutable)."""
+        hops = 0
+        wires = 0
+        cur = src_switch
+        seen = set()
+        while True:
+            if cur in seen:
+                return None
+            seen.add(cur)
+            nxt = self._tables.get(cur, {}).get(phys)
+            if nxt is None:
+                return None
+            hops += 1
+            if nxt == "local":
+                return hops * switch_latency + wires * link_latency_per_tile
+            # wire tiles between cur and nxt
+            for a, b, w in self.grid.links():
+                if {a, b} == {cur, nxt}:
+                    wires += w + 1
+                    break
+            cur = nxt

@@ -1,0 +1,119 @@
+"""CoNoChi fault injection — dependability beyond the paper.
+
+The paper's reconfiguration machinery (table routing + global control)
+is exactly what a NoC needs to also tolerate *unplanned* switch loss;
+this extension exercises it as a fault-recovery path:
+
+* :func:`fail_switch` marks a switch failed at once: packets at or
+  routed to it are lost until the control unit *detects* the failure
+  (after ``detection_latency`` cycles) and distributes tables that
+  avoid it;
+* modules homed at the failed switch become unreachable; packets toward
+  them are dropped at the last healthy switch and counted;
+* :func:`repair_switch` restores the switch (a fresh configuration of
+  the same tile) and re-optimizes routes.
+
+Loss is explicit: dropped messages are flagged, never silently retried
+— retry policy belongs to the application, as the paper's protocol
+philosophy ("the system application deals fairly with the resources")
+prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from repro.arch.conochi.arch import CoNoChi
+from repro.arch.conochi.control import compute_tables
+from repro.fabric.tiles import TileType
+
+Coord = Tuple[int, int]
+
+
+class FaultInjector:
+    """Manages failed switches of one CoNoChi instance."""
+
+    def __init__(self, arch: CoNoChi, detection_latency: Optional[int] = None):
+        self.arch = arch
+        self.detection_latency = (
+            detection_latency
+            if detection_latency is not None
+            else 2 * arch.cfg.table_update_latency
+        )
+        self.failed: Set[Coord] = set()
+        self._install_hooks()
+
+    # ------------------------------------------------------------------
+    def _install_hooks(self) -> None:
+        """Interpose on the architecture's routing step: packets at a
+        failed switch, or without a route, are dropped."""
+        arch = self.arch
+        original_route = arch._route
+        injector = self
+
+        def guarded_route(pkt, at, now):
+            if at in injector.failed:
+                injector._drop(pkt, at, "at_failed_switch")
+                return
+            try:
+                original_route(pkt, at, now)
+            except KeyError:
+                # no table entry (destination unreachable after failure)
+                injector._drop(pkt, at, "unroutable")
+
+        arch._route = guarded_route  # type: ignore[method-assign]
+
+    def _drop(self, pkt, at: Coord, why: str) -> None:
+        msg = pkt.msg
+        msg.dropped = True
+        self.arch._landed_fragments.pop(msg.mid, None)
+        self.arch.sim.stats.counter("conochi.packets.dropped").inc()
+        self.arch.sim.emit("conochi", "drop", mid=msg.mid, at=at, why=why)
+
+    # ------------------------------------------------------------------
+    def fail_switch(self, coord: Coord) -> None:
+        """Inject an unplanned failure of the switch at ``coord``."""
+        if self.arch.grid.get(*coord) is not TileType.SWITCH:
+            raise ValueError(f"{coord} is not a switch")
+        if coord in self.failed:
+            raise ValueError(f"switch {coord} already failed")
+        self.failed.add(coord)
+        self.arch.sim.stats.counter("conochi.faults.injected").inc()
+        self.arch.sim.emit("conochi", "switch_failed", at=coord)
+        self.arch.sim.after(self.detection_latency, self._recover)
+
+    def repair_switch(self, coord: Coord) -> None:
+        """Reconfigure the failed switch back into service."""
+        if coord not in self.failed:
+            raise ValueError(f"switch {coord} is not failed")
+        self.failed.remove(coord)
+        self.arch.sim.stats.counter("conochi.faults.repaired").inc()
+        self.arch.sim.emit("conochi", "switch_repaired", at=coord)
+        self.arch.sim.after(self.arch.cfg.table_update_latency,
+                            self._recover)
+
+    # ------------------------------------------------------------------
+    def _recover(self, _sim=None) -> None:
+        """Control-unit response: distribute tables avoiding every
+        currently failed switch (unreachable addresses get no entry)."""
+        arch = self.arch
+        grid = arch.grid
+        saved = {c: grid.get(*c) for c in self.failed}
+        for c in self.failed:
+            grid.set(*c, TileType.FREE)
+        try:
+            attach = {
+                phys: sw
+                for phys, sw in arch.control._attach_switch.items()
+                if sw not in self.failed
+            }
+            arch.control._tables = compute_tables(grid, attach)
+        finally:
+            for c, t in saved.items():
+                grid.set(*c, t)
+        arch._refresh_link_cache()
+
+    # ------------------------------------------------------------------
+    def reachable(self, module: str) -> bool:
+        """Whether the module's switch is currently healthy."""
+        return self.arch._module_switch[module] not in self.failed

@@ -1,0 +1,92 @@
+"""CoNoChi topology constructors beyond the builder defaults.
+
+The paper's Figure 4 shows an irregular hand-drawn topology; these
+helpers build the common regular shapes — chain, ring, star, spaced
+mesh — as tile grids whose wiring satisfies the structural invariants
+(checked on construction), ready for ``build_conochi(grid=...)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fabric.tiles import TileGrid, TileType
+
+Coord = Tuple[int, int]
+
+
+def _validated(grid: TileGrid) -> TileGrid:
+    if grid.dangling_wires():
+        raise AssertionError(
+            f"topology constructor left dangling wires: "
+            f"{grid.dangling_wires()}"
+        )
+    if not grid.is_connected():
+        raise AssertionError("topology constructor left the NoC split")
+    return grid
+
+
+def chain(n: int, spacing: int = 1) -> TileGrid:
+    """``n`` switches in a row, ``spacing - 1`` H-wire tiles between
+    neighbours (spacing 1 = direct adjacency)."""
+    if n < 1 or spacing < 1:
+        raise ValueError("need n >= 1 switches and spacing >= 1")
+    grid = TileGrid(2 + (n - 1) * spacing + 1, 3)
+    for i in range(n):
+        grid.set(1 + i * spacing, 1, TileType.SWITCH)
+    for i in range(n - 1):
+        for x in range(2 + i * spacing, 1 + (i + 1) * spacing):
+            grid.set(x, 1, TileType.HWIRE)
+    return _validated(grid)
+
+
+def ring(n: int) -> TileGrid:
+    """``n`` switches (n >= 4, even) arranged as a rectangle ring —
+    halves the chain's worst-case diameter."""
+    if n < 4 or n % 2:
+        raise ValueError("ring needs an even n >= 4")
+    half = n // 2
+    grid = TileGrid(half + 2, 5)
+    for i in range(half):
+        grid.set(1 + i, 1, TileType.SWITCH)   # bottom rail
+        grid.set(1 + i, 3, TileType.SWITCH)   # top rail
+    # close the ring at both ends with vertical wires
+    grid.set(1, 2, TileType.VWIRE)
+    grid.set(half, 2, TileType.VWIRE)
+    return _validated(grid)
+
+
+def star(leaves: int) -> TileGrid:
+    """A hub switch with up to 4 leaf switches on direct links — the
+    port budget makes >4 leaves impossible (raises)."""
+    if not 1 <= leaves <= 4:
+        raise ValueError("a 4-port switch supports 1..4 leaves")
+    grid = TileGrid(5, 5)
+    hub = (2, 2)
+    grid.set(*hub, TileType.SWITCH)
+    positions: List[Coord] = [(1, 2), (3, 2), (2, 1), (2, 3)]
+    for pos in positions[:leaves]:
+        grid.set(*pos, TileType.SWITCH)
+    return _validated(grid)
+
+
+def spaced_mesh(sw_cols: int, sw_rows: int) -> TileGrid:
+    """Switches on a grid with one wire tile between neighbours, leaving
+    the diagonal tiles free for modules.
+
+    Note the port budget: interior switches use all four ports for
+    links, so modules can only attach at edge/corner switches.
+    """
+    if sw_cols < 2 or sw_rows < 2:
+        raise ValueError("mesh needs at least 2x2 switches")
+    grid = TileGrid(2 * sw_cols + 1, 2 * sw_rows + 1)
+    for j in range(sw_rows):
+        for i in range(sw_cols):
+            grid.set(1 + 2 * i, 1 + 2 * j, TileType.SWITCH)
+    for j in range(sw_rows):
+        for i in range(sw_cols - 1):
+            grid.set(2 + 2 * i, 1 + 2 * j, TileType.HWIRE)
+    for j in range(sw_rows - 1):
+        for i in range(sw_cols):
+            grid.set(1 + 2 * i, 2 + 2 * j, TileType.VWIRE)
+    return _validated(grid)

@@ -1,0 +1,23 @@
+"""DyNoC — Dynamic Network on Chip (Bobda et al.).
+
+A 2D array of processing elements, one router per PE. A hardware module
+may cover several PEs; the routers in its interior are removed from the
+network and reclaimed by the module, and the placement rule — a module
+is always *completely surrounded* by active routers — keeps the network
+connected. Packets are routed with the S-XY algorithm: plain XY routing
+extended with surround modes that walk packets around placed modules.
+"""
+
+from repro.arch.dynoc.arch import DyNoC, build_dynoc
+from repro.arch.dynoc.config import DyNoCConfig
+from repro.arch.dynoc.routing import Mode, RouteState, sxy_next, trace_route
+
+__all__ = [
+    "DyNoC",
+    "DyNoCConfig",
+    "Mode",
+    "RouteState",
+    "build_dynoc",
+    "sxy_next",
+    "trace_route",
+]

@@ -1,0 +1,65 @@
+"""DyNoC configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DyNoCConfig:
+    """Structural and timing parameters of a DyNoC instance.
+
+    The survey gives no per-router latency for DyNoC; ``router_latency``
+    defaults to 3 cycles (header decode + route + arbitrate), flagged as
+    *assumed* in Table 2 output. The >= 4-bit control overhead of
+    Table 1 rounds up to one header word on any supported width.
+    """
+
+    mesh_cols: int = 2
+    mesh_rows: int = 2
+    width: int = 32
+    router_latency: int = 3   # header processing per router, cycles
+    link_latency: int = 1     # wire cycles between adjacent routers
+    header_words: int = 1     # >= 4 bit control overhead -> 1 word
+    ttl_hops_factor: int = 8  # packet hop budget = factor * (cols + rows)
+    #: "vct" (virtual cut-through: header forwarded while the payload
+    #: streams) or "saf" (store-and-forward: full packet buffered per
+    #: hop) — the switching-mode knob behind Table 1's classification
+    switching: str = "vct"
+
+    def __post_init__(self) -> None:
+        if self.mesh_cols < 1 or self.mesh_rows < 1:
+            raise ValueError("mesh must be at least 1x1")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+        if self.router_latency < 1 or self.link_latency < 1:
+            raise ValueError("latencies must be >= 1")
+        if self.header_words < 1:
+            raise ValueError("header_words must be >= 1")
+        if self.ttl_hops_factor < 2:
+            raise ValueError("ttl_hops_factor must be >= 2")
+        if self.switching not in ("vct", "saf"):
+            raise ValueError(
+                f"switching must be 'vct' or 'saf', got {self.switching!r}"
+            )
+
+    @property
+    def num_routers(self) -> int:
+        return self.mesh_cols * self.mesh_rows
+
+    @property
+    def ttl_hops(self) -> int:
+        return self.ttl_hops_factor * (self.mesh_cols + self.mesh_rows)
+
+    def payload_words(self, payload_bytes: int) -> int:
+        return math.ceil(payload_bytes * 8 / self.width)
+
+    def packet_words(self, payload_bytes: int) -> int:
+        return self.header_words + self.payload_words(payload_bytes)
+
+    @classmethod
+    def for_modules(cls, num_modules: int, width: int = 32, **kw: object) -> "DyNoCConfig":
+        """Smallest square mesh hosting ``num_modules`` 1x1 modules."""
+        side = max(1, math.ceil(math.sqrt(num_modules)))
+        return cls(mesh_cols=side, mesh_rows=side, width=width, **kw)  # type: ignore[arg-type]

@@ -1,0 +1,108 @@
+"""Placement integration: online placer + DyNoC routability.
+
+The generic :class:`~repro.reconfig.placement.FreeRectPlacer` knows free
+space; the DyNoC model knows S-XY routability. This glue searches the
+placer's candidate positions (with DyNoC's margin/gap rules) and commits
+the first one the network accepts, optionally ranking candidates by the
+extra detour they impose on existing traffic pairs — the online-
+placement concern the survey's §1 lists among DPR's open problems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.arch.dynoc.arch import DyNoC
+from repro.arch.dynoc.routing import RoutingError, trace_route
+from repro.fabric.geometry import Rect
+from repro.reconfig.placement import FreeRectPlacer, PlacementError
+
+
+def placer_for(arch: DyNoC) -> FreeRectPlacer:
+    """A placer matching the mesh with DyNoC's surround rules, seeded
+    with the currently placed modules."""
+    placer = FreeRectPlacer(arch.cfg.mesh_cols, arch.cfg.mesh_rows,
+                            margin=1, gap=1)
+    for name, pl in arch._placements.items():
+        # existing placements may legally sit on the border (1x1
+        # modules keep their router); seed them without margin checks
+        placer.commit(name, pl.rect, force=True)
+    return placer
+
+
+def candidate_positions(placer: FreeRectPlacer, w: int, h: int
+                        ) -> Iterator[Rect]:
+    """All feasible positions in bottom-left scan order."""
+    for y in range(placer.rows - h + 1):
+        for x in range(placer.cols - w + 1):
+            rect = Rect(x, y, w, h)
+            if placer._candidate_ok(rect):
+                yield rect
+
+
+def detour_cost(arch: DyNoC, rect: Rect) -> Optional[int]:
+    """Total S-XY path length between all module pairs if ``rect`` were
+    placed (None when some pair becomes unroutable)."""
+    blocked = set(rect.cells()) if rect.area_clbs > 1 else set()
+
+    def active(c):
+        return arch.is_active(c) and c not in blocked
+
+    def extent(c):
+        if c in blocked:
+            return (rect.y, rect.y2 - 1, rect.x, rect.x2 - 1)
+        return arch._extent(c)
+
+    total = 0
+    accesses = [pl.access for pl in arch._placements.values()]
+    for a in accesses:
+        for b in accesses:
+            if a == b:
+                continue
+            try:
+                total += len(trace_route(a, b, active, extent,
+                                         max_hops=arch.cfg.ttl_hops)) - 1
+            except RoutingError:
+                return None
+    return total
+
+
+def place_module_online(
+    arch: DyNoC,
+    name: str,
+    w: int,
+    h: int,
+    placer: Optional[FreeRectPlacer] = None,
+    minimize_detour: bool = False,
+) -> Rect:
+    """Find a position for a ``w x h`` module and attach it.
+
+    ``minimize_detour=True`` ranks feasible positions by the total extra
+    path length they impose on traffic between the already placed
+    modules (slower; use for latency-critical systems). Raises
+    :class:`PlacementError` when no position both fits and routes.
+    """
+    placer = placer or placer_for(arch)
+    candidates: List[Tuple[int, Rect]] = []
+    for rect in candidate_positions(placer, w, h):
+        if not minimize_detour:
+            candidates.append((0, rect))
+            continue
+        cost = detour_cost(arch, rect)
+        if cost is not None:
+            candidates.append((cost, rect))
+    if minimize_detour:
+        candidates.sort(key=lambda cr: (cr[0], cr[1]))
+    errors: List[str] = []
+    for _, rect in candidates:
+        try:
+            arch.attach(name, rect=rect)
+        except (RoutingError, ValueError) as exc:
+            errors.append(f"{rect}: {exc}")
+            continue
+        placer.commit(name, rect)
+        return rect
+    raise PlacementError(
+        f"no routable {w}x{h} position for {name!r}"
+        + (f" (tried {len(candidates)})" if candidates else " (no space)")
+    )

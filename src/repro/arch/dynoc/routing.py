@@ -1,0 +1,211 @@
+"""S-XY routing: XY routing that surrounds placed modules.
+
+The algorithm (Bobda et al.) behaves like deterministic XY routing until
+the next hop is a removed router (a placed module's interior). It then
+enters a *surround* mode:
+
+* **SH** (blocked while travelling in X): the packet slides along the
+  module face in Y — toward the destination row when possible, else
+  toward the nearer module edge — until the X-neighbour clears, then
+  resumes normal XY;
+* **SV** (blocked while travelling in Y, i.e. already in the destination
+  column): the packet slides in X along the face until the Y-neighbour
+  clears, takes the Y step and resumes normal XY.
+
+Routers adjacent to a module know its extent (the paper: "the routers
+surrounding the component are informed in which direction a packet
+should be sent"); here that knowledge is the ``extent`` callback, which
+reports how far an obstacle stretches so ties pick the shorter detour.
+
+Functions are pure so the algorithm is unit- and property-testable in
+isolation; :func:`trace_route` walks a full path without a simulator and
+is also used by the placement validator to certify that a configuration
+is routable for all module pairs before it is accepted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+Coord = Tuple[int, int]
+ActiveFn = Callable[[Coord], bool]
+# extent(blocked_cell) -> (y_low, y_high, x_low, x_high) of the obstacle
+# rectangle containing the cell, or None when unknown.
+ExtentFn = Callable[[Coord], Optional[Tuple[int, int, int, int]]]
+
+
+class Mode(enum.Enum):
+    NORMAL = "N-XY"
+    SURROUND_H = "SH-XY"
+    SURROUND_V = "SV-XY"
+
+
+@dataclass(frozen=True)
+class RouteState:
+    """Per-packet routing state (carried in the header in hardware)."""
+
+    mode: Mode = Mode.NORMAL
+    dir_x: int = 0        # blocked X direction (SH) / detour direction (SV)
+    dir_y: int = 0        # detour direction (SH) / blocked Y direction (SV)
+    flipped: bool = False  # whether the detour direction was reversed once
+
+
+NORMAL = RouteState()
+
+
+def _sign(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+class RoutingError(RuntimeError):
+    """Raised when S-XY cannot make progress (invalid placement)."""
+
+
+def _no_extent(_cell: Coord) -> Optional[Tuple[int, int, int, int]]:
+    return None
+
+
+def sxy_next(
+    cur: Coord,
+    dst: Coord,
+    state: RouteState,
+    active: ActiveFn,
+    extent: ExtentFn = _no_extent,
+) -> Tuple[Coord, RouteState]:
+    """One S-XY routing decision. ``cur`` must differ from ``dst``.
+
+    Returns the next router coordinate and the updated packet state.
+    Raises :class:`RoutingError` when boxed in, which placement
+    validation turns into a rejected placement rather than a livelock.
+    """
+    if cur == dst:
+        raise ValueError("sxy_next called at the destination")
+    x, y = cur
+
+    if state.mode is Mode.SURROUND_H:
+        dx = state.dir_x
+        # Exit condition: the blocked X direction has cleared.
+        if active((x + dx, y)):
+            return (x + dx, y), NORMAL
+        return _slide_y(cur, state, active)
+
+    if state.mode is Mode.SURROUND_V:
+        dy = state.dir_y
+        if active((x, y + dy)):
+            return (x, y + dy), NORMAL
+        return _slide_x(cur, state, active)
+
+    # NORMAL: X first, then Y.
+    if x != dst[0]:
+        dx = _sign(dst[0] - x)
+        nxt = (x + dx, y)
+        if active(nxt):
+            return nxt, NORMAL
+        return _enter_surround_h(cur, dst, dx, active, extent)
+    dy = _sign(dst[1] - y)
+    nxt = (x, y + dy)
+    if active(nxt):
+        return nxt, NORMAL
+    return _enter_surround_v(cur, dst, dy, active, extent)
+
+
+def _enter_surround_h(
+    cur: Coord, dst: Coord, dx: int, active: ActiveFn, extent: ExtentFn
+) -> Tuple[Coord, RouteState]:
+    x, y = cur
+    dy = _sign(dst[1] - y)
+    if dy == 0:
+        # Destination row blocked head-on: detour toward the nearer
+        # module edge (the surrounding routers' obstacle knowledge).
+        box = extent((x + dx, y))
+        if box is not None:
+            y_low, y_high, _, _ = box
+            dy = 1 if (y_high - y) <= (y - y_low) else -1
+        else:
+            dy = 1
+    state = RouteState(Mode.SURROUND_H, dir_x=dx, dir_y=dy)
+    return _slide_y(cur, state, active)
+
+
+def _enter_surround_v(
+    cur: Coord, dst: Coord, dy: int, active: ActiveFn, extent: ExtentFn
+) -> Tuple[Coord, RouteState]:
+    x, y = cur
+    box = extent((x, y + dy))
+    if box is not None:
+        _, _, x_low, x_high = box
+        dx = 1 if (x_high - x) <= (x - x_low) else -1
+    else:
+        dx = 1
+    state = RouteState(Mode.SURROUND_V, dir_x=dx, dir_y=dy)
+    return _slide_x(cur, state, active)
+
+
+def _slide_y(
+    cur: Coord, state: RouteState, active: ActiveFn
+) -> Tuple[Coord, RouteState]:
+    """SH mode: move along the module face in Y."""
+    x, y = cur
+    nxt = (x, y + state.dir_y)
+    if active(nxt):
+        return nxt, state
+    if not state.flipped:
+        flipped = replace(state, dir_y=-state.dir_y, flipped=True)
+        nxt = (x, y - state.dir_y)
+        if active(nxt):
+            return nxt, flipped
+    back = (x - state.dir_x, y)
+    if active(back):
+        return back, replace(state, flipped=True)
+    raise RoutingError(f"S-XY boxed in at {cur} (SH)")
+
+
+def _slide_x(
+    cur: Coord, state: RouteState, active: ActiveFn
+) -> Tuple[Coord, RouteState]:
+    """SV mode: move along the module face in X."""
+    x, y = cur
+    nxt = (x + state.dir_x, y)
+    if active(nxt):
+        return nxt, state
+    if not state.flipped:
+        flipped = replace(state, dir_x=-state.dir_x, flipped=True)
+        nxt = (x - state.dir_x, y)
+        if active(nxt):
+            return nxt, flipped
+    back = (x, y - state.dir_y)
+    if active(back):
+        return back, replace(state, flipped=True)
+    raise RoutingError(f"S-XY boxed in at {cur} (SV)")
+
+
+def trace_route(
+    src: Coord,
+    dst: Coord,
+    active: ActiveFn,
+    extent: ExtentFn = _no_extent,
+    max_hops: int = 10_000,
+) -> List[Coord]:
+    """Walk S-XY from ``src`` to ``dst``; returns the router path
+    inclusive of both endpoints.
+
+    Raises :class:`RoutingError` on livelock (a (coord, state) pair
+    repeats) or when boxed in — used by placement validation.
+    """
+    path = [src]
+    cur, state = src, NORMAL
+    seen = {(cur, state)}
+    while cur != dst:
+        cur, state = sxy_next(cur, dst, state, active, extent)
+        path.append(cur)
+        key = (cur, state)
+        if key in seen:
+            raise RoutingError(
+                f"S-XY livelock routing {src}->{dst} at {cur} ({state.mode.value})"
+            )
+        seen.add(key)
+        if len(path) > max_hops:
+            raise RoutingError(f"S-XY exceeded {max_hops} hops {src}->{dst}")
+    return path

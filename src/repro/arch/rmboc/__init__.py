@@ -1,0 +1,26 @@
+"""RMBoC — Reconfigurable Multiple Bus on Chip (Ahmadinia et al.).
+
+A 1D array of *cross-points*, one per module slot, joined by ``k``
+parallel buses that are segmented between neighbouring cross-points.
+Channels are circuit-switched: a REQUEST walks hop-by-hop reserving one
+free lane per segment (lanes of different buses may be mixed, the
+cross-point bridges them); the destination answers with a REPLY over the
+reserved circuit; CANCEL rolls back a blocked request; DESTROY tears an
+idle channel down. Once established, data moves one word per cycle with
+a path latency of one cycle — the defining advantage the survey's
+Table 2 reports (minimum 8-cycle setup for the 4-module/4-bus system,
+then single-cycle transfers).
+"""
+
+from repro.arch.rmboc.config import RMBoCConfig
+from repro.arch.rmboc.fabric import RMBoC, build_rmboc
+from repro.arch.rmboc.protocol import Channel, ChannelState, CtrlKind
+
+__all__ = [
+    "Channel",
+    "ChannelState",
+    "CtrlKind",
+    "RMBoC",
+    "RMBoCConfig",
+    "build_rmboc",
+]

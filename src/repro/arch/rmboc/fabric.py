@@ -1,0 +1,445 @@
+"""RMBoC cycle-level model: cross-points, segmented lanes, circuits.
+
+The whole interconnect is a single clocked component that advances three
+planes each cycle, in a fixed order that mirrors the hardware:
+
+1. **data plane** — every established circuit moves one word per cycle
+   (path latency 1, the headline property of Table 2);
+2. **control plane** — REQUEST/CANCEL/DESTROY messages whose per-cross-
+   point processing delay has elapsed take their next hop;
+3. **network interfaces** — per-module queues start transfers on
+   established channels, issue new REQUESTs, and retire idle circuits.
+
+Lane accounting is exact: a lane (segment, bus) is held from the cycle a
+REQUEST reserves it until the CANCEL/DESTROY that releases it is
+*processed at that segment's cross-point*, so contention timing is
+faithful to hop-by-hop hardware behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.arch.base import CommArchitecture, Message
+from repro.arch.rmboc.config import RMBoCConfig
+from repro.arch.rmboc.protocol import Channel, ChannelState, CtrlKind, CtrlMsg, Transfer
+from repro.core.parameters import PAPER_TABLE_1, DesignParameters
+from repro.fabric.area import AreaModel
+from repro.fabric.timing import ClockModel
+from repro.sim import Component, Simulator
+
+
+class RMBoC(CommArchitecture, Component):
+    """The RMBoC interconnect for ``cfg.num_modules`` slots."""
+
+    KEY = "rmboc"
+
+    def __init__(self, sim: Simulator, cfg: RMBoCConfig,
+                 area_model: Optional[AreaModel] = None,
+                 clock_model: Optional[ClockModel] = None):
+        CommArchitecture.__init__(self, sim, cfg.width)
+        Component.__init__(self, "rmboc")
+        self.cfg = cfg
+        self.area_model = area_model or AreaModel()
+        self.clock_model = clock_model or ClockModel()
+
+        # lane occupancy: lanes[segment][bus] -> channel cid or None
+        self._lanes: List[List[Optional[int]]] = [
+            [None] * cfg.num_buses for _ in range(cfg.num_segments)
+        ]
+        self._frozen = [False] * cfg.num_modules
+        self._xp_module: Dict[int, str] = {}      # cross-point -> module name
+        self._module_xp: Dict[str, int] = {}
+
+        self._ctrl: List[CtrlMsg] = []
+        self._transfers: List[Transfer] = []
+        self._channels: Dict[int, Channel] = {}   # cid -> channel
+        # per-module NI state
+        self._queues: Dict[str, Deque[Message]] = {}
+        # RMBoC's bandwidth adaptation: a pair may hold a *variable
+        # number* of parallel circuits (Table 4 flexibility credit).
+        self._chan_by_pair: Dict[Tuple[str, str], List[Channel]] = {}
+        self._retry_at: Dict[Tuple[str, str], int] = {}
+        self._idle_since: Dict[int, int] = {}     # cid -> cycle it went idle
+
+    # ==================================================================
+    # CommArchitecture interface
+    # ==================================================================
+    def _attach_impl(self, module: str, xp: Optional[int] = None, **_: object) -> None:
+        if xp is None:
+            used = set(self._xp_module)
+            xp = next(i for i in range(self.cfg.num_modules) if i not in used)
+        if not 0 <= xp < self.cfg.num_modules:
+            raise ValueError(f"cross-point {xp} outside 0..{self.cfg.num_modules - 1}")
+        if xp in self._xp_module:
+            raise ValueError(f"cross-point {xp} already hosts {self._xp_module[xp]!r}")
+        self._xp_module[xp] = module
+        self._module_xp[module] = xp
+        self._queues[module] = deque()
+
+    def _detach_impl(self, module: str) -> None:
+        xp = self._module_xp.pop(module)
+        del self._xp_module[xp]
+        q = self._queues.pop(module)
+        if q:
+            raise RuntimeError(
+                f"detaching {module!r} with {len(q)} queued messages"
+            )
+
+    def _submit(self, msg: Message) -> None:
+        if msg.src not in self._module_xp:
+            raise KeyError(f"source module {msg.src!r} is not attached")
+        self._queues[msg.src].append(msg)
+
+    def idle(self) -> bool:
+        return (
+            not self._ctrl
+            and not self._transfers
+            and not self._channels
+            and all(not q for q in self._queues.values())
+        )
+
+    def descriptor(self) -> DesignParameters:
+        return PAPER_TABLE_1["RMBoC"]
+
+    def area_slices(self) -> int:
+        return self.area_model.rmboc_total(
+            self.cfg.num_modules, self.cfg.num_buses, self.cfg.width
+        )
+
+    def fmax_hz(self) -> float:
+        return self.clock_model.fmax_hz("rmboc", self.cfg.width)
+
+    def theoretical_dmax(self) -> int:
+        return self.cfg.theoretical_dmax
+
+    # ==================================================================
+    # reconfiguration hooks
+    # ==================================================================
+    def freeze_slot(self, xp: int) -> None:
+        """Freeze a cross-point during slot reconfiguration: established
+        circuits through it keep streaming, new REQUESTs are cancelled."""
+        self._frozen[xp] = True
+
+    def unfreeze_slot(self, xp: int) -> None:
+        self._frozen[xp] = False
+
+    def module_at(self, xp: int) -> Optional[str]:
+        return self._xp_module.get(xp)
+
+    def xp_of(self, module: str) -> int:
+        return self._module_xp[module]
+
+    # ==================================================================
+    # lane helpers
+    # ==================================================================
+    def _free_lane(self, segment: int) -> Optional[int]:
+        for bus, owner in enumerate(self._lanes[segment]):
+            if owner is None:
+                return bus
+        return None
+
+    def _reserve(self, ch: Channel, segment: int, bus: int) -> None:
+        assert self._lanes[segment][bus] is None
+        self._lanes[segment][bus] = ch.cid
+        ch.lanes[segment] = bus
+
+    def _release(self, ch: Channel, segment: int) -> None:
+        bus = ch.lanes.pop(segment, None)
+        if bus is not None and self._lanes[segment][bus] == ch.cid:
+            self._lanes[segment][bus] = None
+
+    def lanes_in_use(self) -> int:
+        return sum(
+            1 for seg in self._lanes for owner in seg if owner is not None
+        )
+
+    # ==================================================================
+    # per-cycle behaviour
+    # ==================================================================
+    def tick(self, sim: Simulator) -> None:
+        now = sim.cycle
+        self._tick_data(now)
+        self._tick_control(now)
+        self._tick_ni(now)
+
+    # -- data plane -----------------------------------------------------
+    def _tick_data(self, now: int) -> None:
+        active = 0
+        finished: List[Transfer] = []
+        for tr in self._transfers:
+            if tr.words_left > 0:
+                tr.words_left -= 1
+                active += 1
+            if tr.words_left == 0:
+                finished.append(tr)
+        self._note_parallelism(active)
+        for tr in finished:
+            self._transfers.remove(tr)
+            words = self.cfg.words(tr.msg.payload_bytes)
+            dist = tr.channel.distance
+            stats = self.sim.stats
+            stats.counter("rmboc.word_segments").inc(words * dist)
+            stats.counter("rmboc.word_crosspoints").inc(words * (dist + 1))
+            self._deliver(tr.msg)
+            self._idle_since[tr.channel.cid] = now
+
+    # -- control plane ----------------------------------------------------
+    def _next_xp(self, ch: Channel, at_xp: int) -> int:
+        return at_xp + ch.direction
+
+    def _segment_toward(self, ch: Channel, at_xp: int) -> int:
+        """Segment index from ``at_xp`` toward the destination."""
+        return at_xp if ch.direction > 0 else at_xp - 1
+
+    def _segment_back(self, ch: Channel, at_xp: int) -> int:
+        """Segment index from ``at_xp`` back toward the source."""
+        return at_xp - 1 if ch.direction > 0 else at_xp
+
+    def _tick_control(self, now: int) -> None:
+        ready = [m for m in self._ctrl if m.ready_at <= now]
+        for cm in ready:
+            self._ctrl.remove(cm)
+            if cm.kind is CtrlKind.REQUEST:
+                self._process_request(cm, now)
+            elif cm.kind is CtrlKind.CANCEL:
+                self._process_cancel(cm, now)
+            elif cm.kind is CtrlKind.DESTROY:
+                self._process_destroy(cm, now)
+            else:  # pragma: no cover - REPLY handled via scheduled establish
+                raise AssertionError(cm.kind)
+
+    def _process_request(self, cm: CtrlMsg, now: int) -> None:
+        ch = cm.channel
+        xp = cm.at_xp
+        stats = self.sim.stats
+        if self._frozen[xp]:
+            stats.counter("rmboc.cancel.frozen").inc()
+            self._start_cancel(ch, xp, now)
+            return
+        if xp == ch.dst_xp:
+            dst_mod = self._xp_module.get(xp)
+            if dst_mod is None:
+                stats.counter("rmboc.cancel.no_dest").inc()
+                self._start_cancel(ch, xp, now)
+                return
+            # destination handshake + REPLY over the reserved circuit
+            est = now + self.cfg.accept_cycles + self.cfg.reply_cycles
+            self.sim.at(est, lambda s, c=ch: self._establish(c, s.cycle))
+            return
+        seg = self._segment_toward(ch, xp)
+        bus = self._free_lane(seg)
+        if bus is None:
+            stats.counter("rmboc.cancel.blocked").inc()
+            self._start_cancel(ch, xp, now)
+            return
+        self._reserve(ch, seg, bus)
+        self._ctrl.append(
+            CtrlMsg(CtrlKind.REQUEST, ch, self._next_xp(ch, xp),
+                    ready_at=now + self.cfg.xp_proc_cycles)
+        )
+
+    def _establish(self, ch: Channel, now: int) -> None:
+        if ch.state is not ChannelState.REQUESTING:
+            return  # raced with a cancel (e.g. source slot frozen meanwhile)
+        ch.state = ChannelState.ESTABLISHED
+        ch.established_cycle = now
+        self.sim.stats.counter("rmboc.channels.established").inc()
+        self.sim.emit("rmboc", "establish", cid=ch.cid,
+                      lanes=dict(ch.lanes))
+        self.sim.stats.histogram("rmboc.setup_latency").add(
+            now - ch._requested_cycle  # type: ignore[attr-defined]
+        )
+        self._idle_since[ch.cid] = now
+
+    def _start_cancel(self, ch: Channel, from_xp: int, now: int) -> None:
+        ch.state = ChannelState.CANCELLED
+        if from_xp == ch.src_xp:
+            self._finish_cancel(ch, now)
+        else:
+            self._ctrl.append(
+                CtrlMsg(CtrlKind.CANCEL, ch, from_xp,
+                        ready_at=now + self.cfg.cancel_proc_cycles)
+            )
+
+    def _process_cancel(self, cm: CtrlMsg, now: int) -> None:
+        ch, xp = cm.channel, cm.at_xp
+        seg = self._segment_back(ch, xp)
+        self._release(ch, seg)
+        prev = xp - ch.direction
+        if prev == ch.src_xp and not ch.lanes:
+            self._finish_cancel(ch, now)
+        else:
+            self._ctrl.append(
+                CtrlMsg(CtrlKind.CANCEL, ch, prev,
+                        ready_at=now + self.cfg.cancel_proc_cycles)
+            )
+
+    def _drop_pair_entry(self, ch: Channel) -> None:
+        pair = (getattr(ch, "_src_module", None),
+                getattr(ch, "_dst_module", None))
+        chans = self._chan_by_pair.get(pair)
+        if chans and ch in chans:
+            chans.remove(ch)
+            if not chans:
+                del self._chan_by_pair[pair]
+
+    def _finish_cancel(self, ch: Channel, now: int) -> None:
+        for seg in list(ch.lanes):
+            self._release(ch, seg)
+        self._channels.pop(ch.cid, None)
+        self._drop_pair_entry(ch)
+        src_mod = getattr(ch, "_src_module", None)
+        dst_mod = getattr(ch, "_dst_module", None)
+        if src_mod is not None and dst_mod is not None:
+            # stagger retries by cross-point index: identical backoffs
+            # would otherwise retry in lockstep and re-collide forever
+            # on a saturated single bus (deterministic livelock)
+            self._retry_at[(src_mod, dst_mod)] = (
+                now + self.cfg.retry_backoff + ch.src_xp
+            )
+        self.sim.stats.counter("rmboc.channels.cancelled").inc()
+        self.sim.emit("rmboc", "cancel", cid=ch.cid)
+
+    def _start_destroy(self, ch: Channel, now: int) -> None:
+        ch.state = ChannelState.CLOSED
+        self._drop_pair_entry(ch)
+        self._idle_since.pop(ch.cid, None)
+        self._ctrl.append(
+            CtrlMsg(CtrlKind.DESTROY, ch, ch.src_xp,
+                    ready_at=now + self.cfg.cancel_proc_cycles)
+        )
+
+    def _process_destroy(self, cm: CtrlMsg, now: int) -> None:
+        ch, xp = cm.channel, cm.at_xp
+        if xp != ch.dst_xp:
+            seg = self._segment_toward(ch, xp)
+            self._release(ch, seg)
+            self._ctrl.append(
+                CtrlMsg(CtrlKind.DESTROY, ch, self._next_xp(ch, xp),
+                        ready_at=now + self.cfg.cancel_proc_cycles)
+            )
+        else:
+            self._channels.pop(ch.cid, None)
+            self.sim.stats.counter("rmboc.channels.destroyed").inc()
+            self.sim.emit("rmboc", "destroy", cid=ch.cid)
+
+    # -- network interfaces -------------------------------------------------
+    def _tick_ni(self, now: int) -> None:
+        for module in list(self._queues):
+            self._ni_for(module, now)
+        self._retire_idle_channels(now)
+
+    def _module_channels(self, module: str) -> int:
+        return sum(
+            1
+            for (src, _), chans in self._chan_by_pair.items()
+            if src == module
+            for ch in chans
+            if ch.state in (ChannelState.REQUESTING,
+                            ChannelState.ESTABLISHED)
+        )
+
+    def _ni_for(self, module: str, now: int) -> None:
+        queue = self._queues[module]
+        if not queue:
+            return
+        xp = self._module_xp[module]
+        if self._frozen[xp]:
+            return  # slot under reconfiguration: hold traffic
+        # Serve the head-of-line message; later messages to other
+        # destinations may also start if channel budget allows.
+        busy_channels = {tr.channel.cid for tr in self._transfers}
+        served: List[Message] = []
+        # channels already spoken for by an earlier queued message this
+        # cycle: a REQUESTING channel serves exactly one waiting message
+        claimed_requests: Dict[Tuple[str, str], int] = {}
+        for msg in list(queue):
+            pair = (module, msg.dst)
+            chans = self._chan_by_pair.get(pair, [])
+            free = next(
+                (ch for ch in chans
+                 if ch.state is ChannelState.ESTABLISHED
+                 and ch.cid not in busy_channels),
+                None,
+            )
+            if free is not None:
+                words = self.cfg.words(msg.payload_bytes)
+                self._transfers.append(Transfer(free, words, msg))
+                busy_channels.add(free.cid)
+                self._idle_since.pop(free.cid, None)
+                msg.accepted_cycle = now
+                served.append(msg)
+                continue
+            requesting = sum(
+                1 for ch in chans if ch.state is ChannelState.REQUESTING
+            )
+            if claimed_requests.get(pair, 0) < requesting:
+                claimed_requests[pair] = claimed_requests.get(pair, 0) + 1
+                continue  # a circuit is already on its way for this message
+            if self._retry_at.get(pair, -1) > now:
+                continue
+            if self._module_channels(module) >= self.cfg.channels_per_module:
+                continue
+            if msg.dst not in self._module_xp:
+                continue  # destination currently detached; wait
+            self._open_channel(module, msg.dst, now)
+            claimed_requests[pair] = claimed_requests.get(pair, 0) + 1
+        for msg in served:
+            queue.remove(msg)
+
+    def _open_channel(self, src_module: str, dst_module: str, now: int) -> None:
+        ch = Channel(src_xp=self._module_xp[src_module],
+                     dst_xp=self._module_xp[dst_module])
+        ch._requested_cycle = now  # type: ignore[attr-defined]
+        ch._src_module = src_module  # type: ignore[attr-defined]
+        ch._dst_module = dst_module  # type: ignore[attr-defined]
+        self._channels[ch.cid] = ch
+        self._chan_by_pair.setdefault((src_module, dst_module), []).append(ch)
+        self._ctrl.append(
+            CtrlMsg(CtrlKind.REQUEST, ch, ch.src_xp,
+                    ready_at=now + self.cfg.xp_proc_cycles)
+        )
+        self.sim.stats.counter("rmboc.channels.requested").inc()
+        self.sim.emit("rmboc", "request", cid=ch.cid, src=src_module,
+                      dst=dst_module)
+
+    def _retire_idle_channels(self, now: int) -> None:
+        busy = {tr.channel.cid for tr in self._transfers}
+        for cid, idle_since in list(self._idle_since.items()):
+            ch = self._channels.get(cid)
+            if ch is None or ch.state is not ChannelState.ESTABLISHED:
+                self._idle_since.pop(cid, None)
+                continue
+            if cid in busy:
+                continue
+            pair = (getattr(ch, "_src_module"), getattr(ch, "_dst_module"))
+            has_waiting = any(
+                m.dst == pair[1] for m in self._queues.get(pair[0], ())
+            )
+            if has_waiting:
+                continue
+            if now - idle_since >= self.cfg.channel_linger:
+                self._start_destroy(ch, now)
+
+
+def build_rmboc(
+    num_modules: int = 4,
+    width: int = 32,
+    seed: int = 1,
+    num_buses: int = 4,
+    sim: Optional[Simulator] = None,
+    cfg: Optional[RMBoCConfig] = None,
+    **cfg_overrides: object,
+) -> RMBoC:
+    """Build an RMBoC system with modules ``m0`` .. ``m{n-1}`` attached."""
+    if cfg is None:
+        cfg = RMBoCConfig(num_modules=num_modules, num_buses=num_buses,
+                          width=width, **cfg_overrides)  # type: ignore[arg-type]
+    sim = sim or Simulator(name=f"rmboc[{cfg.num_modules}x{cfg.num_buses}]")
+    arch = RMBoC(sim, cfg)
+    sim.add(arch)
+    for i in range(cfg.num_modules):
+        arch.attach(f"m{i}", xp=i)
+    return arch

@@ -1,0 +1,88 @@
+"""RMBoC circuit-switching protocol objects.
+
+The protocol is deliberately minimal (the survey: "the protocol is
+rather simple and demands the system application to deal fairly with the
+resources"): four control-message kinds and a per-channel FSM.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict
+
+_channel_ids = itertools.count()
+
+
+class CtrlKind(enum.Enum):
+    REQUEST = "request"   # forward, reserving one lane per segment
+    REPLY = "reply"       # back over the reserved circuit: established
+    CANCEL = "cancel"     # back, releasing reservations (blocked/refused)
+    DESTROY = "destroy"   # forward, releasing the established circuit
+
+
+class ChannelState(enum.Enum):
+    REQUESTING = "requesting"
+    ESTABLISHED = "established"
+    CANCELLED = "cancelled"
+    CLOSED = "closed"
+
+
+@dataclass
+class Channel:
+    """A (possibly partially) reserved circuit between two cross-points.
+
+    ``lanes`` maps segment index -> bus index: the lane reserved on that
+    segment. Lanes of different buses may be chained — the cross-point
+    bridges buses, which is what lets RMBoC beat a single bus's
+    parallelism (d_max = s*k).
+    """
+
+    src_xp: int
+    dst_xp: int
+    state: ChannelState = ChannelState.REQUESTING
+    lanes: Dict[int, int] = field(default_factory=dict)
+    established_cycle: int = -1
+    cid: int = field(default_factory=lambda: next(_channel_ids))
+
+    def __post_init__(self) -> None:
+        if self.src_xp == self.dst_xp:
+            raise ValueError("channel endpoints must differ")
+
+    @property
+    def direction(self) -> int:
+        """+1 when the destination lies right of the source, else -1."""
+        return 1 if self.dst_xp > self.src_xp else -1
+
+    @property
+    def distance(self) -> int:
+        return abs(self.dst_xp - self.src_xp)
+
+    def segments(self):
+        """Segment indices along the path, in traversal order.
+
+        Segment ``i`` joins cross-points ``i`` and ``i+1``.
+        """
+        if self.direction > 0:
+            return range(self.src_xp, self.dst_xp)
+        return range(self.src_xp - 1, self.dst_xp - 1, -1)
+
+
+@dataclass
+class CtrlMsg:
+    """A control message being processed by a cross-point."""
+
+    kind: CtrlKind
+    channel: Channel
+    at_xp: int          # cross-point currently holding the message
+    ready_at: int       # cycle its processing at `at_xp` completes
+
+
+@dataclass
+class Transfer:
+    """An in-progress payload stream over an established channel."""
+
+    channel: Channel
+    words_left: int
+    msg: object  # repro.arch.base.Message (kept loose to avoid a cycle)

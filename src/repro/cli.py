@@ -1,0 +1,237 @@
+"""Command-line interface: regenerate any table, figure or experiment.
+
+Examples::
+
+    repro tables                 # Tables 1-4
+    repro figures                # Figures 1-4 (ASCII)
+    repro experiment e1          # one experiment (e1..e7b)
+    repro scenario -a conochi -p ring -b 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core.report import render_all
+
+    print(render_all())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.render import (
+        render_buscom_figure,
+        render_conochi_figure,
+        render_dynoc_figure,
+        render_rmboc_figure,
+    )
+    from repro.arch import build_architecture
+
+    print("Figure 1: RMBoC architecture (m=4, k=4)")
+    print(render_rmboc_figure(build_architecture("rmboc")))
+    print("\nFigure 2: BUS-COM architecture (4 modules, 4 buses)")
+    print(render_buscom_figure(build_architecture("buscom")))
+    print("\nFigure 3: DyNoC architecture (5x5 array)")
+    from repro.fabric.geometry import Rect
+
+    dynoc = build_architecture("dynoc", num_modules=0, mesh=(5, 5))
+    dynoc.attach("a", rect=Rect(1, 1, 2, 2))
+    dynoc.attach("b", rect=Rect(1, 3, 1, 1))
+    dynoc.attach("c", rect=Rect(4, 4, 1, 1))
+    print(render_dynoc_figure(dynoc))
+    print("\nFigure 4: CoNoChi architecture (tile grid)")
+    print(render_conochi_figure(build_architecture("conochi")))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments as E
+
+    runners = {
+        "e1": lambda: E.e1_rmboc_setup(),
+        "e2": lambda: E.e2_parallelism(),
+        "e3": lambda: E.e3_effective_bandwidth(),
+        "e4": lambda: E.e4_latency_scaling(),
+        "e5": lambda: E.e5_area_scaling(),
+        "e6": lambda: E.e6_reconfiguration(),
+        "e6b": lambda: E.e6b_conochi_topology_change(),
+        "e7": lambda: E.e7_bus_vs_noc(),
+        "e7b": lambda: E.e7b_module_scaling(),
+        "e8": lambda: E.e8_energy(),
+        "e9": lambda: E.e9_latency_decomposition(),
+        "e10": lambda: E.e10_reconfigurability_tax(),
+        "e11": lambda: E.e11_realtime_study(),
+        "e12": lambda: E.e12_reconfiguration_frequency(),
+    }
+    def render(result):
+        if getattr(args, "json", False):
+            from repro.analysis.export import dumps
+
+            return dumps(result)
+        return str(result)
+
+    if args.which == "all":
+        for name, run in runners.items():
+            print(f"== {name} ==")
+            print(render(run()))
+        return 0
+    if args.which not in runners:
+        print(f"unknown experiment {args.which!r}; "
+              f"choose from {', '.join(runners)} or 'all'", file=sys.stderr)
+        return 2
+    print(render(runners[args.which]()))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.arch import build_architecture
+    from repro.core.scenario import minimal_scenario
+
+    arch = build_architecture(args.arch, num_modules=args.modules,
+                              width=args.width)
+    result = minimal_scenario(arch, payload_bytes=args.payload,
+                              pattern=args.pattern, repeats=args.repeats)
+    print(f"architecture : {result.arch_key}")
+    print(f"pattern      : {result.pattern} x{args.repeats}, "
+          f"{args.payload} B payloads")
+    print(f"messages     : {result.messages} in {result.total_cycles} cycles")
+    print(f"latency      : mean {result.mean_latency:.1f}, "
+          f"min {result.min_latency}, max {result.max_latency} cycles")
+    print(f"parallelism  : observed d_max {result.observed_dmax} "
+          f"(theoretical {arch.theoretical_dmax()})")
+    print(f"area         : {arch.area_slices()} slices @ "
+          f"{arch.fmax_hz() / 1e6:.0f} MHz")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
+
+    grid = SweepGrid(
+        arch=args.archs,
+        width=args.widths,
+        payload_bytes=args.payloads,
+    )
+    points = run_sweep(grid)
+    print(render_sweep(grid, points))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import Requirements, recommend
+
+    req = Requirements(
+        num_modules=args.modules,
+        link_width=args.width,
+        needs_runtime_module_exchange=not args.static_ok,
+        variable_module_shape=args.variable_shape,
+        min_parallel_transfers=args.parallel,
+        max_transfer_bytes=args.transfer,
+        area_budget_slices=args.area_budget,
+        latency_budget_cycles=args.latency_budget,
+        reconfigures_often=args.reconfigures_often,
+        needs_runtime_growth=args.runtime_growth,
+    )
+    print(recommend(req).report())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report_run import generate_report
+
+    print(generate_report(full=args.full))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_reproduction
+
+    report = validate_reproduction(fast=args.fast)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Communication Architectures for "
+                    "Dynamically Reconfigurable FPGA Designs' (IPPS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate Tables 1-4")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("figures", help="render Figures 1-4 (ASCII)")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("experiment", help="run an experiment harness")
+    p.add_argument("which", help="e1..e12 or 'all'")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result as JSON")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("scenario", help="run the minimal scenario")
+    p.add_argument("-a", "--arch", default="conochi",
+                   choices=["rmboc", "buscom", "dynoc", "conochi"])
+    p.add_argument("-p", "--pattern", default="ring",
+                   choices=["ring", "all-pairs", "neighbors", "pairs"])
+    p.add_argument("-b", "--payload", type=int, default=64)
+    p.add_argument("-m", "--modules", type=int, default=4)
+    p.add_argument("-w", "--width", type=int, default=32)
+    p.add_argument("-r", "--repeats", type=int, default=1)
+    p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser("sweep", help="sweep widths/payloads across archs")
+    p.add_argument("--archs", nargs="+",
+                   default=["rmboc", "buscom", "dynoc", "conochi"])
+    p.add_argument("--widths", nargs="+", type=int, default=[8, 16, 32])
+    p.add_argument("--payloads", nargs="+", type=int, default=[64])
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("advise",
+                       help="recommend an architecture for requirements")
+    p.add_argument("-m", "--modules", type=int, default=4)
+    p.add_argument("-w", "--width", type=int, default=32)
+    p.add_argument("--variable-shape", action="store_true",
+                   dest="variable_shape")
+    p.add_argument("--parallel", type=int, default=1)
+    p.add_argument("--transfer", type=int, default=256)
+    p.add_argument("--area-budget", type=int, default=None,
+                   dest="area_budget")
+    p.add_argument("--latency-budget", type=int, default=None,
+                   dest="latency_budget")
+    p.add_argument("--reconfigures-often", action="store_true",
+                   dest="reconfigures_often")
+    p.add_argument("--runtime-growth", action="store_true",
+                   dest="runtime_growth")
+    p.add_argument("--static-ok", action="store_true", dest="static_ok",
+                   help="module mix never changes: consider the static "
+                        "baselines too")
+    p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser("report",
+                       help="markdown report of tables/figures/experiments")
+    p.add_argument("--full", action="store_true",
+                   help="include the slower experiments")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("validate",
+                       help="run every headline paper assertion")
+    p.add_argument("--fast", action="store_true",
+                   help="skip the slower measurements")
+    p.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: a parameter taxonomy and a
+normalized comparison framework for runtime-adaptable interconnects.
+
+* :mod:`~repro.core.parameters` — the classification taxonomy of §2
+  (performance parameters: latency, bandwidth, throughput, parallelism;
+  structural parameters: flexibility, scalability, extensibility,
+  modularity) as typed objects;
+* :mod:`~repro.core.scenario` — the minimal 4-module comparison scenario
+  all architectures are normalized to;
+* :mod:`~repro.core.metrics` — measurement probes over simulations;
+* :mod:`~repro.core.ranking` — the structural-ranking rubric (Table 4);
+* :mod:`~repro.core.tables` — generators for Tables 1-4;
+* :mod:`~repro.core.report` — plain-text table rendering.
+"""
+
+from repro.core.parameters import (
+    DesignParameters,
+    Level,
+    ModuleShape,
+    PerformanceEnvelope,
+    StructuralRanking,
+    Switching,
+    Topology,
+)
+
+__all__ = [
+    "DesignParameters",
+    "Level",
+    "ModuleShape",
+    "PerformanceEnvelope",
+    "StructuralRanking",
+    "Switching",
+    "Topology",
+]

@@ -1,0 +1,309 @@
+"""Architecture advisor — the survey's stated purpose, made executable.
+
+§5: "this survey and analysis can serve as a guidance when a decision
+for one or the other interconnection architecture has to be made."
+
+:func:`recommend` scores the four architectures against a
+:class:`Requirements` profile using exactly the evidence the paper
+assembles: the Table 4 structural levels, the Table 3 area model, the
+Table 2 latency figures, and the §4 discussion's hard constraints
+(fixed vs variable module shape, payload limits, parallelism needs).
+Every score carries its justifications so the recommendation is
+auditable rather than oracular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.capabilities import PROFILES
+from repro.core.parameters import PAPER_TABLE_1, Level, ModuleShape
+from repro.core.ranking import rank_all
+from repro.fabric.area import AreaModel
+
+ARCHS = ("RMBoC", "BUS-COM", "DyNoC", "CoNoChi")
+#: static §2.2 baselines, candidates only when runtime module exchange
+#: is not required (see Requirements.needs_runtime_module_exchange)
+STATIC_ARCHS = ("SharedBus", "StaticMesh")
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What the system under design needs from its interconnect."""
+
+    num_modules: int = 4
+    link_width: int = 32
+    #: modules of varying rectangular footprint (True) or slot-sized (False)
+    variable_module_shape: bool = False
+    #: simultaneous independent transfers the application needs
+    min_parallel_transfers: int = 1
+    #: largest single transfer unit the application sends, in bytes
+    max_transfer_bytes: int = 256
+    #: established-path latency budget in cycles (None: unconstrained)
+    latency_budget_cycles: Optional[int] = None
+    #: slice budget for the interconnect (None: unconstrained)
+    area_budget_slices: Optional[int] = None
+    #: whether modules must be exchangeable at runtime at all; when
+    #: False the static §2.2 baselines become candidates (and usually
+    #: win on area/clock — the E10 result as advice)
+    needs_runtime_module_exchange: bool = True
+    #: how often the module mix changes at runtime
+    reconfigures_often: bool = False
+    #: needs the system to grow (new modules appear) at runtime
+    needs_runtime_growth: bool = False
+    #: relative importance weights (0..) for the soft criteria
+    weight_area: float = 1.0
+    weight_latency: float = 1.0
+    weight_flexibility: float = 1.0
+    weight_scalability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_modules < 2:
+            raise ValueError("need at least two modules")
+        if self.link_width < 1:
+            raise ValueError("link width must be >= 1")
+        if self.min_parallel_transfers < 1:
+            raise ValueError("min_parallel_transfers must be >= 1")
+        if self.max_transfer_bytes < 1:
+            raise ValueError("max_transfer_bytes must be >= 1")
+        for w in (self.weight_area, self.weight_latency,
+                  self.weight_flexibility, self.weight_scalability):
+            if w < 0:
+                raise ValueError("weights must be non-negative")
+
+
+@dataclass
+class Assessment:
+    """One architecture's evaluation against the requirements."""
+
+    name: str
+    feasible: bool
+    score: float                     # higher is better; nan when infeasible
+    area_slices: int
+    est_latency_cycles: float        # single established transfer estimate
+    dmax: int
+    reasons: List[str] = field(default_factory=list)
+    vetoes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class Recommendation:
+    requirements: Requirements
+    assessments: Dict[str, Assessment]
+    ranking: List[str]               # feasible architectures, best first
+
+    @property
+    def best(self) -> Optional[str]:
+        return self.ranking[0] if self.ranking else None
+
+    def report(self) -> str:
+        lines = [f"recommendation: {self.best or 'none feasible'}"]
+        for name in self.assessments:
+            a = self.assessments[name]
+            status = "VETO" if not a.feasible else f"score {a.score:5.2f}"
+            lines.append(f"  {name:8s} [{status}] area={a.area_slices} "
+                         f"lat~{a.est_latency_cycles:.0f} d_max={a.dmax}")
+            for reason in a.vetoes + a.reasons:
+                lines.append(f"           - {reason}")
+        return "\n".join(lines)
+
+
+_LEVEL_POINTS = {Level.LOW: 0.0, Level.MEDIUM: 0.5, Level.HIGH: 1.0}
+
+
+def _estimate_area(name: str, req: Requirements, area: AreaModel) -> int:
+    m, w = req.num_modules, req.link_width
+    if name == "RMBoC":
+        return area.rmboc_total(m, 4, w)
+    if name == "BUS-COM":
+        return area.buscom_total(m, 4, w)
+    if name == "DyNoC":
+        # one router per module if slot-sized; surrounding routers for
+        # variable shapes (2-PE-average assumption)
+        routers = m if not req.variable_module_shape else 3 * m
+        return area.dynoc_total(routers, w)
+    if name == "CoNoChi":
+        return area.conochi_total(m, w) + area.conochi_control_unit(m)
+    if name == "SharedBus":
+        return area.sharedbus_total(m, w)
+    # StaticMesh
+    return area.staticmesh_total(m, w)
+
+
+def _estimate_latency(name: str, req: Requirements) -> float:
+    """Cycles for one max-size transfer between typical endpoints."""
+    words = -(-req.max_transfer_bytes * 8 // req.link_width)
+    m = req.num_modules
+    if name == "RMBoC":
+        avg_d = max(1, (m - 1) // 2)
+        return (2 * avg_d + 6) + words
+    if name == "BUS-COM":
+        # wait half a static slot round on average + serialization
+        slot = 20  # default static slot duration
+        return slot * 1.5 + words
+    if name == "SharedBus":
+        # grant + address + serialization, plus expected queueing behind
+        # (m-1)/2 competing transfers on the single medium
+        return 3 + words * (1 + (m - 1) / 2)
+    hops = max(1, round((m ** 0.5)))  # mesh/chain diameter scale
+    if name in ("DyNoC", "StaticMesh"):
+        return hops * 4 + 1 + words
+    return hops * 6 + 3 + words  # CoNoChi
+
+
+def _dmax(name: str, req: Requirements) -> int:
+    m = req.num_modules
+    if name == "RMBoC":
+        return (m - 1) * 4
+    if name == "BUS-COM":
+        return 4
+    if name == "SharedBus":
+        return 1
+    # NoCs (incl. StaticMesh): links scale with modules
+    return 2 * m
+
+
+def _assess_static(name: str, req: Requirements,
+                   area_model: AreaModel) -> Assessment:
+    """Evaluate a §2.2 static baseline (no Table 1/4 rows exist)."""
+    a = Assessment(
+        name=name,
+        feasible=True,
+        score=0.0,
+        area_slices=_estimate_area(name, req, area_model),
+        est_latency_cycles=_estimate_latency(name, req),
+        dmax=_dmax(name, req),
+    )
+    if req.needs_runtime_module_exchange:
+        a.vetoes.append("static design: no runtime module exchange")
+    if req.needs_runtime_growth or req.reconfigures_often:
+        a.vetoes.append("static design: module mix is fixed at design time")
+    if req.variable_module_shape and name == "SharedBus":
+        a.vetoes.append("slot-style design: fixed module shapes only")
+    if req.min_parallel_transfers > a.dmax:
+        a.vetoes.append(f"needs {req.min_parallel_transfers} parallel "
+                        f"transfers, d_max is {a.dmax}")
+    if (req.area_budget_slices is not None
+            and a.area_slices > req.area_budget_slices):
+        a.vetoes.append(f"area {a.area_slices} exceeds budget "
+                        f"{req.area_budget_slices}")
+    if (req.latency_budget_cycles is not None
+            and a.est_latency_cycles > req.latency_budget_cycles):
+        a.vetoes.append(f"estimated latency {a.est_latency_cycles:.0f} "
+                        f"exceeds budget {req.latency_budget_cycles}")
+    if a.vetoes:
+        a.feasible = False
+        a.score = float("-inf")
+        return a
+    a.reasons.append("no reconfiguration machinery to pay for (E10)")
+    a.score = (
+        req.weight_area * (1000.0 / max(a.area_slices, 1))
+        + req.weight_latency * (100.0 / max(a.est_latency_cycles, 1.0))
+    )
+    if a.dmax >= 2 * req.min_parallel_transfers:
+        a.score += 0.25
+    return a
+
+
+def assess(name: str, req: Requirements,
+           area_model: Optional[AreaModel] = None) -> Assessment:
+    """Evaluate one architecture; vetoes are the paper's hard limits."""
+    area_model = area_model or AreaModel()
+    if name in STATIC_ARCHS:
+        return _assess_static(name, req, area_model)
+    profile = PROFILES[name]
+    table1 = PAPER_TABLE_1[name]
+    levels = rank_all()[name]
+
+    a = Assessment(
+        name=name,
+        feasible=True,
+        score=0.0,
+        area_slices=_estimate_area(name, req, area_model),
+        est_latency_cycles=_estimate_latency(name, req),
+        dmax=_dmax(name, req),
+    )
+
+    # ---- hard constraints (vetoes) -----------------------------------
+    if req.variable_module_shape and table1.module_size is ModuleShape.FIXED:
+        a.vetoes.append("requires variable rectangular modules; "
+                        "slot-based architecture supports fixed shapes only")
+    if req.min_parallel_transfers > a.dmax:
+        a.vetoes.append(f"needs {req.min_parallel_transfers} parallel "
+                        f"transfers, d_max is {a.dmax}")
+    if (table1.max_payload_bytes is not None
+            and req.max_transfer_bytes > table1.max_payload_bytes
+            and req.latency_budget_cycles is not None):
+        # segmentation is possible but costs header overhead per fragment;
+        # only veto when a tight latency budget forbids it
+        frags = -(-req.max_transfer_bytes // table1.max_payload_bytes)
+        if frags * a.est_latency_cycles > req.latency_budget_cycles:
+            a.vetoes.append(
+                f"{req.max_transfer_bytes}-byte transfers need {frags} "
+                f"fragments (payload limit {table1.max_payload_bytes}), "
+                "blowing the latency budget")
+    if (req.area_budget_slices is not None
+            and a.area_slices > req.area_budget_slices):
+        a.vetoes.append(f"area {a.area_slices} exceeds budget "
+                        f"{req.area_budget_slices}")
+    if (req.latency_budget_cycles is not None
+            and a.est_latency_cycles > req.latency_budget_cycles):
+        a.vetoes.append(f"estimated latency {a.est_latency_cycles:.0f} "
+                        f"exceeds budget {req.latency_budget_cycles}")
+    if req.needs_runtime_growth and levels.extensibility is Level.LOW:
+        a.vetoes.append("runtime growth required but extensibility is low")
+
+    if a.vetoes:
+        a.feasible = False
+        a.score = float("-inf")
+        return a
+
+    # ---- soft scoring --------------------------------------------------
+    # normalize area/latency against the best achievable among archs
+    score = 0.0
+    score += req.weight_flexibility * _LEVEL_POINTS[levels.flexibility]
+    if levels.flexibility is Level.HIGH:
+        a.reasons.append("flexibility high (Table 4)")
+    score += req.weight_scalability * _LEVEL_POINTS[levels.scalability]
+    if req.reconfigures_often:
+        bonus = 0.0
+        if profile.packet_redirection:
+            bonus += 0.5
+            a.reasons.append("packet redirection eases frequent "
+                             "reconfiguration (§4.2)")
+        if profile.virtual_topology:
+            bonus += 0.5
+            a.reasons.append("runtime communication-resource reassignment")
+        if profile.tiled_replacement:
+            bonus += 0.25
+        score += req.weight_flexibility * bonus
+    # area: fraction of the cheapest feasible option (computed by caller
+    # would be cleaner; a simple inverse works for ranking)
+    score += req.weight_area * (1000.0 / max(a.area_slices, 1))
+    score += req.weight_latency * (100.0 / max(a.est_latency_cycles, 1.0))
+    if a.dmax >= 2 * req.min_parallel_transfers:
+        score += 0.25
+        a.reasons.append("parallelism headroom >= 2x requirement")
+    a.score = score
+    return a
+
+
+def recommend(req: Requirements,
+              area_model: Optional[AreaModel] = None) -> Recommendation:
+    """Assess the four DPR architectures — plus the static baselines
+    when runtime module exchange is not required — and rank the
+    feasible ones."""
+    candidates = list(ARCHS)
+    if not req.needs_runtime_module_exchange:
+        candidates += list(STATIC_ARCHS)
+    assessments = {
+        name: assess(name, req, area_model) for name in candidates
+    }
+    ranking = sorted(
+        (n for n, a in assessments.items() if a.feasible),
+        key=lambda n: assessments[n].score,
+        reverse=True,
+    )
+    return Recommendation(requirements=req, assessments=assessments,
+                          ranking=ranking)

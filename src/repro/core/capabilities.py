@@ -1,0 +1,111 @@
+"""Capability profiles: the structural facts behind Table 4.
+
+The survey ranks the four architectures on flexibility, scalability,
+extensibility and modularity from *architectural capabilities* (§4.3),
+not measurements. :class:`CapabilityProfile` captures those capabilities
+as booleans/enums with citations to the survey's own justifications, and
+:mod:`repro.core.ranking` turns them into ordinal levels through a
+documented rubric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import ModuleShape
+
+
+@dataclass(frozen=True)
+class CapabilityProfile:
+    """Structural capabilities of one architecture."""
+
+    name: str
+    #: communication medium is segmented (locality exploitable)
+    segmented_medium: bool
+    #: several independent transfers can proceed on distinct links
+    concurrent_medium: bool
+    #: per-switch routing tables (re-programmable paths)
+    routing_tables: bool
+    #: in-flight packets can be redirected during reconfiguration
+    packet_redirection: bool
+    #: communication resources re-assignable at runtime (virtual topology)
+    virtual_topology: bool
+    #: a module pair can use a variable number of parallel connections
+    bandwidth_adaptation: bool
+    #: arbitration grants extra bandwidth on demand (dynamic TDMA slots)
+    dynamic_arbitration: bool
+    #: routing adapts to load (beyond deterministic minimal)
+    load_adaptive_routing: bool
+    #: dimensions along which the system can grow at runtime (0, 1, 2)
+    extension_dims: int
+    #: module footprint freedom
+    module_shape: ModuleShape
+    #: replacement granularity is a tile/PE grid (not fixed slots)
+    tiled_replacement: bool
+    #: standard interface for any kind of module (all four have one)
+    standard_interface: bool = True
+
+    def __post_init__(self) -> None:
+        if self.extension_dims not in (0, 1, 2):
+            raise ValueError(f"extension_dims must be 0..2")
+
+
+#: Capabilities as stated in the survey's §3 and §4.3.
+PROFILES = {
+    "RMBoC": CapabilityProfile(
+        name="RMBoC",
+        segmented_medium=True,        # k buses segmented at cross-points
+        concurrent_medium=False,      # still a bus medium
+        routing_tables=False,
+        packet_redirection=False,
+        virtual_topology=False,       # overlay channels, not resource moves
+        bandwidth_adaptation=True,    # variable #connections per pair (§4.3)
+        dynamic_arbitration=False,
+        load_adaptive_routing=False,
+        extension_dims=0,             # "no details about the extensibility"
+        module_shape=ModuleShape.FIXED,
+        tiled_replacement=False,
+    ),
+    "BUS-COM": CapabilityProfile(
+        name="BUS-COM",
+        segmented_medium=False,       # unsegmented buses (§4.2)
+        concurrent_medium=False,
+        routing_tables=False,
+        packet_redirection=False,
+        virtual_topology=True,        # slot-table reassignment (§3.1)
+        bandwidth_adaptation=False,   # one unsegmented frame per bus at a time
+        dynamic_arbitration=True,     # dynamic slots grant extra bus time
+        load_adaptive_routing=False,
+        extension_dims=1,             # bus structure: one dimension (§4.3)
+        module_shape=ModuleShape.FIXED,
+        tiled_replacement=False,
+    ),
+    "DyNoC": CapabilityProfile(
+        name="DyNoC",
+        segmented_medium=True,
+        concurrent_medium=True,
+        routing_tables=False,         # light-weight deterministic S-XY
+        packet_redirection=False,
+        virtual_topology=False,
+        bandwidth_adaptation=False,   # "does not support variable bandwidth"
+        dynamic_arbitration=False,
+        load_adaptive_routing=False,
+        extension_dims=2,             # new components at each border
+        module_shape=ModuleShape.VARIABLE,
+        tiled_replacement=True,
+    ),
+    "CoNoChi": CapabilityProfile(
+        name="CoNoChi",
+        segmented_medium=True,
+        concurrent_medium=True,
+        routing_tables=True,          # distributed routing tables (§4.3)
+        packet_redirection=True,      # reconfiguration feature (§4.2)
+        virtual_topology=True,        # switches added/removed at runtime
+        bandwidth_adaptation=False,
+        dynamic_arbitration=False,
+        load_adaptive_routing=False,
+        extension_dims=2,
+        module_shape=ModuleShape.VARIABLE,
+        tiled_replacement=True,
+    ),
+}

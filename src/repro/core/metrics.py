@@ -1,0 +1,188 @@
+"""Measurement probes implementing the paper's §2.1 parameter
+definitions against running simulations.
+
+* latency l_i / path latency l_p — from message timestamps and hop
+  counters;
+* bandwidth b_L — from the calibrated clock model (link property);
+* parallelism d_max — from the per-cycle concurrent-transfer histogram;
+* effective bandwidth — payload bits as a fraction of occupied wire
+  bits, the quantity behind the survey's "~90 %" statements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch import build_architecture
+from repro.arch.base import CommArchitecture
+
+
+@dataclass(frozen=True)
+class LatencyProbe:
+    """Decomposed latency of a single point-to-point message."""
+
+    total_cycles: int
+    setup_cycles: Optional[int]    # connection establishment (buses)
+    transfer_cycles: int           # total - setup (or total for NoCs)
+    payload_words: int
+
+    @property
+    def cycles_per_word(self) -> float:
+        return self.transfer_cycles / self.payload_words
+
+
+def probe_single_message(
+    arch: CommArchitecture, src: str, dst: str, payload_bytes: int,
+    max_cycles: int = 100_000,
+) -> LatencyProbe:
+    """Send one message through an otherwise idle system and decompose
+    its latency."""
+    sim = arch.sim
+    msg = arch.ports[src].send(dst, payload_bytes)
+    sim.run_until(lambda s: msg.delivered and arch.idle(),
+                  max_cycles=max_cycles)
+    words = math.ceil(payload_bytes * 8 / arch.width)
+    setup: Optional[int] = None
+    hist = sim.stats.get_histogram(f"{arch.KEY}.setup_latency")
+    if hist is not None and hist.count:
+        setup = int(hist.samples[-1])
+    total = msg.latency
+    return LatencyProbe(
+        total_cycles=total,
+        setup_cycles=setup,
+        transfer_cycles=total - (setup or 0),
+        payload_words=words,
+    )
+
+
+def measure_min_setup_latency(num_modules: int = 4, num_buses: int = 4,
+                              width: int = 32,
+                              payload_bytes: int = 64) -> int:
+    """RMBoC's Table 2 figure: the minimum connection-setup latency over
+    all module pairs (achieved by neighbours)."""
+    best: Optional[int] = None
+    for i in range(num_modules - 1):
+        arch = build_architecture("rmboc", num_modules=num_modules,
+                                  width=width, num_buses=num_buses)
+        probe = probe_single_message(arch, f"m{i}", f"m{i+1}", payload_bytes)
+        assert probe.setup_cycles is not None
+        if best is None or probe.setup_cycles < best:
+            best = probe.setup_cycles
+    assert best is not None
+    return best
+
+
+def measure_per_hop_latency(arch_name: str, payload_bytes: int = 4,
+                            width: int = 32) -> Tuple[float, Dict[int, int]]:
+    """NoC per-hop header latency: regress message latency against hop
+    count using a chain of modules (returns slope and the raw samples).
+
+    With one-word payloads, the slope isolates the per-switch cost.
+    """
+    num_modules = 4
+    samples: Dict[int, int] = {}
+    for dist in range(1, num_modules):
+        arch = build_architecture(arch_name, num_modules=num_modules,
+                                  width=width)
+        # pick src/dst `dist` apart in the builder's canonical layout
+        if arch_name == "dynoc":
+            # chain along a 1 x n mesh for controlled hop counts
+            arch = build_architecture("dynoc", num_modules=num_modules,
+                                      width=width,
+                                      mesh=(num_modules, 1))
+        probe = probe_single_message(arch, "m0", f"m{dist}", payload_bytes)
+        samples[dist] = probe.total_cycles
+    dists = sorted(samples)
+    diffs = [
+        (samples[b] - samples[a]) / (b - a)
+        for a, b in zip(dists, dists[1:])
+    ]
+    slope = sum(diffs) / len(diffs)
+    return slope, samples
+
+
+def effective_bandwidth(arch: CommArchitecture) -> float:
+    """Payload fraction of occupied wire capacity, from the counters the
+    architectures maintain. Meaningful after traffic has run."""
+    stats = arch.sim.stats
+    payload_bits = stats.counter("delivered.bytes").value * 8
+    if arch.KEY == "buscom":
+        busy = stats.counter("buscom.busy_wire_cycles").value
+        if busy == 0:
+            return math.nan
+        return payload_bits / (busy * arch.width)
+    if arch.KEY in ("conochi", "dynoc"):
+        header_words = stats.counter(f"{arch.KEY}.header_words").value
+        total_bits = payload_bits + header_words * arch.width
+        if total_bits == 0:
+            return math.nan
+        return payload_bits / total_bits
+    if arch.KEY == "rmboc":
+        # circuit switched: overhead is the (tiny) control messages
+        ctrl = (
+            stats.counter("rmboc.channels.requested").value * 2
+        )  # request + reply, one word each
+        total_bits = payload_bits + ctrl * arch.width
+        if total_bits == 0:
+            return math.nan
+        return payload_bits / total_bits
+    raise KeyError(f"unknown architecture {arch.KEY!r}")
+
+
+def observed_parallelism(arch: CommArchitecture) -> Tuple[int, float]:
+    """(max, mean) concurrent independent transfers per active cycle."""
+    h = arch.sim.stats.get_histogram("parallelism.concurrent")
+    if h is None or not h.count:
+        return (0, math.nan)
+    return (int(h.max), h.mean)
+
+
+@dataclass(frozen=True)
+class LatencyDecomposition:
+    """Mean queueing vs transport latency over a set of messages.
+
+    Queueing = cycles between injection and the interconnect starting to
+    serve the message (slot wait on BUS-COM, circuit setup + NI wait on
+    RMBoC); transport = the rest. NoC NIs accept immediately, so their
+    queueing shows up as port-contention inside transport — noted so
+    cross-architecture comparisons read the right column.
+    """
+
+    samples: int
+    queueing_mean: float
+    transport_mean: float
+
+    @property
+    def total_mean(self) -> float:
+        return self.queueing_mean + self.transport_mean
+
+
+def latency_decomposition(arch: CommArchitecture) -> LatencyDecomposition:
+    """Decompose every delivered message's latency."""
+    done = [
+        m for m in arch.log.delivered() if m.accepted_cycle >= 0
+    ]
+    if not done:
+        return LatencyDecomposition(0, math.nan, math.nan)
+    queue = [m.accepted_cycle - m.created_cycle for m in done]
+    transport = [m.delivered_cycle - m.accepted_cycle for m in done]
+    return LatencyDecomposition(
+        samples=len(done),
+        queueing_mean=sum(queue) / len(queue),
+        transport_mean=sum(transport) / len(transport),
+    )
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index over per-flow allocations: 1 = perfectly
+    fair, 1/n = one flow takes everything."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("jain_fairness needs at least one value")
+    total = sum(vals)
+    squares = sum(v * v for v in vals)
+    if squares == 0:
+        return 1.0  # all-zero allocations are (vacuously) fair
+    return total * total / (len(vals) * squares)

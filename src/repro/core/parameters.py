@@ -1,0 +1,166 @@
+"""The paper's §2 classification taxonomy as typed objects.
+
+Performance parameters
+    *latency* l_i (cycles a transfer is delayed by network element i),
+    *path latency* l_p = sum of l_i along the route, *bandwidth* b_L of a
+    link, and — because the topologies change at runtime, making fixed
+    throughput meaningless — *parallelism* d_max, the maximum number of
+    independent simultaneous transfers.
+
+Structural parameters
+    *flexibility* (support different communication patterns in a fixed
+    design without performance loss), *scalability* (keep a fixed
+    performance envelope as the system grows, extended by the paper to
+    runtime growth), *extensibility* (grow at runtime at all, without
+    the performance guarantee), and *modularity* (decomposability into
+    submodules / granularity of replacement).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Topology(enum.Enum):
+    ARRAY_1D = "1D-Array"
+    ARRAY_2D = "2D-Array"
+
+
+class Switching(enum.Enum):
+    CIRCUIT = "circuit"
+    TIME_MULTIPLEXED = "time mult."
+    PACKET = "packet"
+
+
+class ModuleShape(enum.Enum):
+    FIXED = "fixed"       # slot-bound: height and width fixed at design time
+    VARIABLE = "variable"  # arbitrary rectangular shape
+
+
+class Level(enum.IntEnum):
+    """Ordinal scale used by the paper's Table 4."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class DesignParameters:
+    """One row of the paper's Table 1.
+
+    ``overhead`` and ``bit_width`` are kept descriptive (the paper mixes
+    units across rows: "control msg.", "20 bit", ">= 4 bit", "96 bit");
+    the numeric fields used by experiments are broken out separately.
+    """
+
+    name: str
+    arch_type: str                      # "Bus" | "NoC"
+    topology: Topology
+    module_size: ModuleShape
+    switching: Switching
+    bit_width: Tuple[int, int]          # supported link-width range
+    overhead: str                       # descriptive, as printed in Table 1
+    overhead_bits: Optional[int]        # per-frame header bits (None: n/a)
+    max_payload_bytes: Optional[int]    # None where the paper gives none
+    protocol_layers: int
+
+    def __post_init__(self) -> None:
+        if self.arch_type not in ("Bus", "NoC"):
+            raise ValueError(f"arch_type must be Bus or NoC, got {self.arch_type!r}")
+        lo, hi = self.bit_width
+        if lo <= 0 or hi < lo:
+            raise ValueError(f"invalid bit width range {self.bit_width}")
+        if self.protocol_layers <= 0:
+            raise ValueError(f"protocol_layers must be >= 1")
+
+
+@dataclass(frozen=True)
+class PerformanceEnvelope:
+    """Measured/derived performance figures for one architecture
+    normalized to the minimal scenario (one row of Table 2)."""
+
+    name: str
+    config: str                      # e.g. "c=4, m=4, <->32 bit"
+    setup_latency_cycles: Optional[int]   # connection establishment (buses)
+    data_cycles_per_word: float           # established-path transfer rate
+    per_hop_latency_cycles: Optional[int]  # NoC switch traversal (None: bus)
+    slices: int
+    fmax_mhz: float
+    device: str
+    provenance: str = "measured"      # "measured" | "calibrated" | "assumed"
+
+
+@dataclass(frozen=True)
+class StructuralRanking:
+    """One row of Table 4."""
+
+    name: str
+    flexibility: Level
+    scalability: Level
+    extensibility: Level
+    modularity: Level
+
+    def as_tuple(self) -> Tuple[Level, Level, Level, Level]:
+        return (
+            self.flexibility,
+            self.scalability,
+            self.extensibility,
+            self.modularity,
+        )
+
+
+#: The paper's Table 1, transcribed as ground truth for regression tests.
+PAPER_TABLE_1 = {
+    "RMBoC": DesignParameters(
+        name="RMBoC", arch_type="Bus", topology=Topology.ARRAY_1D,
+        module_size=ModuleShape.FIXED, switching=Switching.CIRCUIT,
+        bit_width=(1, 32), overhead="control msg.", overhead_bits=None,
+        max_payload_bytes=None, protocol_layers=1,
+    ),
+    "BUS-COM": DesignParameters(
+        name="BUS-COM", arch_type="Bus", topology=Topology.ARRAY_1D,
+        module_size=ModuleShape.FIXED, switching=Switching.TIME_MULTIPLEXED,
+        bit_width=(1, 32), overhead="20 bit", overhead_bits=20,
+        max_payload_bytes=256, protocol_layers=1,
+    ),
+    "DyNoC": DesignParameters(
+        name="DyNoC", arch_type="NoC", topology=Topology.ARRAY_2D,
+        module_size=ModuleShape.VARIABLE, switching=Switching.PACKET,
+        bit_width=(8, 32), overhead=">= 4 bit", overhead_bits=4,
+        max_payload_bytes=None, protocol_layers=1,
+    ),
+    "CoNoChi": DesignParameters(
+        name="CoNoChi", arch_type="NoC", topology=Topology.ARRAY_2D,
+        module_size=ModuleShape.VARIABLE, switching=Switching.PACKET,
+        bit_width=(8, 32), overhead="96 bit", overhead_bits=96,
+        max_payload_bytes=1024, protocol_layers=3,
+    ),
+}
+
+#: The paper's Table 4, transcribed as ground truth for regression tests.
+PAPER_TABLE_4 = {
+    "RMBoC": StructuralRanking(
+        "RMBoC", flexibility=Level.HIGH, scalability=Level.MEDIUM,
+        extensibility=Level.LOW, modularity=Level.MEDIUM,
+    ),
+    "BUS-COM": StructuralRanking(
+        "BUS-COM", flexibility=Level.MEDIUM, scalability=Level.MEDIUM,
+        extensibility=Level.MEDIUM, modularity=Level.MEDIUM,
+    ),
+    "DyNoC": StructuralRanking(
+        "DyNoC", flexibility=Level.LOW, scalability=Level.HIGH,
+        extensibility=Level.HIGH, modularity=Level.HIGH,
+    ),
+    "CoNoChi": StructuralRanking(
+        "CoNoChi", flexibility=Level.HIGH, scalability=Level.HIGH,
+        extensibility=Level.HIGH, modularity=Level.HIGH,
+    ),
+}
+
+ARCH_NAMES = ("RMBoC", "BUS-COM", "DyNoC", "CoNoChi")

@@ -1,0 +1,104 @@
+"""Plain-text rendering of the regenerated tables.
+
+The benchmark harness prints these so a run's output can be laid next
+to the paper's Tables 1-4 line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.parameters import (
+    DesignParameters,
+    PerformanceEnvelope,
+    StructuralRanking,
+)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Column-aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(data: Dict[str, DesignParameters]) -> str:
+    headers = ["Architecture", "Type", "Topology", "Module Size",
+               "Switching", "Bit width", "Overhead", "max. Payload",
+               "Protocol Layers"]
+    rows = []
+    for name, d in data.items():
+        lo, hi = d.bit_width
+        rows.append([
+            name, d.arch_type, d.topology.value, d.module_size.value,
+            d.switching.value, f"{lo} - {hi}", d.overhead,
+            "n. p." if d.max_payload_bytes is None
+            else f"{d.max_payload_bytes} byte",
+            d.protocol_layers,
+        ])
+    return format_table(headers, rows, title="Table 1: Design Parameters")
+
+
+def render_table2(data: Dict[str, PerformanceEnvelope]) -> str:
+    headers = ["Architecture", "Config", "Setup [cyc]", "Data [cyc/word]",
+               "Per-hop [cyc]", "Slices", "f_max [MHz]", "Device",
+               "Provenance"]
+    rows = []
+    for name, p in data.items():
+        rows.append([
+            name, p.config,
+            "-" if p.setup_latency_cycles is None else p.setup_latency_cycles,
+            f"{p.data_cycles_per_word:.2f}",
+            "-" if p.per_hop_latency_cycles is None else p.per_hop_latency_cycles,
+            p.slices, f"{p.fmax_mhz:.0f}", p.device, p.provenance,
+        ])
+    return format_table(headers, rows,
+                        title="Table 2: Implementation Parameters")
+
+
+def render_table3(data: Dict[str, int], m: int = 4, width: int = 32) -> str:
+    headers = list(data.keys())
+    rows = [[data[k] for k in headers]]
+    return format_table(
+        headers, rows,
+        title=f"Table 3: Estimated minimum number of slices for "
+              f"connecting {m} modules with {width} bit links",
+    )
+
+
+def render_table4(data: Dict[str, StructuralRanking]) -> str:
+    headers = ["Architecture", "Flexibility", "Scalability",
+               "Extensibility", "Modularity"]
+    rows = [
+        [name, str(r.flexibility), str(r.scalability),
+         str(r.extensibility), str(r.modularity)]
+        for name, r in data.items()
+    ]
+    return format_table(
+        headers, rows,
+        title="Table 4: Characteristics of the communication architectures",
+    )
+
+
+def render_all() -> str:
+    """Regenerate and render all four tables (convenience for the CLI)."""
+    from repro.core import tables
+
+    parts = [
+        render_table1(tables.table1()),
+        render_table2(tables.table2()),
+        render_table3(tables.table3()),
+        render_table4(tables.table4()),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,43 @@
+"""FPGA fabric substrate: a parametric Virtex-II-like device model.
+
+The paper's four architectures were prototyped on Xilinx Virtex-II /
+Virtex-II Pro parts. All area numbers in its Tables 2-3 are *slice*
+counts and all performance numbers are cycle counts at a reported f_max.
+This package supplies the substrate those numbers are defined against:
+
+* :mod:`~repro.fabric.device` — device catalog (CLB grid, slices);
+* :mod:`~repro.fabric.geometry` — rectangles and regions in CLB space;
+* :mod:`~repro.fabric.slots` — 1D column-slot floorplans (bus systems);
+* :mod:`~repro.fabric.tiles` — 2D tile grids (CoNoChi);
+* :mod:`~repro.fabric.busmacro` — Virtex-II bus-macro model;
+* :mod:`~repro.fabric.area` — calibrated slice-cost model (Tables 2-3);
+* :mod:`~repro.fabric.timing` — calibrated f_max / bandwidth model;
+* :mod:`~repro.fabric.bitstream` — column/frame partial-reconfiguration
+  timing (SelectMAP/ICAP).
+"""
+
+from repro.fabric.area import AreaModel
+from repro.fabric.bitstream import ConfigPort, ReconfigTimingModel
+from repro.fabric.busmacro import BusMacroSpec, macros_for_width
+from repro.fabric.device import Device, get_device, list_devices
+from repro.fabric.geometry import Rect
+from repro.fabric.slots import Slot, SlotFloorplan
+from repro.fabric.tiles import TileGrid, TileType
+from repro.fabric.timing import ClockModel
+
+__all__ = [
+    "AreaModel",
+    "BusMacroSpec",
+    "ClockModel",
+    "ConfigPort",
+    "Device",
+    "Rect",
+    "ReconfigTimingModel",
+    "Slot",
+    "SlotFloorplan",
+    "TileGrid",
+    "TileType",
+    "get_device",
+    "list_devices",
+    "macros_for_width",
+]

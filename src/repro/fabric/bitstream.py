@@ -1,0 +1,72 @@
+"""Partial-reconfiguration timing model (column/frame based).
+
+Virtex-II is configured through SelectMAP/ICAP in units of *frames*; the
+smallest addressable unit spans a full CLB column. Replacing a module
+therefore rewrites every frame of every column its region touches. The
+model converts a region into configuration bytes and then into wall-clock
+time and user-clock cycles, which is what the reconfiguration manager
+charges for module exchange and for CoNoChi tile swaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.device import Device
+from repro.fabric.geometry import Rect
+
+
+@dataclass(frozen=True)
+class ConfigPort:
+    """A configuration port (ICAP / SelectMAP)."""
+
+    name: str = "ICAP"
+    width_bits: int = 8
+    clock_hz: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0 or self.clock_hz <= 0:
+            raise ValueError("invalid configuration port parameters")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.clock_hz * self.width_bits / 8.0
+
+
+@dataclass(frozen=True)
+class ReconfigTimingModel:
+    """Converts regions to reconfiguration cost.
+
+    ``overhead_bytes`` covers the bitstream header, frame-address writes
+    and the final CRC/desync commands of a partial bitstream.
+    """
+
+    device: Device
+    port: ConfigPort = ConfigPort()
+    overhead_bytes: int = 512
+
+    def columns_touched(self, region: Rect) -> int:
+        """CLB columns rewritten when reconfiguring ``region``.
+
+        Full-column granularity: height is irrelevant on Virtex-II.
+        """
+        if not region.fits_in(self.device):
+            raise ValueError(
+                f"region {region} exceeds device "
+                f"{self.device.clb_cols}x{self.device.clb_rows}"
+            )
+        return region.w
+
+    def bitstream_bytes(self, region: Rect) -> int:
+        frames = self.columns_touched(region) * self.device.frames_per_clb_col
+        return frames * self.device.frame_bytes + self.overhead_bytes
+
+    def seconds(self, region: Rect) -> float:
+        return self.bitstream_bytes(region) / self.port.bytes_per_second
+
+    def cycles(self, region: Rect, system_clock_hz: float) -> int:
+        """Reconfiguration duration in *user-clock* cycles (ceil)."""
+        if system_clock_hz <= 0:
+            raise ValueError(f"non-positive clock {system_clock_hz}")
+        return math.ceil(self.seconds(region) * system_clock_hz)

@@ -1,0 +1,47 @@
+"""Virtex-II bus-macro model.
+
+On Virtex-II, signals crossing a reconfigurable region boundary must pass
+through pre-routed *bus macros* built from tri-state buffer pairs. The
+BUS-COM prototype used macros carrying 8 unidirectional bits at a cost of
+20 slices each; those constants are the calibration points here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BusMacroSpec:
+    """Physical parameters of one bus-macro primitive."""
+
+    bits: int = 8           # data bits carried per macro (unidirectional)
+    slices: int = 20        # slice cost per macro (BUS-COM prototype)
+    delay_ns: float = 2.5   # boundary-crossing delay contribution
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.slices < 0:
+            raise ValueError("invalid bus-macro spec")
+
+
+DEFAULT_MACRO = BusMacroSpec()
+
+
+def macros_for_width(width_bits: int, spec: BusMacroSpec = DEFAULT_MACRO) -> int:
+    """Macros needed to carry ``width_bits`` unidirectional bits."""
+    if width_bits < 0:
+        raise ValueError(f"negative width {width_bits}")
+    return math.ceil(width_bits / spec.bits)
+
+
+def macro_slices(width_bits: int, spec: BusMacroSpec = DEFAULT_MACRO) -> int:
+    """Slice cost of macros for a ``width_bits`` unidirectional crossing."""
+    return macros_for_width(width_bits, spec) * spec.slices
+
+
+def duplex_macro_slices(
+    in_bits: int, out_bits: int, spec: BusMacroSpec = DEFAULT_MACRO
+) -> int:
+    """Slice cost for a boundary crossing with distinct in/out widths."""
+    return macro_slices(in_bits, spec) + macro_slices(out_bits, spec)

@@ -1,0 +1,116 @@
+"""Device catalog: Virtex-II-like parts as CLB grids.
+
+Virtex-II CLBs contain 4 slices; the devices used by the surveyed
+prototypes are listed with their real CLB array sizes, which yield the
+documented slice totals (e.g. XC2V6000: 96 x 88 x 4 = 33,792 slices).
+Configuration granularity is a full CLB *column* of frames, which is
+what forced the slot-based floorplans of the bus architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+SLICES_PER_CLB = 4
+
+
+@dataclass(frozen=True)
+class Device:
+    """A partially reconfigurable FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Part number.
+    clb_rows, clb_cols:
+        CLB array dimensions (height x width).
+    frames_per_clb_col:
+        Configuration frames covering one CLB column.
+    frame_bytes:
+        Bytes per configuration frame (scales with device height).
+    """
+
+    name: str
+    clb_rows: int
+    clb_cols: int
+    frames_per_clb_col: int = 22
+    frame_bytes: int = 0  # 0 -> derived from clb_rows in __post_init__
+
+    def __post_init__(self) -> None:
+        if self.clb_rows <= 0 or self.clb_cols <= 0:
+            raise ValueError(f"{self.name}: non-positive CLB grid")
+        if self.frame_bytes == 0:
+            # Virtex-II frame length grows with device height; ~13 bytes of
+            # configuration per CLB row per frame is a good fit for the family.
+            object.__setattr__(self, "frame_bytes", 13 * self.clb_rows)
+
+    @property
+    def total_slices(self) -> int:
+        return self.clb_rows * self.clb_cols * SLICES_PER_CLB
+
+    @property
+    def total_clbs(self) -> int:
+        return self.clb_rows * self.clb_cols
+
+    def slices_in(self, clbs: int) -> int:
+        """Slices contained in ``clbs`` CLBs."""
+        if clbs < 0:
+            raise ValueError(f"negative CLB count {clbs}")
+        return clbs * SLICES_PER_CLB
+
+    def column_slices(self, cols: int = 1) -> int:
+        """Slices in ``cols`` full-height CLB columns."""
+        return self.slices_in(self.clb_rows * cols)
+
+    def utilization(self, slices: int) -> float:
+        """Fraction of the device consumed by ``slices``."""
+        return slices / self.total_slices
+
+
+# Real array sizes for the parts the surveyed prototypes used.  The
+# Virtex-II Pro entry approximates the "Virtex-II Pro 100" CoNoChi names
+# (logic columns only; PPC/MGT columns are ignored by the area model).
+_CATALOG: Dict[str, Device] = {
+    d.name: d
+    for d in (
+        Device("XC2V1000", clb_rows=40, clb_cols=32),
+        Device("XC2V3000", clb_rows=64, clb_cols=56),
+        Device("XC2V6000", clb_rows=96, clb_cols=88),
+        Device("XC2V8000", clb_rows=112, clb_cols=104),
+        Device("XC2VP30", clb_rows=80, clb_cols=46),
+        Device("XC2VP100", clb_rows=120, clb_cols=94),
+    )
+}
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by part number (case-insensitive)."""
+    key = name.upper()
+    if key not in _CATALOG:
+        raise KeyError(
+            f"unknown device {name!r}; known: {', '.join(sorted(_CATALOG))}"
+        )
+    return _CATALOG[key]
+
+
+def list_devices() -> Tuple[str, ...]:
+    return tuple(sorted(_CATALOG))
+
+
+def smallest_device_for(slices: int,
+                        margin: float = 0.0) -> Device:
+    """The smallest catalog device holding ``slices`` (plus an optional
+    fractional headroom margin); raises when nothing is big enough."""
+    if slices < 0:
+        raise ValueError(f"negative slice demand {slices}")
+    if margin < 0:
+        raise ValueError(f"negative margin {margin}")
+    needed = slices * (1.0 + margin)
+    fitting = [d for d in _CATALOG.values() if d.total_slices >= needed]
+    if not fitting:
+        raise LookupError(
+            f"no catalog device holds {needed:.0f} slices "
+            f"(largest: {max(d.total_slices for d in _CATALOG.values())})"
+        )
+    return min(fitting, key=lambda d: d.total_slices)

@@ -1,0 +1,72 @@
+"""ASCII device-floorplan rendering.
+
+Draws a device's CLB area with occupied regions — the view a floorplan
+tool gives a DPR designer. Used by ``ReconfigurableSystem.report()``
+and handy in examples/tests to *see* slot layouts and region overlaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fabric.device import Device
+from repro.fabric.geometry import Rect
+
+
+def render_floorplan(
+    device: Device,
+    regions: Dict[str, Rect],
+    cell_clbs: int = 4,
+    legend: bool = True,
+) -> str:
+    """Draw the device at ``cell_clbs`` CLBs per character cell.
+
+    Each region is filled with a letter (assigned in name order).
+    ``#`` marks genuine region *overlap* (rects intersecting in CLB
+    space) — a floorplanning conflict; adjacent regions merely sharing a
+    character cell keep the first region's letter. Free area renders as
+    ``·``.
+    """
+    if cell_clbs < 1:
+        raise ValueError("cell_clbs must be >= 1")
+    for name, rect in regions.items():
+        if not rect.fits_in(device):
+            raise ValueError(f"region {name!r} {rect} exceeds {device.name}")
+    cols = -(-device.clb_cols // cell_clbs)
+    rows = -(-device.clb_rows // cell_clbs)
+    canvas: List[List[Optional[str]]] = [
+        [None] * cols for _ in range(rows)
+    ]
+    owners: List[List[Optional[str]]] = [
+        [None] * cols for _ in range(rows)
+    ]
+    letters = {}
+    for i, name in enumerate(sorted(regions)):
+        letters[name] = chr(ord("A") + i % 26)
+    for name in sorted(regions):
+        rect = regions[name]
+        mark = letters[name]
+        for cy in range(rect.y // cell_clbs,
+                        -(-rect.y2 // cell_clbs)):
+            for cx in range(rect.x // cell_clbs,
+                            -(-rect.x2 // cell_clbs)):
+                if cy >= rows or cx >= cols:
+                    continue
+                prev = owners[cy][cx]
+                if prev is None:
+                    owners[cy][cx] = name
+                    canvas[cy][cx] = mark
+                elif regions[prev].overlaps(rect):
+                    canvas[cy][cx] = "#"  # true floorplan conflict
+    lines = []
+    for cy in range(rows - 1, -1, -1):
+        lines.append("".join(c or "·" for c in canvas[cy]))
+    if legend:
+        lines.append("")
+        lines.append(f"{device.name}: {device.clb_cols}x{device.clb_rows} "
+                     f"CLBs ({cell_clbs} CLBs/char)")
+        for name in sorted(regions):
+            rect = regions[name]
+            lines.append(f"  {letters[name]} = {name} {rect} "
+                         f"({rect.area_slices} slices)")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Rectangles and regions in CLB coordinate space.
+
+Coordinates are CLB-granular: ``x`` grows with columns (left to right),
+``y`` with rows (bottom to top, matching FPGA editor convention). All
+rectangles are half-open in neither axis — ``Rect(x, y, w, h)`` covers
+CLBs with x <= col < x+w and y <= row < y+h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.fabric.device import SLICES_PER_CLB, Device
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An axis-aligned rectangle of CLBs."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"degenerate rect {self.w}x{self.h}")
+        if self.x < 0 or self.y < 0:
+            raise ValueError(f"negative origin ({self.x},{self.y})")
+
+    # ------------------------------------------------------------------
+    @property
+    def x2(self) -> int:
+        """One past the right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        """One past the top edge."""
+        return self.y + self.h
+
+    @property
+    def area_clbs(self) -> int:
+        return self.w * self.h
+
+    @property
+    def area_slices(self) -> int:
+        return self.area_clbs * SLICES_PER_CLB
+
+    # ------------------------------------------------------------------
+    def contains_point(self, x: int, y: int) -> bool:
+        return self.x <= x < self.x2 and self.y <= y < self.y2
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def adjacent(self, other: "Rect") -> bool:
+        """Whether the rectangles share an edge segment (no overlap)."""
+        if self.overlaps(other):
+            return False
+        touch_x = self.x2 == other.x or other.x2 == self.x
+        touch_y = self.y2 == other.y or other.y2 == self.y
+        overlap_y = self.y < other.y2 and other.y < self.y2
+        overlap_x = self.x < other.x2 and other.x < self.x2
+        return (touch_x and overlap_y) or (touch_y and overlap_x)
+
+    def expand(self, margin: int) -> "Rect":
+        """Grow by ``margin`` CLBs on each side (clipped at 0)."""
+        nx = max(0, self.x - margin)
+        ny = max(0, self.y - margin)
+        return Rect(nx, ny, self.x2 - nx + margin, self.y2 - ny + margin)
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all (x, y) CLB coordinates covered."""
+        for yy in range(self.y, self.y2):
+            for xx in range(self.x, self.x2):
+                yield (xx, yy)
+
+    def fits_in(self, device: Device) -> bool:
+        return self.x2 <= device.clb_cols and self.y2 <= device.clb_rows
+
+    def __str__(self) -> str:
+        return f"[{self.x},{self.y} {self.w}x{self.h}]"

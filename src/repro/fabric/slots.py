@@ -1,0 +1,129 @@
+"""Column-slot floorplans for the bus-based architectures.
+
+Virtex-II is configured in full-height CLB columns, so RMBoC and BUS-COM
+both partition the device into vertical *slots*, each holding at most one
+hardware module (the survey notes extended BUS-COM variants with stacked
+modules; :class:`SlotFloorplan` supports an optional ``lanes`` split for
+that extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.device import Device
+from repro.fabric.geometry import Rect
+
+
+@dataclass
+class Slot:
+    """One reconfigurable slot: a span of full-height CLB columns."""
+
+    index: int
+    rect: Rect
+    occupant: Optional[str] = None  # module name
+    frozen: bool = False  # True while the slot is being reconfigured
+
+    @property
+    def is_free(self) -> bool:
+        return self.occupant is None
+
+    @property
+    def slices(self) -> int:
+        return self.rect.area_slices
+
+
+class SlotFloorplan:
+    """Partition of a device into equal-width column slots.
+
+    Parameters
+    ----------
+    device:
+        The target device.
+    num_slots:
+        Number of slots; the device's CLB columns are divided as evenly
+        as possible, with ``reserved_cols`` columns kept for static logic
+        (arbiter / cross-point columns / IO).
+    reserved_cols:
+        Columns excluded from slot area, allocated from the left edge.
+    """
+
+    def __init__(self, device: Device, num_slots: int, reserved_cols: int = 0):
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        usable = device.clb_cols - reserved_cols
+        if usable < num_slots:
+            raise ValueError(
+                f"{device.name}: {usable} usable columns cannot host "
+                f"{num_slots} slots"
+            )
+        self.device = device
+        self.reserved_cols = reserved_cols
+        base, extra = divmod(usable, num_slots)
+        self._slots: List[Slot] = []
+        x = reserved_cols
+        for i in range(num_slots):
+            w = base + (1 if i < extra else 0)
+            self._slots.append(
+                Slot(index=i, rect=Rect(x, 0, w, device.clb_rows))
+            )
+            x += w
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self):
+        return iter(self._slots)
+
+    def __getitem__(self, index: int) -> Slot:
+        return self._slots[index]
+
+    @property
+    def slots(self) -> Tuple[Slot, ...]:
+        return tuple(self._slots)
+
+    def free_slots(self) -> List[Slot]:
+        return [s for s in self._slots if s.is_free and not s.frozen]
+
+    def occupied(self) -> Dict[str, int]:
+        """module name -> slot index."""
+        return {
+            s.occupant: s.index for s in self._slots if s.occupant is not None
+        }
+
+    # ------------------------------------------------------------------
+    def place(self, module: str, slot_index: Optional[int] = None) -> Slot:
+        """Place ``module`` into a slot (first free slot if unspecified)."""
+        if module in self.occupied():
+            raise ValueError(f"module {module!r} is already placed")
+        if slot_index is None:
+            free = self.free_slots()
+            if not free:
+                raise ValueError("no free slot available")
+            slot = free[0]
+        else:
+            slot = self._slots[slot_index]
+            if not slot.is_free:
+                raise ValueError(
+                    f"slot {slot_index} occupied by {slot.occupant!r}"
+                )
+            if slot.frozen:
+                raise ValueError(f"slot {slot_index} is being reconfigured")
+        slot.occupant = module
+        return slot
+
+    def evict(self, module: str) -> Slot:
+        """Remove ``module`` from its slot."""
+        for slot in self._slots:
+            if slot.occupant == module:
+                slot.occupant = None
+                return slot
+        raise KeyError(f"module {module!r} is not placed")
+
+    def slot_of(self, module: str) -> Slot:
+        for slot in self._slots:
+            if slot.occupant == module:
+                return slot
+        raise KeyError(f"module {module!r} is not placed")

@@ -1,0 +1,232 @@
+"""Tile grids for CoNoChi-style reconfigurable NoCs.
+
+CoNoChi partitions the reconfigurable area into an i x j grid of tiles
+``t_ij in {0, S, H, V}``: ``S`` tiles hold a switch, ``H``/``V`` tiles
+hold horizontal/vertical communication lines, and ``0`` tiles are free
+for modules and their network interfaces. Topology changes replace
+individual tiles with tiles of another type.
+
+This module owns tile *geometry and legality*; packet behaviour lives in
+:mod:`repro.arch.conochi`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.fabric.geometry import Rect
+
+Coord = Tuple[int, int]
+
+
+class TileType(enum.Enum):
+    """CoNoChi tile types (``0``, ``S``, ``H``, ``V`` in the paper)."""
+
+    FREE = "0"
+    SWITCH = "S"
+    HWIRE = "H"
+    VWIRE = "V"
+    MODULE = "M"  # a FREE tile occupied by a module (still type 0 on-chip)
+
+    def conducts(self, dx: int, dy: int) -> bool:
+        """Whether this tile passes signals along direction (dx, dy)."""
+        if self is TileType.SWITCH:
+            return True
+        if self is TileType.HWIRE:
+            return dy == 0
+        if self is TileType.VWIRE:
+            return dx == 0
+        return False
+
+
+# direction vectors: east, west, north, south
+DIRS: Tuple[Coord, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+class TileGrid:
+    """A rectangular grid of CoNoChi tiles.
+
+    The grid maintains the paper's structural invariant checks:
+
+    * wire tiles must form straight runs that terminate at switches (a
+      dangling wire is reported by :meth:`dangling_wires`);
+    * the switch-level topology is obtained by tracing wire runs
+      (:meth:`links`), and global connectivity can be asserted with
+      :meth:`is_connected`.
+    """
+
+    @classmethod
+    def parse(cls, text: str) -> "TileGrid":
+        """Build a grid from its ASCII rendering (inverse of
+        :meth:`render`): whitespace-separated tile symbols, one line per
+        row, **top row first** — so a parsed render round-trips.
+
+        ``M`` tiles are restored as MODULE type but carry no module
+        name; use :meth:`place_module` for named occupancy.
+        """
+        lines = [ln.split() for ln in text.strip().splitlines()]
+        if not lines or not lines[0]:
+            raise ValueError("empty tile-grid text")
+        cols = len(lines[0])
+        if any(len(ln) != cols for ln in lines):
+            raise ValueError("ragged tile-grid text")
+        rows = len(lines)
+        grid = cls(cols, rows)
+        symbols = {t.value: t for t in TileType}
+        for i, line in enumerate(lines):
+            y = rows - 1 - i  # top line is the highest row
+            for x, sym in enumerate(line):
+                if sym not in symbols:
+                    raise ValueError(f"unknown tile symbol {sym!r}")
+                grid.set(x, y, symbols[sym])
+        return grid
+
+    def __init__(self, cols: int, rows: int):
+        if cols <= 0 or rows <= 0:
+            raise ValueError(f"degenerate grid {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+        self._tiles: Dict[Coord, TileType] = {
+            (x, y): TileType.FREE for x in range(cols) for y in range(rows)
+        }
+        self._modules: Dict[str, Rect] = {}
+
+    # ------------------------------------------------------------------
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.cols and 0 <= y < self.rows
+
+    def get(self, x: int, y: int) -> TileType:
+        if not self.in_bounds(x, y):
+            raise IndexError(f"tile ({x},{y}) outside {self.cols}x{self.rows}")
+        return self._tiles[(x, y)]
+
+    def set(self, x: int, y: int, tile: TileType) -> None:
+        """Replace one tile — the primitive reconfiguration operation."""
+        if not self.in_bounds(x, y):
+            raise IndexError(f"tile ({x},{y}) outside {self.cols}x{self.rows}")
+        self._tiles[(x, y)] = tile
+
+    def tiles_of_type(self, tile: TileType) -> List[Coord]:
+        return sorted(pos for pos, t in self._tiles.items() if t is tile)
+
+    def switches(self) -> List[Coord]:
+        return self.tiles_of_type(TileType.SWITCH)
+
+    # ------------------------------------------------------------------
+    # module occupancy
+    # ------------------------------------------------------------------
+    def place_module(self, name: str, rect: Rect) -> None:
+        """Mark a rectangle of FREE tiles as occupied by ``name``."""
+        if name in self._modules:
+            raise ValueError(f"module {name!r} already placed")
+        if rect.x2 > self.cols or rect.y2 > self.rows:
+            raise ValueError(f"module {name!r} rect {rect} outside grid")
+        for pos in rect.cells():
+            if self._tiles[pos] is not TileType.FREE:
+                raise ValueError(
+                    f"module {name!r}: tile {pos} is "
+                    f"{self._tiles[pos].name}, not FREE"
+                )
+        for pos in rect.cells():
+            self._tiles[pos] = TileType.MODULE
+        self._modules[name] = rect
+
+    def remove_module(self, name: str) -> Rect:
+        rect = self._modules.pop(name, None)
+        if rect is None:
+            raise KeyError(f"module {name!r} is not placed")
+        for pos in rect.cells():
+            self._tiles[pos] = TileType.FREE
+        return rect
+
+    @property
+    def modules(self) -> Dict[str, Rect]:
+        return dict(self._modules)
+
+    # ------------------------------------------------------------------
+    # topology extraction
+    # ------------------------------------------------------------------
+    def _trace(self, start: Coord, d: Coord) -> Optional[Tuple[Coord, int]]:
+        """Follow wire tiles from a switch in direction ``d``.
+
+        Returns (switch coordinate, wire-tile count) if the run ends at a
+        switch, else None.
+        """
+        dx, dy = d
+        x, y = start[0] + dx, start[1] + dy
+        hops = 0
+        while self.in_bounds(x, y):
+            t = self._tiles[(x, y)]
+            if t is TileType.SWITCH:
+                return ((x, y), hops)
+            if not t.conducts(dx, dy):
+                return None
+            hops += 1
+            x, y = x + dx, y + dy
+        return None
+
+    def links(self) -> List[Tuple[Coord, Coord, int]]:
+        """All switch-to-switch links as (a, b, wire_tiles) with a < b."""
+        out: Set[Tuple[Coord, Coord, int]] = set()
+        for s in self.switches():
+            for d in DIRS:
+                hit = self._trace(s, d)
+                if hit is not None:
+                    other, hops = hit
+                    a, b = sorted((s, other))
+                    out.add((a, b, hops))
+        return sorted(out)
+
+    def neighbors(self, switch: Coord) -> List[Coord]:
+        """Switches directly linked to ``switch``."""
+        result = []
+        for d in DIRS:
+            hit = self._trace(switch, d)
+            if hit is not None:
+                result.append(hit[0])
+        return result
+
+    def is_connected(self) -> bool:
+        """Whether all switches form one connected component."""
+        sw = self.switches()
+        if len(sw) <= 1:
+            return True
+        seen = {sw[0]}
+        frontier = [sw[0]]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in self.neighbors(cur):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(sw)
+
+    def dangling_wires(self) -> List[Coord]:
+        """Wire tiles that do not sit on a switch-to-switch run."""
+        on_link: Set[Coord] = set()
+        for (ax, ay), (bx, by), _ in self.links():
+            if ax == bx:
+                for y in range(min(ay, by) + 1, max(ay, by)):
+                    on_link.add((ax, y))
+            else:
+                for x in range(min(ax, bx) + 1, max(ax, bx)):
+                    on_link.add((x, ay))
+        return sorted(
+            pos
+            for pos, t in self._tiles.items()
+            if t in (TileType.HWIRE, TileType.VWIRE) and pos not in on_link
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII rendering (row 0 at the bottom, as in the paper's figure)."""
+        lines = []
+        for y in range(self.rows - 1, -1, -1):
+            lines.append(
+                " ".join(self._tiles[(x, y)].value for x in range(self.cols))
+            )
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[Tuple[Coord, TileType]]:
+        return iter(sorted(self._tiles.items()))

@@ -1,0 +1,78 @@
+"""Calibrated clock-frequency and raw-bandwidth model.
+
+The survey brackets all four prototypes between 66 and ~100 MHz on
+Virtex-II. f_max is modelled as a mild linear function of link width,
+anchored at the published values:
+
+* RMBoC: "about 100 MHz +/- 6 % depending on the bus width" — modelled
+  as 106 MHz at 1 bit falling to 94 MHz at 32 bits;
+* BUS-COM: 66 MHz (published, width-insensitive: the TDMA arbiter, not
+  the datapath, is the critical path);
+* CoNoChi: 73 MHz at 32-bit links;
+* DyNoC: the survey gives no figure; we place it at 74 MHz @ 32 bit,
+  inside the survey's 73-94 MHz bracket (provenance flagged as
+  ``assumed`` in Table 2 output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+MHZ = 1e6
+
+_KNOWN = ("rmboc", "buscom", "dynoc", "conochi", "sharedbus",
+          "staticmesh")
+
+
+def _canon(architecture: str) -> str:
+    key = architecture.lower().replace("-", "")
+    if key == "buscom" or key == "bus_com":
+        key = "buscom"
+    if key not in _KNOWN:
+        raise KeyError(f"unknown architecture {architecture!r}")
+    return key
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """f_max in Hz as a function of architecture and link width."""
+
+    def fmax_hz(self, architecture: str, width: int = 32) -> float:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        key = _canon(architecture)
+        if key == "rmboc":
+            # 106 MHz at width 1 -> 94 MHz at width 32, clamped beyond.
+            w = min(max(width, 1), 64)
+            return (106.0 - (w - 1) * (12.0 / 31.0)) * MHZ
+        if key == "buscom":
+            return 66.0 * MHZ
+        if key == "dynoc":
+            w = min(max(width, 1), 64)
+            return (82.0 - 0.25 * w) * MHZ
+        if key == "sharedbus":
+            # no partial-reconfiguration boundary crossings to slow it
+            return 100.0 * MHZ
+        if key == "staticmesh":
+            w = min(max(width, 1), 64)
+            return (88.0 - 0.25 * w) * MHZ
+        # conochi
+        w = min(max(width, 1), 64)
+        return (81.0 - 0.25 * w) * MHZ
+
+    def fmax_mhz(self, architecture: str, width: int = 32) -> float:
+        return self.fmax_hz(architecture, width) / MHZ
+
+    def cycle_ns(self, architecture: str, width: int = 32) -> float:
+        return 1e9 / self.fmax_hz(architecture, width)
+
+    def link_bandwidth_bytes(self, architecture: str, width: int = 32) -> float:
+        """Raw bandwidth b_L of one ``width``-bit link in bytes/second."""
+        return self.fmax_hz(architecture, width) * width / 8.0
+
+    def table(self, width: int = 32) -> Dict[str, float]:
+        return {
+            name: self.fmax_mhz(name, width)
+            for name in ("RMBoC", "BUS-COM", "DyNoC", "CoNoChi")
+        }

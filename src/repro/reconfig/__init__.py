@@ -1,0 +1,42 @@
+"""Dynamic partial reconfiguration: modules, placement, and the manager.
+
+The survey's subject is *communication during reconfiguration*; this
+package supplies the reconfiguration side: hardware-module descriptors,
+online placement (1D column slots for the bus architectures, 2D
+rectangles for the NoCs), and a :class:`ReconfigurationManager` that
+serializes operations over the single configuration port, charges the
+frame-based bitstream cost from :mod:`repro.fabric.bitstream`, and
+drives each architecture's freeze/detach/attach hooks in the right
+order.
+"""
+
+from repro.reconfig.defrag import (
+    Move,
+    execute_plan,
+    fragmentation,
+    largest_free_rectangle,
+    plan_compaction,
+)
+from repro.reconfig.module import ModuleSpec
+from repro.reconfig.placement import FreeRectPlacer, PlacementError
+from repro.reconfig.repository import ModuleRepository, Variant
+from repro.reconfig.manager import ReconfigurationManager, SwapRecord
+from repro.reconfig.schedule import OpKind, Scenario, ScheduledOp
+
+__all__ = [
+    "FreeRectPlacer",
+    "ModuleSpec",
+    "ModuleRepository",
+    "Move",
+    "OpKind",
+    "PlacementError",
+    "ReconfigurationManager",
+    "Scenario",
+    "ScheduledOp",
+    "SwapRecord",
+    "Variant",
+    "execute_plan",
+    "fragmentation",
+    "largest_free_rectangle",
+    "plan_compaction",
+]

@@ -1,0 +1,129 @@
+"""Free-space defragmentation for 2D placements.
+
+After many installs and removals a reconfigurable area fragments: total
+free cells abound but no rectangle fits the next module — the §1
+online-placement problem in its chronic form. This module measures
+fragmentation and plans *move sequences* (each a remove + re-place of
+one module) that consolidate free space until a target footprint fits.
+
+Moves are planned greedily toward the bottom-left (the classic
+compaction heuristic) and executed through whatever callable the caller
+provides — CoNoChi's ``migrate_module``, DyNoC's detach/attach through
+the reconfiguration manager, or a dry run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.fabric.geometry import Rect
+from repro.reconfig.placement import FreeRectPlacer, PlacementError
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned relocation."""
+
+    module: str
+    src: Rect
+    dst: Rect
+
+    @property
+    def distance(self) -> int:
+        return abs(self.dst.x - self.src.x) + abs(self.dst.y - self.src.y)
+
+
+def largest_free_rectangle(placer: FreeRectPlacer) -> Optional[Rect]:
+    """The largest-area rectangle placeable right now (margin/gap rules
+    included). O(cols^2 * rows^2) brute force — fine at fabric sizes."""
+    best: Optional[Rect] = None
+    max_w = placer.cols
+    max_h = placer.rows
+    for h in range(max_h, 0, -1):
+        for w in range(max_w, 0, -1):
+            if best is not None and w * h <= best.area_clbs:
+                continue
+            rect = placer.find(w, h)
+            if rect is not None:
+                best = Rect(rect.x, rect.y, w, h)
+    return best
+
+
+def fragmentation(placer: FreeRectPlacer) -> float:
+    """1 - (largest placeable rectangle / free cells).
+
+    0 means all free space is one usable block; values toward 1 mean
+    plenty of free cells but nothing contiguous.
+    """
+    free = placer.free_cells
+    if free == 0:
+        return 0.0
+    largest = largest_free_rectangle(placer)
+    usable = largest.area_clbs if largest is not None else 0
+    return 1.0 - usable / free
+
+
+def plan_compaction(placer: FreeRectPlacer, target_w: int, target_h: int,
+                    max_moves: int = 16) -> List[Move]:
+    """Plan moves until a ``target_w x target_h`` rectangle fits.
+
+    Returns the (possibly empty) move list; raises
+    :class:`PlacementError` when no plan within ``max_moves`` exists.
+    The plan is computed on a scratch copy — the caller's placer is not
+    touched.
+    """
+    scratch = FreeRectPlacer(placer.cols, placer.rows,
+                             margin=placer.margin, gap=placer.gap)
+    for name, rect in placer.placements.items():
+        scratch.commit(name, rect, force=True)
+
+    moves: List[Move] = []
+    while scratch.find(target_w, target_h) is None:
+        if len(moves) >= max_moves:
+            raise PlacementError(
+                f"no {target_w}x{target_h} fit within {max_moves} moves"
+            )
+        move = _best_single_move(scratch)
+        if move is None:
+            raise PlacementError(
+                f"compaction stuck: no module can move to improve fit "
+                f"for {target_w}x{target_h}"
+            )
+        scratch.remove(move.module)
+        scratch.commit(move.module, move.dst)
+        moves.append(move)
+    return moves
+
+
+def _best_single_move(placer: FreeRectPlacer) -> Optional[Move]:
+    """Move the module whose relocation most enlarges the largest free
+    rectangle; ties prefer short moves. Returns None if nothing helps."""
+    baseline = largest_free_rectangle(placer)
+    baseline_area = baseline.area_clbs if baseline else 0
+    best: Optional[Tuple[int, int, Move]] = None  # (-gain, distance, move)
+    for name, src in placer.placements.items():
+        placer.remove(name)
+        candidate = placer.find(src.w, src.h, strategy="best")
+        if candidate is not None and candidate != src:
+            placer.commit(name, candidate)
+            after = largest_free_rectangle(placer)
+            gain = (after.area_clbs if after else 0) - baseline_area
+            placer.remove(name)
+            if gain > 0:
+                move = Move(name, src, candidate)
+                key = (-gain, move.distance, move)
+                if best is None or key[:2] < best[:2]:
+                    best = (key[0], key[1], move)
+        placer.commit(name, src, force=True)
+    return best[2] if best else None
+
+
+def execute_plan(placer: FreeRectPlacer, moves: List[Move],
+                 relocate: Callable[[str, Rect, Rect], None]) -> None:
+    """Apply a plan: for each move, call ``relocate(module, src, dst)``
+    (the architecture-side action) and update the placer."""
+    for move in moves:
+        relocate(move.module, move.src, move.dst)
+        placer.remove(move.module)
+        placer.commit(move.module, move.dst)

@@ -1,0 +1,319 @@
+"""The reconfiguration manager: serialized module exchange over one
+configuration port, with architecture-specific freeze semantics.
+
+A swap proceeds through the phases real DPR systems go through:
+
+1. **quiesce** — wait until no in-flight message involves the outgoing
+   module (the application-level discipline the paper assumes: peers
+   must stop addressing a module that is about to be swapped);
+2. **freeze + detach + rewrite** — the slot/region is isolated for the
+   rewrite window (RMBoC cross-points freeze so only established
+   channels keep working; BUS-COM stops granting the module's slots;
+   the NoCs need nothing — only the module's own region is touched),
+   the module leaves the interconnect, and the region's configuration
+   frames are rewritten; the duration comes from the frame-based
+   bitstream model at the architecture's own clock;
+3. **attach + unfreeze** — the incoming module joins at the same
+   placement and traffic resumes.
+
+Operations queue FIFO on the single configuration port, exactly like a
+single ICAP on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.base import CommArchitecture
+from repro.fabric.bitstream import ConfigPort, ReconfigTimingModel
+from repro.fabric.device import Device
+from repro.fabric.geometry import Rect
+from repro.reconfig.module import ModuleSpec
+from repro.sim import SimError, Simulator
+
+
+@dataclass
+class SwapRecord:
+    """Bookkeeping for one module exchange."""
+
+    module_out: str
+    module_in: str
+    region: Rect
+    requested_cycle: int
+    freeze_cycle: int = -1
+    detach_cycle: int = -1
+    attach_cycle: int = -1
+    reconfig_cycles: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.attach_cycle >= 0
+
+    @property
+    def total_cycles(self) -> int:
+        if not self.done:
+            raise ValueError("swap not finished")
+        return self.attach_cycle - self.requested_cycle
+
+    @property
+    def downtime_cycles(self) -> int:
+        """Cycles the slot had no operational module."""
+        if not self.done:
+            raise ValueError("swap not finished")
+        return self.attach_cycle - self.detach_cycle
+
+
+class ReconfigurationManager:
+    """Serializes reconfiguration operations for one architecture."""
+
+    def __init__(self, arch: CommArchitecture, device: Device,
+                 port: Optional[ConfigPort] = None,
+                 quiesce_timeout: int = 100_000):
+        self.arch = arch
+        self.sim: Simulator = arch.sim
+        self.timing = ReconfigTimingModel(device, port or ConfigPort())
+        self.quiesce_timeout = quiesce_timeout
+        self.records: List[SwapRecord] = []
+        self._busy = False
+        self._pending: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    def module_quiescent(self, module: str) -> bool:
+        """No undelivered message involves ``module``."""
+        return not any(
+            m.src == module or m.dst == module
+            for m in self.arch.log.pending()
+        )
+
+    def reconfig_cycles(self, region: Rect) -> int:
+        """User-clock cycles to rewrite ``region`` on this architecture."""
+        return self.timing.cycles(region, self.arch.fmax_hz())
+
+    @property
+    def busy(self) -> bool:
+        return self._busy or bool(self._pending)
+
+    # ------------------------------------------------------------------
+    def swap(
+        self,
+        module_out: str,
+        module_in: ModuleSpec,
+        region: Rect,
+        on_done: Optional[Callable[[SwapRecord], None]] = None,
+        **attach_kwargs: object,
+    ) -> SwapRecord:
+        """Queue an exchange of ``module_out`` for ``module_in``.
+
+        ``attach_kwargs`` are forwarded to ``arch.attach`` for the
+        incoming module (e.g. ``rect``/``access`` for DyNoC,
+        ``rect``/``switch`` for CoNoChi); when omitted, the outgoing
+        module's placement is reused where the architecture allows it.
+        """
+        record = SwapRecord(
+            module_out=module_out,
+            module_in=module_in.name,
+            region=region,
+            requested_cycle=self.sim.cycle,
+        )
+        self.records.append(record)
+
+        def start() -> None:
+            self._begin(record, module_in, dict(attach_kwargs), on_done)
+
+        if self._busy:
+            self._pending.append(start)
+        else:
+            start()
+        return record
+
+    def install(
+        self,
+        module_in: ModuleSpec,
+        region: Rect,
+        on_done: Optional[Callable[[SwapRecord], None]] = None,
+        **attach_kwargs: object,
+    ) -> SwapRecord:
+        """Configure a new module into a free region (no outgoing module)."""
+        record = SwapRecord(
+            module_out="",
+            module_in=module_in.name,
+            region=region,
+            requested_cycle=self.sim.cycle,
+        )
+        self.records.append(record)
+
+        def start() -> None:
+            self._busy = True
+            record.freeze_cycle = self.sim.cycle
+            record.detach_cycle = self.sim.cycle
+            record.reconfig_cycles = self.reconfig_cycles(region)
+            self.sim.emit("reconfig", "rewrite_start", out="",
+                          into=module_in.name,
+                          cycles=record.reconfig_cycles)
+            self.sim.stats.counter("reconfig.installs").inc()
+
+            def finish(sim: Simulator) -> None:
+                self.arch.attach(module_in.name, **attach_kwargs)
+                self._unfreeze_new(record)
+                sim.emit("reconfig", "attached", module=module_in.name)
+                record.attach_cycle = sim.cycle
+                self._busy = False
+                if on_done is not None:
+                    on_done(record)
+                if self._pending:
+                    self._pending.pop(0)()
+
+            self.sim.after(record.reconfig_cycles, finish)
+
+        if self._busy:
+            self._pending.append(start)
+        else:
+            start()
+        return record
+
+    def remove(
+        self,
+        module_out: str,
+        region: Rect,
+        on_done: Optional[Callable[[SwapRecord], None]] = None,
+    ) -> SwapRecord:
+        """Blank a module's region (quiesce, detach, rewrite; no attach).
+
+        The record's ``attach_cycle`` marks blanking completion.
+        """
+        record = SwapRecord(
+            module_out=module_out,
+            module_in="",
+            region=region,
+            requested_cycle=self.sim.cycle,
+        )
+        self.records.append(record)
+
+        def start() -> None:
+            self._busy = True
+            deadline = self.sim.cycle + self.quiesce_timeout
+
+            def poll(sim: Simulator) -> None:
+                if self.module_quiescent(module_out):
+                    self._freeze(module_out)
+                    record.freeze_cycle = sim.cycle
+                    record.detach_cycle = sim.cycle
+                    self.arch.detach(module_out)
+                    record.reconfig_cycles = self.reconfig_cycles(region)
+                    self.sim.stats.counter("reconfig.removals").inc()
+
+                    def finish(s2: Simulator) -> None:
+                        record.attach_cycle = s2.cycle
+                        self._busy = False
+                        if on_done is not None:
+                            on_done(record)
+                        if self._pending:
+                            self._pending.pop(0)()
+
+                    sim.after(record.reconfig_cycles, finish)
+                elif sim.cycle >= deadline:
+                    raise SimError(
+                        f"removal of {module_out!r}: traffic did not "
+                        f"quiesce within {self.quiesce_timeout} cycles"
+                    )
+                else:
+                    sim.after(1, poll)
+
+            self.sim.after(0, poll)
+
+        if self._busy:
+            self._pending.append(start)
+        else:
+            start()
+        return record
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _begin(self, record: SwapRecord, spec: ModuleSpec,
+               attach_kwargs: Dict[str, object],
+               on_done: Optional[Callable[[SwapRecord], None]]) -> None:
+        self._busy = True
+        placement_kwargs = self._capture_placement(record.module_out)
+        placement_kwargs.update(attach_kwargs)
+        deadline = self.sim.cycle + self.quiesce_timeout
+
+        def poll_quiesce(sim: Simulator) -> None:
+            if self.module_quiescent(record.module_out):
+                self._rewrite(record, spec, placement_kwargs, on_done)
+            elif sim.cycle >= deadline:
+                raise SimError(
+                    f"swap of {record.module_out!r}: traffic did not "
+                    f"quiesce within {self.quiesce_timeout} cycles"
+                )
+            else:
+                sim.after(1, poll_quiesce)
+
+        self.sim.after(0, poll_quiesce)
+
+    def _rewrite(self, record: SwapRecord, spec: ModuleSpec,
+                 placement_kwargs: Dict[str, object],
+                 on_done: Optional[Callable[[SwapRecord], None]]) -> None:
+        arch = self.arch
+        # Freeze only for the rewrite window itself: traffic was already
+        # quiesced, and draining must not be blocked by the freeze.
+        record.freeze_cycle = self.sim.cycle
+        self._freeze(record.module_out)
+        record.detach_cycle = self.sim.cycle
+        arch.detach(record.module_out)
+        record.reconfig_cycles = self.reconfig_cycles(record.region)
+        self.sim.emit("reconfig", "rewrite_start", out=record.module_out,
+                      into=record.module_in, cycles=record.reconfig_cycles)
+        self.sim.stats.counter("reconfig.swaps").inc()
+        self.sim.stats.counter("reconfig.cycles").inc(record.reconfig_cycles)
+
+        def finish(sim: Simulator) -> None:
+            arch.attach(spec.name, **placement_kwargs)
+            sim.emit("reconfig", "attached", module=spec.name)
+            self._unfreeze_new(record)
+            record.attach_cycle = sim.cycle
+            self._busy = False
+            if on_done is not None:
+                on_done(record)
+            if self._pending:
+                self._pending.pop(0)()
+
+        self.sim.after(record.reconfig_cycles, finish)
+
+    # ------------------------------------------------------------------
+    # architecture-specific adapters
+    # ------------------------------------------------------------------
+    def _capture_placement(self, module: str) -> Dict[str, object]:
+        arch = self.arch
+        if arch.KEY == "rmboc":
+            return {"xp": arch.xp_of(module)}  # type: ignore[attr-defined]
+        if arch.KEY == "dynoc":
+            pl = arch.placement_of(module)  # type: ignore[attr-defined]
+            return {"rect": pl.rect, "access": pl.access}
+        if arch.KEY == "conochi":
+            rect = arch.grid.modules.get(module)  # type: ignore[attr-defined]
+            out: Dict[str, object] = {
+                "switch": arch._module_switch[module]  # type: ignore[attr-defined]
+            }
+            if rect is not None:
+                out["rect"] = rect
+            return out
+        return {}
+
+    def _freeze(self, module: str) -> None:
+        arch = self.arch
+        if arch.KEY == "rmboc":
+            arch.freeze_slot(arch.xp_of(module))  # type: ignore[attr-defined]
+        elif arch.KEY == "buscom":
+            arch.freeze_module(module)  # type: ignore[attr-defined]
+        # NoCs: reconfiguration only touches the module's own region.
+
+    def _unfreeze_new(self, record: SwapRecord) -> None:
+        arch = self.arch
+        if arch.KEY == "rmboc":
+            arch.unfreeze_slot(  # type: ignore[attr-defined]
+                arch.xp_of(record.module_in)  # type: ignore[attr-defined]
+            )
+        # BUS-COM: the incoming module attaches unfrozen; the outgoing
+        # module's frozen flag died with its detach.

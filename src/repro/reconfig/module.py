@@ -1,0 +1,49 @@
+"""Hardware-module descriptors.
+
+A :class:`ModuleSpec` is everything the placement and reconfiguration
+machinery needs to know about a module: its footprint (in CLBs for slot
+systems, PEs/tiles for the NoCs), its logic demand, and a label for the
+bitstream repository. Functional behaviour lives with the workload
+generators — the interconnect does not care what a module computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """A reconfigurable hardware module.
+
+    Attributes
+    ----------
+    name:
+        Unique module identifier (also its logical address on CoNoChi).
+    width, height:
+        Footprint in placement units (CLB columns x rows for slot
+        systems, PEs for DyNoC, tiles for CoNoChi). Slot systems ignore
+        ``height`` — a slot is full-height by construction.
+    slices:
+        Logic demand, used for fit checks against region capacity.
+    """
+
+    name: str
+    width: int = 1
+    height: int = 1
+    slices: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        if self.width < 1 or self.height < 1:
+            raise ValueError(f"{self.name}: degenerate footprint")
+        if self.slices < 0:
+            raise ValueError(f"{self.name}: negative slice demand")
+
+    @property
+    def cells(self) -> int:
+        return self.width * self.height
+
+    def fits_in_slices(self, capacity: int) -> bool:
+        return self.slices <= capacity

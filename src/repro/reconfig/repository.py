@@ -1,0 +1,114 @@
+"""Module repository: bitstream variants and fit-based selection.
+
+Real DPR systems keep a library of pre-implemented module variants —
+the same function synthesized for different footprints and speeds — and
+pick at runtime whichever variant fits the free region. This module
+provides that catalog plus the selection policy the examples and the
+system facade use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.reconfig.module import ModuleSpec
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One implementation of a function."""
+
+    spec: ModuleSpec
+    #: relative performance of this implementation (higher = faster);
+    #: used to break ties among fitting variants
+    performance: float = 1.0
+    #: partial-bitstream size in bytes (for repository statistics)
+    bitstream_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0:
+            raise ValueError("performance must be positive")
+        if self.bitstream_bytes < 0:
+            raise ValueError("bitstream_bytes must be >= 0")
+
+
+class ModuleRepository:
+    """Catalog of functions, each with one or more variants."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, List[Variant]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, function: str, variant: Variant) -> None:
+        """Register a variant; names must be unique per function."""
+        variants = self._functions.setdefault(function, [])
+        if any(v.spec.name == variant.spec.name for v in variants):
+            raise ValueError(
+                f"function {function!r} already has a variant named "
+                f"{variant.spec.name!r}"
+            )
+        variants.append(variant)
+
+    def add_specs(self, function: str, specs: Iterable[ModuleSpec],
+                  performance: float = 1.0) -> None:
+        for spec in specs:
+            self.add(function, Variant(spec, performance=performance))
+
+    # ------------------------------------------------------------------
+    @property
+    def functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    def variants(self, function: str) -> List[Variant]:
+        if function not in self._functions:
+            raise KeyError(f"unknown function {function!r}")
+        return list(self._functions[function])
+
+    def total_bitstream_bytes(self) -> int:
+        return sum(
+            v.bitstream_bytes
+            for variants in self._functions.values()
+            for v in variants
+        )
+
+    # ------------------------------------------------------------------
+    def select(self, function: str, max_slices: Optional[int] = None,
+               max_width: Optional[int] = None,
+               max_height: Optional[int] = None) -> Variant:
+        """The fastest variant satisfying every given constraint.
+
+        Raises :class:`LookupError` when nothing fits, listing what was
+        considered — a selection failure should read like a diagnosis.
+        """
+        candidates = []
+        rejected: List[str] = []
+        for variant in self.variants(function):
+            spec = variant.spec
+            if max_slices is not None and spec.slices > max_slices:
+                rejected.append(f"{spec.name}: {spec.slices} slices "
+                                f"> {max_slices}")
+                continue
+            if max_width is not None and spec.width > max_width:
+                rejected.append(f"{spec.name}: width {spec.width} "
+                                f"> {max_width}")
+                continue
+            if max_height is not None and spec.height > max_height:
+                rejected.append(f"{spec.name}: height {spec.height} "
+                                f"> {max_height}")
+                continue
+            candidates.append(variant)
+        if not candidates:
+            detail = "; ".join(rejected) if rejected else "no variants"
+            raise LookupError(
+                f"no variant of {function!r} fits ({detail})"
+            )
+        return max(candidates, key=lambda v: (v.performance,
+                                              -v.spec.slices))
+
+    def select_for_region(self, function: str, region_slices: int,
+                          region_w: Optional[int] = None,
+                          region_h: Optional[int] = None) -> Variant:
+        """Convenience: constraints from a concrete region."""
+        return self.select(function, max_slices=region_slices,
+                           max_width=region_w, max_height=region_h)

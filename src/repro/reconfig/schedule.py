@@ -1,0 +1,134 @@
+"""Reconfiguration scenarios: declarative timelines of module changes.
+
+A :class:`Scenario` is a list of timed operations (install / swap /
+remove) applied through a :class:`ReconfigurationManager`. Scenarios
+make multi-phase experiments reproducible and printable: the E6-style
+studies, the examples, and user experiments all share this runner.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fabric.geometry import Rect
+from repro.reconfig.manager import ReconfigurationManager, SwapRecord
+from repro.reconfig.module import ModuleSpec
+
+
+class OpKind(enum.Enum):
+    INSTALL = "install"
+    SWAP = "swap"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One timed reconfiguration request."""
+
+    at_cycle: int
+    kind: OpKind
+    region: Rect
+    module_out: str = ""                     # SWAP / REMOVE
+    module_in: Optional[ModuleSpec] = None   # SWAP / INSTALL
+    attach_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at_cycle < 0:
+            raise ValueError("at_cycle must be >= 0")
+        if self.kind in (OpKind.SWAP, OpKind.REMOVE) and not self.module_out:
+            raise ValueError(f"{self.kind.value} needs module_out")
+        if self.kind in (OpKind.SWAP, OpKind.INSTALL) and self.module_in is None:
+            raise ValueError(f"{self.kind.value} needs module_in")
+
+
+class Scenario:
+    """An ordered reconfiguration timeline bound to one manager."""
+
+    def __init__(self, manager: ReconfigurationManager):
+        self.manager = manager
+        self._ops: List[ScheduledOp] = []
+        self.records: List[SwapRecord] = []
+        self._armed = False
+
+    # -- declarative construction ----------------------------------------
+    def install(self, at_cycle: int, spec: ModuleSpec, region: Rect,
+                **attach_kwargs: object) -> "Scenario":
+        self._add(ScheduledOp(at_cycle, OpKind.INSTALL, region,
+                              module_in=spec,
+                              attach_kwargs=dict(attach_kwargs)))
+        return self
+
+    def swap(self, at_cycle: int, module_out: str, spec: ModuleSpec,
+             region: Rect, **attach_kwargs: object) -> "Scenario":
+        self._add(ScheduledOp(at_cycle, OpKind.SWAP, region,
+                              module_out=module_out, module_in=spec,
+                              attach_kwargs=dict(attach_kwargs)))
+        return self
+
+    def remove(self, at_cycle: int, module_out: str,
+               region: Rect) -> "Scenario":
+        self._add(ScheduledOp(at_cycle, OpKind.REMOVE, region,
+                              module_out=module_out))
+        return self
+
+    def _add(self, op: ScheduledOp) -> None:
+        if self._armed:
+            raise RuntimeError("scenario already armed; build first")
+        self._ops.append(op)
+
+    @property
+    def ops(self) -> List[ScheduledOp]:
+        return sorted(self._ops, key=lambda o: o.at_cycle)
+
+    # -- execution ---------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every operation on the manager's simulator."""
+        if self._armed:
+            raise RuntimeError("scenario already armed")
+        self._armed = True
+        sim = self.manager.sim
+        for op in self.ops:
+            sim.at(op.at_cycle, self._runner(op))
+
+    def _runner(self, op: ScheduledOp):
+        def run(_sim) -> None:
+            if op.kind is OpKind.INSTALL:
+                rec = self.manager.install(op.module_in, op.region,
+                                           **op.attach_kwargs)
+            elif op.kind is OpKind.SWAP:
+                rec = self.manager.swap(op.module_out, op.module_in,
+                                        op.region, **op.attach_kwargs)
+            else:
+                rec = self.manager.remove(op.module_out, op.region)
+            self.records.append(rec)
+
+        return run
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._armed
+            and len(self.records) == len(self._ops)
+            and all(r.done for r in self.records)
+        )
+
+    def run_to_completion(self, max_cycles: int = 10_000_000) -> int:
+        """Arm (if needed) and run the simulator until every op finished."""
+        if not self._armed:
+            self.arm()
+        return self.manager.sim.run_until(lambda s: self.done,
+                                          max_cycles=max_cycles)
+
+    def report(self) -> str:
+        lines = [f"scenario: {len(self._ops)} operations, "
+                 f"{len(self.records)} executed"]
+        for rec in self.records:
+            what = (f"{rec.module_out or '(free)'} -> "
+                    f"{rec.module_in or '(blank)'}")
+            state = (f"done @{rec.attach_cycle}" if rec.done
+                     else "in progress")
+            lines.append(f"  [{rec.requested_cycle:>8}] {what:24s} "
+                         f"region {rec.region} {state}")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Synchronous cycle-level simulation kernel.
+
+The kernel models a fully synchronous digital system the way RTL does:
+
+* every :class:`~repro.sim.component.Component` has a ``tick`` method that
+  is invoked once per clock cycle and may only *stage* new values onto
+  :class:`~repro.sim.channel.Wire` / :class:`~repro.sim.channel.FIFO`
+  objects;
+* after every component has ticked, the simulator *commits* all staged
+  state in one step, which makes the kernel insensitive to component
+  evaluation order — exactly like a bank of flip-flops on a clock edge.
+
+A small scheduled-event facility (``Simulator.at`` / ``Simulator.after``)
+models asynchronous control actions such as partial reconfiguration,
+which in hardware are driven by a configuration port rather than the
+user clock.
+"""
+
+from repro.sim.channel import FIFO, PulseWire, Wire
+from repro.sim.component import Component
+from repro.sim.engine import SimError, Simulator
+from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Component",
+    "Counter",
+    "FIFO",
+    "Histogram",
+    "PulseWire",
+    "SimError",
+    "Simulator",
+    "StatsRegistry",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "Wire",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,148 @@
+"""Sequential interconnect primitives: wires and FIFOs with commit semantics.
+
+These model flip-flop-backed structures. During a cycle, components stage
+writes; the staged values become observable only after the simulator's
+commit phase. Reads always return the value committed at the end of the
+*previous* cycle, which is what any synchronous consumer would sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from repro.sim.engine import SimError, Simulator
+
+_UNSET = object()
+
+
+class Wire:
+    """A registered signal: holds its value until re-driven.
+
+    Double-driving in one cycle raises — two hardware drivers on one net
+    is a design error we want tests to catch.
+    """
+
+    def __init__(self, sim: Simulator, name: str, init: Any = None):
+        self.name = name
+        self.value = init
+        self._next: Any = _UNSET
+        sim.register_sequential(self)
+
+    def drive(self, value: Any) -> None:
+        if self._next is not _UNSET:
+            raise SimError(f"wire {self.name!r} driven twice in one cycle")
+        self._next = value
+
+    def driven(self) -> bool:
+        """Whether the wire has already been driven this cycle."""
+        return self._next is not _UNSET
+
+    def _commit(self) -> None:
+        if self._next is not _UNSET:
+            self.value = self._next
+            self._next = _UNSET
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Wire({self.name!r}, value={self.value!r})"
+
+
+class PulseWire(Wire):
+    """A wire that self-clears to ``default`` every cycle unless driven.
+
+    Models combinational strobes latched for exactly one cycle
+    (e.g. a grant line or a valid flag).
+    """
+
+    def __init__(self, sim: Simulator, name: str, default: Any = None):
+        super().__init__(sim, name, init=default)
+        self._default = default
+
+    def _commit(self) -> None:
+        if self._next is _UNSET:
+            self.value = self._default
+        else:
+            self.value = self._next
+            self._next = _UNSET
+
+
+class FIFO:
+    """A bounded FIFO with registered push: pushes appear next cycle.
+
+    ``pop``/``peek`` act on the committed queue, so a value pushed in
+    cycle *t* is poppable from cycle *t+1* — one cycle of latency, as a
+    synchronous FIFO has. Pops are not staged: only one consumer owns a
+    FIFO's read port, so intra-cycle pop visibility is private anyway.
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 0):
+        if capacity < 0:
+            raise SimError(f"FIFO {self.name if hasattr(self, 'name') else name!r}: "
+                           f"negative capacity {capacity}")
+        self.name = name
+        self.capacity = capacity  # 0 means unbounded
+        self._queue: Deque[Any] = deque()
+        self._staged: List[Any] = []
+        sim.register_sequential(self)
+
+    # -- write port -----------------------------------------------------
+    def can_push(self, n: int = 1) -> bool:
+        """Conservative full check: counts both committed and staged items."""
+        if self.capacity == 0:
+            return True
+        return len(self._queue) + len(self._staged) + n <= self.capacity
+
+    def push(self, item: Any) -> None:
+        if not self.can_push():
+            raise SimError(f"FIFO {self.name!r} overflow (capacity {self.capacity})")
+        self._staged.append(item)
+
+    def try_push(self, item: Any) -> bool:
+        if self.can_push():
+            self._staged.append(item)
+            return True
+        return False
+
+    # -- read port ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._queue)
+
+    def peek(self) -> Optional[Any]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Any:
+        if not self._queue:
+            raise SimError(f"FIFO {self.name!r} underflow")
+        return self._queue.popleft()
+
+    def try_pop(self) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    def clear(self) -> None:
+        """Drop committed and staged contents (reconfiguration flush)."""
+        self._queue.clear()
+        self._staged.clear()
+
+    @property
+    def pending(self) -> int:
+        """Number of items staged this cycle (not yet visible)."""
+        return len(self._staged)
+
+    @property
+    def occupancy(self) -> int:
+        """Committed plus staged items — total buffered load."""
+        return len(self._queue) + len(self._staged)
+
+    def _commit(self) -> None:
+        if self._staged:
+            self._queue.extend(self._staged)
+            self._staged.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FIFO({self.name!r}, len={len(self._queue)}, cap={self.capacity})"

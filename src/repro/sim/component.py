@@ -1,0 +1,48 @@
+"""Component base class for the synchronous kernel."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import SimError, Simulator
+
+
+class Component:
+    """A clocked hardware block.
+
+    Subclasses implement :meth:`tick`, which runs once per cycle and must
+    only *read* committed state and *stage* writes (``Wire.drive``,
+    ``FIFO.push``). Mutating plain Python attributes inside ``tick`` is
+    allowed only for state private to the component, since no other
+    component may observe it in the same cycle.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sim: Optional[Simulator] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, sim: Simulator) -> None:
+        """Called by ``Simulator.add``; a component belongs to one simulator."""
+        if self._sim is not None and self._sim is not sim:
+            raise SimError(f"component {self.name!r} already bound to a simulator")
+        self._sim = sim
+
+    @property
+    def sim(self) -> Simulator:
+        if self._sim is None:
+            raise SimError(f"component {self.name!r} is not registered")
+        return self._sim
+
+    @property
+    def now(self) -> int:
+        """The current cycle number."""
+        return self.sim.cycle
+
+    # ------------------------------------------------------------------
+    def tick(self, sim: Simulator) -> None:
+        """Advance the component by one clock cycle."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

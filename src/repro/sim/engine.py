@@ -1,0 +1,203 @@
+"""The synchronous simulator core.
+
+The :class:`Simulator` advances a global clock. Each cycle proceeds in
+three strictly ordered phases:
+
+1. **events** — callbacks scheduled for this cycle fire (configuration
+   port actions, workload phase changes, test instrumentation);
+2. **tick** — every registered component's ``tick`` runs; components read
+   only *committed* state and stage writes;
+3. **commit** — all registered sequential elements latch their staged
+   state.
+
+Because components see only committed state, the result of a cycle never
+depends on component registration order; this is asserted by the
+property tests in ``tests/sim/test_engine_properties.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.sim.stats import StatsRegistry
+
+
+class SimError(RuntimeError):
+    """Raised for structural misuse of the simulation kernel."""
+
+
+class Simulator:
+    """A synchronous, deterministic cycle-level simulator.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and reports.
+    max_cycles:
+        Hard safety bound; :meth:`run_until` raises :class:`SimError`
+        when the bound is exceeded, which turns livelocks in a model
+        into test failures instead of hangs.
+    """
+
+    def __init__(self, name: str = "sim", max_cycles: int = 10_000_000):
+        self.name = name
+        self.cycle = 0
+        self.max_cycles = max_cycles
+        self.stats = StatsRegistry()
+        #: optional repro.sim.trace.Tracer; emit() is a no-op while None
+        self.tracer = None
+        self._components: List["Component"] = []
+        self._sequentials: List[object] = []
+        self._events: List[Tuple[int, int, Callable[["Simulator"], None]]] = []
+        self._event_seq = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def add(self, component: "Component") -> "Component":
+        """Register a component; returns it for chaining."""
+        from repro.sim.component import Component
+
+        if not isinstance(component, Component):
+            raise SimError(f"{component!r} is not a Component")
+        self._components.append(component)
+        component.bind(self)
+        return component
+
+    def add_all(self, components: Iterable["Component"]) -> None:
+        for c in components:
+            self.add(c)
+
+    def remove(self, component: "Component") -> None:
+        """Unregister a component (used when a module is reconfigured out)."""
+        try:
+            self._components.remove(component)
+        except ValueError:
+            raise SimError(f"{component.name!r} is not registered") from None
+
+    def register_sequential(self, element: object) -> None:
+        """Register an object exposing ``_commit()`` to be latched each cycle."""
+        if not hasattr(element, "_commit"):
+            raise SimError(f"{element!r} has no _commit method")
+        self._sequentials.append(element)
+
+    def unregister_sequential(self, element: object) -> None:
+        try:
+            self._sequentials.remove(element)
+        except ValueError:
+            pass
+
+    @property
+    def components(self) -> Tuple["Component", ...]:
+        return tuple(self._components)
+
+    # ------------------------------------------------------------------
+    # event scheduling
+    # ------------------------------------------------------------------
+    def at(self, cycle: int, fn: Callable[["Simulator"], None]) -> None:
+        """Schedule ``fn(sim)`` to run at the start of ``cycle``."""
+        if cycle < self.cycle:
+            raise SimError(
+                f"cannot schedule event at cycle {cycle}; now at {self.cycle}"
+            )
+        heapq.heappush(self._events, (cycle, next(self._event_seq), fn))
+
+    def after(self, delay: int, fn: Callable[["Simulator"], None]) -> None:
+        """Schedule ``fn(sim)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        self.at(self.cycle + delay, fn)
+
+    def stop(self) -> None:
+        """Request the current ``run``/``run_until`` loop to end after this cycle."""
+        self._stopped = True
+
+    def emit(self, source: str, kind: str, **data: object) -> None:
+        """Record a trace event when a tracer is attached (else no-op)."""
+        if self.tracer is not None:
+            self.tracer.record(self.cycle, source, kind, data)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by exactly one clock cycle."""
+        if self._running:
+            raise SimError("re-entrant step() — do not step from inside tick()")
+        self._running = True
+        try:
+            while self._events and self._events[0][0] <= self.cycle:
+                _, _, fn = heapq.heappop(self._events)
+                fn(self)
+            # Snapshot: events and ticks may add/remove components; changes
+            # take effect next cycle, matching reconfiguration semantics.
+            for component in list(self._components):
+                component.tick(self)
+            for element in self._sequentials:
+                element._commit()
+            self.cycle += 1
+        finally:
+            self._running = False
+
+    def run(self, cycles: int) -> None:
+        """Run for ``cycles`` clock cycles (or until :meth:`stop`)."""
+        self._stopped = False
+        end = self.cycle + cycles
+        while self.cycle < end and not self._stopped:
+            self.step()
+
+    def run_for_time(self, seconds: float, clock_hz: float) -> int:
+        """Run the number of cycles covering ``seconds`` of wall time at
+        ``clock_hz`` (e.g. one video frame at the architecture's f_max);
+        returns the cycles run."""
+        if seconds < 0 or clock_hz <= 0:
+            raise SimError("run_for_time needs seconds >= 0 and clock > 0")
+        cycles = int(round(seconds * clock_hz))
+        self.run(cycles)
+        return cycles
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_cycles: Optional[int] = None,
+    ) -> int:
+        """Run until ``predicate(sim)`` holds; return the cycle it held at.
+
+        Raises :class:`SimError` when the cycle bound is exceeded, so a
+        deadlocked model fails loudly.
+        """
+        bound = self.max_cycles if max_cycles is None else self.cycle + max_cycles
+        self._stopped = False
+        while not predicate(self):
+            if self.cycle >= bound or self._stopped:
+                raise SimError(
+                    f"{self.name}: run_until exceeded {bound} cycles "
+                    f"(now {self.cycle})"
+                )
+            self.step()
+        return self.cycle
+
+    def drain(self, idle_predicate: Callable[["Simulator"], bool], patience: int = 64,
+              max_cycles: Optional[int] = None) -> int:
+        """Run until ``idle_predicate`` holds for ``patience`` consecutive cycles.
+
+        Useful to flush in-flight packets after a workload stops injecting.
+        """
+        streak = 0
+
+        def _pred(sim: "Simulator") -> bool:
+            nonlocal streak
+            streak = streak + 1 if idle_predicate(sim) else 0
+            return streak >= patience
+
+        return self.run_until(_pred, max_cycles=max_cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator({self.name!r}, cycle={self.cycle}, "
+            f"components={len(self._components)})"
+        )

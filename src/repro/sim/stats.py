@@ -1,0 +1,199 @@
+"""Measurement primitives: counters, histograms, time series.
+
+All measurement in the reproduction flows through these classes so that
+experiments can enumerate every probe via :class:`StatsRegistry` and
+reports never reach into model internals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """An exact sample store with summary statistics.
+
+    Samples are kept in full (experiments here are small enough) so
+    percentiles are exact rather than bucketed approximations.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else math.nan
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self._samples)) if self._samples else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return math.nan
+        return float(np.percentile(self._samples, q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.3g})"
+
+
+class TimeSeries:
+    """(cycle, value) samples, e.g. link utilization over time."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cycles: List[int] = []
+        self._values: List[float] = []
+
+    def record(self, cycle: int, value: float) -> None:
+        if self._cycles and cycle < self._cycles[-1]:
+            raise ValueError(
+                f"time series {self.name!r}: non-monotonic cycle {cycle}"
+            )
+        self._cycles.append(cycle)
+        self._values.append(float(value))
+
+    @property
+    def cycles(self) -> np.ndarray:
+        return np.asarray(self._cycles, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    def window_mean(self, start: int, end: int) -> float:
+        """Mean of samples with start <= cycle < end."""
+        c = self.cycles
+        mask = (c >= start) & (c < end)
+        if not mask.any():
+            return math.nan
+        return float(self.values[mask].mean())
+
+
+class StatsRegistry:
+    """Namespaced factory for probes; one per simulator."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        return {
+            k: c.value for k, c in sorted(self._counters.items())
+            if k.startswith(prefix)
+        }
+
+    def histograms(self, prefix: str = "") -> Dict[str, Histogram]:
+        return {
+            k: h for k, h in sorted(self._histograms.items())
+            if k.startswith(prefix)
+        }
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+
+class CounterSnapshot:
+    """Windowed counter deltas: snapshot, run, diff.
+
+    The E6/E11-style experiments measure "what happened during phase
+    X"; diffing two snapshots gives exactly that without resetting the
+    live registry.
+    """
+
+    def __init__(self, registry: "StatsRegistry", prefix: str = ""):
+        self.registry = registry
+        self.prefix = prefix
+        self._baseline = registry.counters(prefix)
+
+    def delta(self) -> Dict[str, int]:
+        """Counter increments since the snapshot (new counters included)."""
+        now = self.registry.counters(self.prefix)
+        return {
+            name: value - self._baseline.get(name, 0)
+            for name, value in now.items()
+            if value != self._baseline.get(name, 0)
+        }
+
+    def rebase(self) -> None:
+        """Make the current values the new baseline."""
+        self._baseline = self.registry.counters(self.prefix)

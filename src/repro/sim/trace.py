@@ -1,0 +1,107 @@
+"""Event tracing: an opt-in protocol/transaction log.
+
+Attach a :class:`Tracer` to a simulator and every instrumented model
+point (`sim.emit(...)`) records a timestamped event — circuit requests,
+TDMA frame launches, route decisions, reconfiguration phases. Tracing
+is off by default and costs one attribute test per emit when disabled.
+
+Typical use::
+
+    sim.tracer = Tracer(max_events=10_000)
+    ...run...
+    for ev in sim.tracer.query(kind="establish"):
+        print(ev)
+    print(sim.tracer.render_timeline(kinds={"request", "establish"}))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    source: str    # emitting component ("rmboc", "reconfig", ...)
+    kind: str      # event kind ("request", "frame", "route", ...)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.cycle:>8}] {self.source}.{self.kind} {payload}"
+
+
+class Tracer:
+    """Bounded in-memory event store with simple querying."""
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def record(self, cycle: int, source: str, kind: str,
+               data: Dict[str, Any]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(cycle, source, kind, data))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def query(self, source: Optional[str] = None,
+              kind: Optional[str] = None,
+              since: int = 0,
+              until: Optional[int] = None,
+              **data_filters: Any) -> List[TraceEvent]:
+        """Events matching all given criteria (data fields by equality)."""
+        out = []
+        for ev in self._events:
+            if source is not None and ev.source != source:
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if ev.cycle < since:
+                continue
+            if until is not None and ev.cycle >= until:
+                continue
+            if any(ev.data.get(k) != v for k, v in data_filters.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def kinds(self) -> Set[str]:
+        return {ev.kind for ev in self._events}
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def render_timeline(self, kinds: Optional[Iterable[str]] = None,
+                        limit: int = 200) -> str:
+        """Human-readable chronological dump (optionally filtered)."""
+        wanted = set(kinds) if kinds is not None else None
+        lines = []
+        for ev in self._events:
+            if wanted is not None and ev.kind not in wanted:
+                continue
+            lines.append(str(ev))
+            if len(lines) >= limit:
+                lines.append(f"... (truncated at {limit} lines)")
+                break
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at capacity)")
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Workload generation.
+
+The surveyed prototypes were exercised with a small video application
+(RMBoC, DyNoC), an automotive inner-cabin system (BUS-COM) and
+streaming network applications (CoNoChi). None of those bitstreams
+exist anymore; this package provides synthetic generators with the same
+traffic shapes — periodic streams, TDMA-style real-time frames, bursty
+flows — plus the classic synthetic patterns (uniform, hotspot,
+permutation) used for saturation and parallelism studies.
+"""
+
+from repro.traffic.generators import (
+    BurstyGenerator,
+    PeriodicStream,
+    RandomTraffic,
+    TraceReplay,
+    TrafficGenerator,
+)
+from repro.traffic.patterns import (
+    hotspot_chooser,
+    neighbor_chooser,
+    permutation_chooser,
+    uniform_chooser,
+)
+from repro.traffic.apps import automotive_workload, network_workload, video_pipeline
+from repro.traffic.trace import capture_trace, compare_on_trace, replay_trace
+
+__all__ = [
+    "BurstyGenerator",
+    "PeriodicStream",
+    "RandomTraffic",
+    "TraceReplay",
+    "TrafficGenerator",
+    "automotive_workload",
+    "capture_trace",
+    "compare_on_trace",
+    "hotspot_chooser",
+    "neighbor_chooser",
+    "network_workload",
+    "permutation_chooser",
+    "replay_trace",
+    "uniform_chooser",
+    "video_pipeline",
+]

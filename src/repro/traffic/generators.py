@@ -1,0 +1,177 @@
+"""Traffic generators: clocked components injecting through ArchPorts."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.base import ArchPort, Message
+from repro.sim import Component, Simulator
+
+
+class TrafficGenerator(Component):
+    """Base class: tracks every message it injected and supports a
+    [start, stop) activity window."""
+
+    def __init__(self, name: str, port: ArchPort,
+                 start: int = 0, stop: Optional[int] = None):
+        super().__init__(name)
+        self.port = port
+        self.start = start
+        self.stop = stop
+        self.sent: List[Message] = []
+
+    # ------------------------------------------------------------------
+    def active(self, cycle: int) -> bool:
+        return cycle >= self.start and (self.stop is None or cycle < self.stop)
+
+    def _inject(self, dst: str, payload_bytes: int, tag: str = "") -> Message:
+        msg = self.port.send(dst, payload_bytes, tag=tag)
+        self.sent.append(msg)
+        return msg
+
+    def all_delivered(self) -> bool:
+        return all(m.delivered for m in self.sent)
+
+    def latencies(self) -> List[int]:
+        return [m.latency for m in self.sent if m.delivered]
+
+    def tick(self, sim: Simulator) -> None:
+        if self.active(sim.cycle):
+            self.generate(sim.cycle)
+
+    def generate(self, cycle: int) -> None:
+        raise NotImplementedError
+
+
+class RandomTraffic(TrafficGenerator):
+    """Bernoulli open-loop injection: each cycle, with probability
+    ``rate``, send ``payload_bytes`` to ``chooser()``."""
+
+    def __init__(self, name: str, port: ArchPort,
+                 chooser: Callable[[], str], rng: np.random.Generator,
+                 rate: float, payload_bytes: int = 64,
+                 start: int = 0, stop: Optional[int] = None):
+        super().__init__(name, port, start, stop)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate {rate} outside [0, 1]")
+        if payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+        self.chooser = chooser
+        self.rng = rng
+        self.rate = rate
+        self.payload_bytes = payload_bytes
+
+    def generate(self, cycle: int) -> None:
+        if self.rng.random() < self.rate:
+            self._inject(self.chooser(), self.payload_bytes)
+
+
+class PeriodicStream(TrafficGenerator):
+    """Fixed-rate stream: every ``period`` cycles, one ``payload_bytes``
+    message to a fixed destination — a pipeline stage's output."""
+
+    def __init__(self, name: str, port: ArchPort, dst: str,
+                 period: int, payload_bytes: int,
+                 phase: int = 0, start: int = 0, stop: Optional[int] = None,
+                 deadline: Optional[int] = None):
+        super().__init__(name, port, start, stop)
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+        self.dst = dst
+        self.period = period
+        self.payload_bytes = payload_bytes
+        self.phase = phase % period
+        self.deadline = deadline
+
+    def generate(self, cycle: int) -> None:
+        if (cycle - self.start) % self.period == self.phase:
+            self._inject(self.dst, self.payload_bytes, tag="stream")
+
+    # -- real-time accounting -------------------------------------------
+    def deadline_misses(self) -> int:
+        """Messages whose latency exceeded the deadline (requires one)."""
+        if self.deadline is None:
+            raise ValueError(f"{self.name}: no deadline configured")
+        return sum(
+            1 for m in self.sent if m.delivered and m.latency > self.deadline
+        )
+
+    def deadline_met_ratio(self) -> float:
+        if self.deadline is None:
+            raise ValueError(f"{self.name}: no deadline configured")
+        done = [m for m in self.sent if m.delivered]
+        if not done:
+            return 1.0
+        return 1.0 - self.deadline_misses() / len(done)
+
+
+class BurstyGenerator(TrafficGenerator):
+    """Two-state on/off (Markov-modulated) source: in ON state, inject
+    one packet per ``slot_cycles``; dwell times are geometric in slots.
+
+    ``slot_cycles`` decimates the generator's clock so the offered load
+    (duty_cycle / slot_cycles packets per cycle) can be matched to the
+    serialization time of a packet instead of overrunning the network.
+    """
+
+    def __init__(self, name: str, port: ArchPort,
+                 chooser: Callable[[], str], rng: np.random.Generator,
+                 p_on: float, p_off: float, payload_bytes: int = 64,
+                 slot_cycles: int = 1,
+                 start: int = 0, stop: Optional[int] = None):
+        super().__init__(name, port, start, stop)
+        for label, p in (("p_on", p_on), ("p_off", p_off)):
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"{label} {p} outside (0, 1]")
+        if slot_cycles < 1:
+            raise ValueError(f"slot_cycles must be >= 1, got {slot_cycles}")
+        self.chooser = chooser
+        self.rng = rng
+        self.p_on = p_on      # OFF -> ON transition probability
+        self.p_off = p_off    # ON -> OFF transition probability
+        self.payload_bytes = payload_bytes
+        self.slot_cycles = slot_cycles
+        self._on = False
+
+    def generate(self, cycle: int) -> None:
+        if (cycle - self.start) % self.slot_cycles:
+            return
+        if self._on:
+            self._inject(self.chooser(), self.payload_bytes, tag="burst")
+            if self.rng.random() < self.p_off:
+                self._on = False
+        elif self.rng.random() < self.p_on:
+            self._on = True
+
+    @property
+    def duty_cycle(self) -> float:
+        """Long-run ON fraction: p_on / (p_on + p_off)."""
+        return self.p_on / (self.p_on + self.p_off)
+
+    @property
+    def offered_packets_per_cycle(self) -> float:
+        return self.duty_cycle / self.slot_cycles
+
+
+class TraceReplay(TrafficGenerator):
+    """Replay an explicit (cycle, dst, payload_bytes) trace."""
+
+    def __init__(self, name: str, port: ArchPort,
+                 trace: Sequence[Tuple[int, str, int]],
+                 start: int = 0, stop: Optional[int] = None):
+        super().__init__(name, port, start, stop)
+        self.trace = sorted(trace)
+        self._idx = 0
+
+    def generate(self, cycle: int) -> None:
+        while self._idx < len(self.trace) and self.trace[self._idx][0] <= cycle:
+            _, dst, nbytes = self.trace[self._idx]
+            self._inject(dst, nbytes, tag="trace")
+            self._idx += 1
+
+    def exhausted(self) -> bool:
+        return self._idx >= len(self.trace)

@@ -1,0 +1,79 @@
+"""Destination choosers: pure functions from (rng) to a destination.
+
+A chooser is built once per source module and called per message, so
+pattern state (e.g. a fixed permutation) is decided up front and the
+draws stay stream-isolated per source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+Chooser = Callable[[], str]
+
+
+def uniform_chooser(src: str, modules: Sequence[str],
+                    rng: np.random.Generator) -> Chooser:
+    """Uniform random destination among all modules except the source."""
+    peers = [m for m in modules if m != src]
+    if not peers:
+        raise ValueError(f"{src!r} has no peers")
+
+    def choose() -> str:
+        return peers[int(rng.integers(len(peers)))]
+
+    return choose
+
+
+def hotspot_chooser(src: str, modules: Sequence[str],
+                    rng: np.random.Generator, hotspot: str,
+                    hot_fraction: float = 0.5) -> Chooser:
+    """With probability ``hot_fraction`` pick the hotspot, else uniform."""
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction {hot_fraction} outside [0, 1]")
+    if hotspot == src:
+        return uniform_chooser(src, modules, rng)
+    uniform = uniform_chooser(src, modules, rng)
+
+    def choose() -> str:
+        if rng.random() < hot_fraction:
+            return hotspot
+        return uniform()
+
+    return choose
+
+
+def neighbor_chooser(src: str, modules: Sequence[str]) -> Chooser:
+    """Always the next module in ring order (nearest-neighbour streams)."""
+    order = list(modules)
+    idx = order.index(src)
+    dst = order[(idx + 1) % len(order)]
+    if dst == src:
+        raise ValueError("ring of one module")
+    return lambda: dst
+
+
+def permutation_chooser(src: str, modules: Sequence[str],
+                        rng: np.random.Generator,
+                        permutation: Optional[List[str]] = None) -> Chooser:
+    """A fixed random (or given) permutation destination.
+
+    The permutation is derangement-adjusted so no module maps to itself.
+    """
+    order = list(modules)
+    if permutation is None:
+        perm = order.copy()
+        # rejection-sample a derangement (cheap at these sizes)
+        for _ in range(1000):
+            rng.shuffle(perm)
+            if all(a != b for a, b in zip(order, perm)):
+                break
+        else:
+            raise RuntimeError("failed to draw a derangement")
+        permutation = perm
+    mapping = dict(zip(order, permutation))
+    if mapping[src] == src:
+        raise ValueError(f"permutation maps {src!r} to itself")
+    return lambda: mapping[src]

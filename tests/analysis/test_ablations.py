@@ -1,0 +1,89 @@
+"""Ablation-harness tests (reduced sizes; full sweeps live in benchmarks)."""
+
+import pytest
+
+from repro.analysis import ablations as A
+
+
+class TestSeries:
+    def test_monotone_decreasing(self):
+        s = A.AblationSeries("x", "m", [(1, 5.0), (2, 3.0), (3, 3.0)])
+        assert s.monotone_decreasing()
+        s2 = A.AblationSeries("x", "m", [(1, 3.0), (2, 5.0)])
+        assert not s2.monotone_decreasing()
+
+    def test_best(self):
+        s = A.AblationSeries("x", "m", [(1, 5.0), (2, 3.0), (3, 4.0)])
+        assert s.best() == (2, 3.0)
+
+
+class TestA1:
+    def test_more_buses_fewer_cancels(self):
+        result = A.a1_rmboc_bus_count(ks=(1, 4))
+        cancels = dict(result["cancels"].points)
+        assert cancels[4] < cancels[1]
+
+    def test_more_buses_faster_completion(self):
+        result = A.a1_rmboc_bus_count(ks=(1, 4))
+        completion = dict(result["completion"].points)
+        assert completion[4] < completion[1]
+
+
+class TestA2:
+    def test_static_slots_bound_victim_latency(self):
+        result = A.a2_buscom_static_split(splits=(0, 32), horizon=4000)
+        worst = dict(result["periodic_worst"].points)
+        assert worst[32] < worst[0] / 10
+
+    def test_static_slots_slow_bursts(self):
+        result = A.a2_buscom_static_split(splits=(0, 32), horizon=4000)
+        burst = dict(result["bursty_mean"].points)
+        assert burst[32] > burst[0]
+
+
+class TestA3:
+    def test_update_latency_never_stalls_traffic(self):
+        result = A.a3_conochi_table_update_latency(latencies=(1, 256),
+                                                   horizon=2000)
+        vals = dict(result.points)
+        assert vals[256] >= vals[1]
+        assert vals[256] - vals[1] < 10
+
+
+class TestA4:
+    def test_linear_in_pipeline_depth(self):
+        result = A.a4_dynoc_router_latency(depths=(1, 3, 5))
+        pts = dict(result.points)
+        assert pts[3] - pts[1] == pts[5] - pts[3]
+
+
+class TestA5:
+    def test_adaptivity_helps_hot_stream(self):
+        result = A.a5_buscom_adaptivity(horizon=8000)
+        assert result["adaptive"] < result["static"]
+
+
+class TestA6:
+    def test_saf_slower_for_large_packets(self):
+        result = A.a6_dynoc_switching_mode(payload_bytes=(4, 256))
+        vct = dict(result["vct"].points)
+        saf = dict(result["saf"].points)
+        assert saf[256] > vct[256]
+        assert saf[4] - vct[4] < saf[256] - vct[256]
+
+    def test_invalid_switching_mode_raises(self):
+        import pytest
+
+        from repro.arch.dynoc import DyNoCConfig
+
+        with pytest.raises(ValueError):
+            DyNoCConfig(switching="wormhole")
+
+
+class TestA7:
+    def test_backoff_increases_latency_not_fairness(self):
+        result = A.a7_rmboc_fairness(backoffs=(2, 128), horizon=3000)
+        lat = dict(result["mean_latency"].points)
+        assert lat[128] > lat[2]
+        for _, v in result["fairness"].points:
+            assert 0.0 < v <= 1.0

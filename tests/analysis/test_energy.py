@@ -1,0 +1,90 @@
+"""Energy-model and E8 accounting tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.energy import EnergyReport, InterconnectGeometry, measure_energy
+from repro.arch import build_architecture
+from repro.fabric.power import EnergyModel
+
+
+class TestEnergyModel:
+    def test_wire_energy_linear_in_length_and_bits(self):
+        m = EnergyModel()
+        assert m.wire_pj(100, 10) == pytest.approx(2 * m.wire_pj(100, 5))
+        assert m.wire_pj(200, 10) == pytest.approx(2 * m.wire_pj(100, 10))
+
+    def test_bus_broadcast_exceeds_plain_wire(self):
+        m = EnergyModel()
+        assert m.bus_broadcast_pj(100, 88) > m.wire_pj(100, 88)
+
+    def test_noc_hop_includes_switch(self):
+        m = EnergyModel()
+        assert m.noc_hop_pj(100, 4) > m.wire_pj(100, 4)
+
+    def test_crosspoint_cheaper_than_switch(self):
+        """RMBoC cross-points have no buffering/table lookup."""
+        m = EnergyModel()
+        assert m.crosspoint_pj_per_bit < m.switch_pj_per_bit
+
+    def test_invalid_coefficients_raise(self):
+        with pytest.raises(ValueError):
+            EnergyModel(wire_pj_per_bit_mm=0)
+        with pytest.raises(ValueError):
+            InterconnectGeometry(bus_length_clbs=-1)
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("name", ["rmboc", "buscom", "dynoc", "conochi"])
+    def test_energy_positive_after_traffic(self, name):
+        arch = build_architecture(name)
+        arch.ports["m0"].send("m1", 64)
+        arch.run_to_completion()
+        report = measure_energy(arch)
+        assert report.total_pj > 0
+        assert report.pj_per_payload_byte > 0
+
+    def test_no_traffic_nan_per_byte(self):
+        arch = build_architecture("buscom")
+        report = measure_energy(arch)
+        assert report.total_pj == 0
+        assert math.isnan(report.pj_per_payload_byte)
+
+    def test_energy_scales_with_distance_on_rmboc(self):
+        def run(dst):
+            arch = build_architecture("rmboc")
+            arch.ports["m0"].send(dst, 256)
+            arch.run_to_completion()
+            return measure_energy(arch).total_pj
+
+        assert run("m3") > run("m1")
+
+    def test_buscom_energy_independent_of_distance(self):
+        """Broadcast bus: receiver position is irrelevant."""
+        def run(dst):
+            arch = build_architecture("buscom")
+            arch.ports["m0"].send(dst, 64)
+            arch.run_to_completion()
+            return measure_energy(arch).total_pj
+
+        assert run("m1") == pytest.approx(run("m3"))
+
+    def test_dynoc_energy_scales_with_hops(self):
+        def run(dst):
+            arch = build_architecture("dynoc", num_modules=4, mesh=(4, 1))
+            arch.ports["m0"].send(dst, 64)
+            arch.run_to_completion()
+            return measure_energy(arch).total_pj
+
+        assert run("m3") > run("m1")
+
+    def test_geometry_scales_wire_cost(self):
+        arch = build_architecture("buscom")
+        arch.ports["m0"].send("m1", 64)
+        arch.run_to_completion()
+        short = measure_energy(
+            arch, geometry=InterconnectGeometry(bus_length_clbs=10))
+        long = measure_energy(
+            arch, geometry=InterconnectGeometry(bus_length_clbs=100))
+        assert long.total_pj > short.total_pj

@@ -1,0 +1,70 @@
+"""JSON-export tests."""
+
+import json
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import dumps, to_jsonable
+
+
+class Color(Enum):
+    RED = 1
+
+
+@dataclass
+class Inner:
+    value: float
+
+
+@dataclass
+class Outer:
+    name: str
+    inner: Inner
+    table: Dict[Tuple[int, int], int]
+
+
+class TestToJsonable:
+    def test_dataclass_nesting(self):
+        obj = Outer("x", Inner(1.5), {(1, 2): 3})
+        out = to_jsonable(obj)
+        assert out == {"name": "x", "inner": {"value": 1.5},
+                       "table": {"(1, 2)": 3}}
+
+    def test_enum(self):
+        assert to_jsonable(Color.RED) == "RED"
+
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_non_finite_floats(self):
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("-inf")) == "-inf"
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_dumps_round_trips(self):
+        obj = Outer("x", Inner(float("nan")), {(0, 0): 1})
+        parsed = json.loads(dumps(obj))
+        assert parsed["inner"]["value"] == "nan"
+
+
+class TestExperimentResults:
+    def test_every_experiment_result_serializes(self):
+        """Spot-check: the cheap experiment results all JSON-encode."""
+        from repro.analysis.experiments import (
+            e1_rmboc_setup,
+            e5_area_scaling,
+            e8_energy,
+        )
+
+        for result in (e1_rmboc_setup(), e5_area_scaling(), e8_energy()):
+            json.loads(dumps(result))

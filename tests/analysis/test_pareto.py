@@ -1,0 +1,85 @@
+"""Pareto-frontier tests."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    dominated_by,
+    dominates,
+    pareto_frontier,
+    render_frontier,
+)
+from repro.analysis.sweeps import SweepGrid, SweepPoint, run_sweep
+
+
+def make_point(arch, area, latency, dmax=1):
+    return SweepPoint(
+        params={"arch": arch},
+        mean_latency=latency,
+        max_latency=int(latency),
+        total_cycles=100,
+        observed_dmax=dmax,
+        area_slices=area,
+        fmax_mhz=100.0,
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (1, 3))
+        assert not dominates((1, 3), (2, 1))  # trade-off
+        assert not dominates((1, 1), (1, 1))  # equal is not dominance
+
+
+class TestFrontier:
+    def test_extracts_non_dominated(self):
+        points = [
+            make_point("cheap_slow", area=100, latency=50.0),
+            make_point("dear_fast", area=500, latency=10.0),
+            make_point("dominated", area=600, latency=60.0),
+        ]
+        frontier = pareto_frontier(points)
+        names = [e.point.params["arch"] for e in frontier]
+        assert names == ["cheap_slow", "dear_fast"]
+
+    def test_single_point_is_frontier(self):
+        points = [make_point("only", 100, 10.0)]
+        assert len(pareto_frontier(points)) == 1
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(KeyError):
+            pareto_frontier([make_point("x", 1, 1.0)],
+                            objectives=("area", "beauty"))
+
+    def test_dominated_by_mapping(self):
+        points = [
+            make_point("winner", area=100, latency=10.0),
+            make_point("loser", area=200, latency=20.0),
+        ]
+        mapping = dominated_by(points)
+        assert mapping == {"winner": ["loser"]}
+
+    def test_parallelism_objective(self):
+        a = make_point("par", area=100, latency=10.0, dmax=8)
+        b = make_point("ser", area=100, latency=10.0, dmax=1)
+        frontier = pareto_frontier([a, b],
+                                   objectives=("area", "neg_dmax"))
+        names = [e.point.params["arch"] for e in frontier]
+        assert names == ["par"]
+
+
+class TestOnRealSweep:
+    def test_frontier_from_live_sweep(self):
+        grid = SweepGrid(
+            arch=["rmboc", "buscom", "dynoc", "conochi", "sharedbus"],
+            payload_bytes=[64],
+        )
+        points = run_sweep(grid)
+        frontier = pareto_frontier(points, objectives=("area", "latency"))
+        names = {e.point.params["arch"] for e in frontier}
+        # the shared bus is the cheapest => always on the frontier;
+        # at least one parallel interconnect joins it on latency
+        assert "sharedbus" in names
+        assert len(names) >= 2
+        text = render_frontier(frontier, ("area", "latency"))
+        assert "Pareto frontier" in text

@@ -1,0 +1,51 @@
+"""Sweep-driver tests."""
+
+import pytest
+
+from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
+
+
+class TestSweepGrid:
+    def test_cartesian_size(self):
+        grid = SweepGrid(arch=["buscom"], width=[8, 32],
+                         payload_bytes=[16, 64, 256])
+        assert len(grid) == 6
+        assert len(list(grid.points())) == 6
+
+    def test_requires_arch_axis(self):
+        with pytest.raises(ValueError):
+            SweepGrid(width=[8])
+
+    def test_empty_axis_raises(self):
+        with pytest.raises(ValueError):
+            SweepGrid(arch=[])
+
+    def test_points_carry_all_axes(self):
+        grid = SweepGrid(arch=["buscom"], width=[32])
+        point = next(grid.points())
+        assert point == {"arch": "buscom", "width": 32}
+
+
+class TestRunSweep:
+    def test_runs_every_point(self):
+        grid = SweepGrid(arch=["buscom", "conochi"], width=[32],
+                         payload_bytes=[32])
+        points = run_sweep(grid)
+        assert len(points) == 2
+        assert {p.params["arch"] for p in points} == {"buscom", "conochi"}
+
+    def test_narrower_width_slower(self):
+        grid = SweepGrid(arch=["buscom"], width=[8, 32],
+                         payload_bytes=[64])
+        points = {p.params["width"]: p for p in run_sweep(grid)}
+        assert points[8].mean_latency > points[32].mean_latency
+
+    def test_scenario_axes_forwarded(self):
+        grid = SweepGrid(arch=["buscom"], payload_bytes=[16, 256])
+        points = {p.params["payload_bytes"]: p for p in run_sweep(grid)}
+        assert points[256].mean_latency > points[16].mean_latency
+
+    def test_render_contains_axes_and_metrics(self):
+        grid = SweepGrid(arch=["buscom"], width=[32])
+        text = render_sweep(grid, run_sweep(grid))
+        assert "arch" in text and "mean lat" in text and "buscom" in text

@@ -1,0 +1,100 @@
+"""Slot-table tests."""
+
+import pytest
+
+from repro.arch.buscom import SlotKind, SlotTable
+from repro.arch.buscom.schedule import SlotEntry
+
+
+class TestSlotEntry:
+    def test_static_needs_owner(self):
+        with pytest.raises(ValueError):
+            SlotEntry(SlotKind.STATIC)
+
+    def test_dynamic_rejects_owner(self):
+        with pytest.raises(ValueError):
+            SlotEntry(SlotKind.DYNAMIC, owner="m0")
+
+
+class TestSlotTable:
+    def test_all_dynamic_initially(self):
+        t = SlotTable(2, 4)
+        for b in range(2):
+            for s in range(4):
+                assert t.entry(b, s).kind is SlotKind.DYNAMIC
+
+    def test_set_static_and_back(self):
+        t = SlotTable(1, 4)
+        t.set_static(0, 2, "m1")
+        assert t.entry(0, 2).owner == "m1"
+        t.set_dynamic(0, 2)
+        assert t.entry(0, 2).kind is SlotKind.DYNAMIC
+
+    def test_static_slots_of(self):
+        t = SlotTable(2, 4)
+        t.set_static(0, 0, "a")
+        t.set_static(1, 3, "a")
+        t.set_static(0, 1, "b")
+        assert t.static_slots_of("a") == [(0, 0), (1, 3)]
+
+    def test_bandwidth_share(self):
+        t = SlotTable(1, 4)
+        t.set_static(0, 0, "a")
+        t.set_static(0, 1, "a")
+        t.set_static(0, 2, "b")
+        assert t.bandwidth_share("a") == pytest.approx(2 / 3)
+        assert t.bandwidth_share("ghost") == 0.0
+
+    def test_bandwidth_share_no_static(self):
+        assert SlotTable(1, 4).bandwidth_share("a") == 0.0
+
+    def test_owners(self):
+        t = SlotTable(1, 4)
+        t.set_static(0, 0, "a")
+        t.set_static(0, 1, "a")
+        assert t.owners() == {"a": 2}
+
+    def test_drop_module(self):
+        t = SlotTable(2, 4)
+        t.set_static(0, 0, "a")
+        t.set_static(1, 1, "a")
+        assert t.drop_module("a") == 2
+        assert t.owners() == {}
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            SlotTable(0, 4)
+
+
+class TestRoundRobin:
+    def test_paper_dimensions(self):
+        """§3.1: 32 time slots per bus."""
+        modules = [f"m{i}" for i in range(4)]
+        t = SlotTable.round_robin(4, 32, 16, modules)
+        assert t.num_buses == 4 and t.slots_per_bus == 32
+
+    def test_fair_shares(self):
+        modules = [f"m{i}" for i in range(4)]
+        t = SlotTable.round_robin(4, 32, 16, modules)
+        shares = [t.bandwidth_share(m) for m in modules]
+        assert all(s == pytest.approx(0.25) for s in shares)
+
+    def test_static_dynamic_split(self):
+        modules = ["a", "b"]
+        t = SlotTable.round_robin(1, 32, 10, modules)
+        statics = sum(
+            1 for s in range(32) if t.entry(0, s).kind is SlotKind.STATIC
+        )
+        assert statics == 10
+
+    def test_every_module_owns_a_slot_on_every_bus(self):
+        """Rotation offsets mean no bus starves any module."""
+        modules = [f"m{i}" for i in range(4)]
+        t = SlotTable.round_robin(4, 32, 16, modules)
+        for m in modules:
+            buses = {b for b, _ in t.static_slots_of(m)}
+            assert buses == {0, 1, 2, 3}
+
+    def test_empty_modules_all_dynamic(self):
+        t = SlotTable.round_robin(2, 8, 4, [])
+        assert t.owners() == {}

@@ -1,0 +1,101 @@
+"""Exact TDMA timing arithmetic: slot starts, round progression,
+frame landing cycles."""
+
+import pytest
+
+from repro.arch.buscom import BusComConfig, SlotTable, build_buscom
+
+
+class TestSlotProgression:
+    def test_first_static_slot_frame_timing(self):
+        """A frame in bus 0 slot 0 lands exactly guard + header +
+        payload_words - 1 cycles after the slot opens."""
+        cfg = BusComConfig()
+        arch = build_buscom()
+        msg = arch.ports["m0"].send("m1", 72)  # m0 owns bus0 slot0
+        arch.sim.run_until(lambda s: msg.delivered, max_cycles=100)
+        expected = cfg.guard_cycles + cfg.header_words + \
+            cfg.payload_words(72) - 1
+        assert msg.delivered_cycle == expected
+
+    def test_idle_static_slot_still_burns_full_duration(self):
+        """With no traffic at all, the wheel turns at fixed speed: the
+        first slot of round 2 starts exactly max_round... for an
+        all-idle bus: 16 static x 20 + 16 minislots x 1 = 336 cycles."""
+        arch = build_buscom()
+        sim = arch.sim
+        sim.run(336)
+        # inject exactly when m0's slot 0 of round 2 opens: latency is
+        # identical to a cycle-0 injection
+        msg = arch.ports["m0"].send("m1", 72)
+        arch.run_to_completion()
+        ref = build_buscom()
+        ref_msg = ref.ports["m0"].send("m1", 72)
+        ref.run_to_completion()
+        assert msg.latency == ref_msg.latency
+
+    def test_round_rotation_gives_every_bus_same_schedule_shape(self):
+        """Each module owns exactly static_slots/modules slots per bus."""
+        arch = build_buscom()
+        for m in arch.modules:
+            per_bus = {}
+            for b, s in arch.table.static_slots_of(m):
+                per_bus[b] = per_bus.get(b, 0) + 1
+            assert per_bus == {0: 4, 1: 4, 2: 4, 3: 4}
+
+    def test_cross_bus_offset_reduces_worst_wait(self):
+        """The rotated tables put some m0 slot near the wheel position
+        on *some* bus — worst wait is far below a full round."""
+        arch = build_buscom()
+        worst = 0
+        for offset in range(0, 330, 37):
+            a = build_buscom()
+            a.sim.run(offset)
+            msg = a.ports["m0"].send("m1", 8)
+            a.run_to_completion(max_cycles=10_000)
+            worst = max(worst, msg.latency)
+        assert worst < a.cfg.max_round_cycles / 2
+
+
+class TestGuardAndHeader:
+    def test_zero_guard_shrinks_slot(self):
+        cfg = BusComConfig(guard_cycles=0)
+        assert cfg.static_slot_cycles == 19
+
+    def test_wide_bus_shrinks_header(self):
+        """A 64-bit bus still needs one header word for 20 bits."""
+        cfg = BusComConfig(width=64)
+        assert cfg.header_words == 1
+
+    def test_narrow_bus_grows_header(self):
+        cfg = BusComConfig(width=8)
+        assert cfg.header_words == 3  # 20 bits over 8-bit words
+
+    def test_efficiency_rises_on_narrow_bus(self):
+        """Counter-intuitive but correct: on a narrow bus the payload
+        needs many words while the 20-bit header still fits in a few,
+        so the header amortizes *better* (0.947 @8 bit vs 0.900 @32)."""
+        assert (BusComConfig(width=8).static_efficiency
+                > BusComConfig(width=32).static_efficiency)
+
+
+class TestSingleBusSerialization:
+    def test_two_senders_interleave_by_slot_ownership(self):
+        """On one bus, frames appear strictly in slot-table order."""
+        table = SlotTable(1, 4)
+        table.set_static(0, 0, "m0")
+        table.set_static(0, 1, "m1")
+        table.set_static(0, 2, "m0")
+        table.set_static(0, 3, "m1")
+        arch = build_buscom(num_buses=1, table=table)
+        arch.sim.tracer = None
+        from repro.sim import Tracer
+
+        arch.sim.tracer = Tracer()
+        arch.ports["m0"].send("m2", 200)  # several frames
+        arch.ports["m1"].send("m3", 200)
+        arch.run_to_completion(max_cycles=10_000)
+        frames = arch.sim.tracer.query(source="buscom", kind="frame")
+        senders = [f.data["src"] for f in frames]
+        # strict alternation m0, m1, m0, m1 ... per the table
+        assert senders[:4] == ["m0", "m1", "m0", "m1"]

@@ -1,0 +1,173 @@
+"""CoNoChi architecture tests: transport, protocol, topology changes."""
+
+import pytest
+
+from repro.arch.conochi import CoNoChiConfig, build_conochi
+from repro.core.metrics import probe_single_message
+from repro.fabric.tiles import TileType
+
+
+class TestConfig:
+    def test_paper_protocol_figures(self):
+        cfg = CoNoChiConfig()
+        assert cfg.header_bits == 96          # Table 1
+        assert cfg.header_words == 3          # 3 words @ 32 bit
+        assert cfg.max_payload_bytes == 1024  # Table 1
+        assert cfg.switch_latency == 5        # Table 2
+
+    def test_efficiency_90pct_at_108_bytes(self):
+        """§4.2's ~90 % effective bandwidth at ~100-byte packets."""
+        assert CoNoChiConfig().efficiency(108) == pytest.approx(0.90)
+
+    def test_fragments(self):
+        cfg = CoNoChiConfig()
+        assert cfg.fragments(1024) == 1
+        assert cfg.fragments(1025) == 2
+        assert cfg.fragments(4096) == 4
+
+    def test_oversized_payload_words_raises(self):
+        with pytest.raises(ValueError):
+            CoNoChiConfig().payload_words(2000)
+
+    @pytest.mark.parametrize("kw", [
+        {"grid_cols": 1}, {"width": 0}, {"switch_latency": 0},
+        {"max_ports": 1}, {"table_update_latency": -1},
+    ])
+    def test_invalid_raises(self, kw):
+        with pytest.raises(ValueError):
+            CoNoChiConfig(**kw)
+
+
+class TestTransport:
+    def test_single_message(self):
+        arch = build_conochi()
+        msg = arch.ports["m0"].send("m3", 64)
+        arch.run_to_completion()
+        assert msg.delivered
+
+    def test_all_pairs(self):
+        arch = build_conochi()
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    arch.ports[f"m{i}"].send(f"m{j}", 32)
+        arch.run_to_completion()
+        assert arch.log.all_delivered()
+
+    def test_per_hop_cost_is_switch_plus_link(self):
+        cfg = CoNoChiConfig()
+        lat = {}
+        for dist in (1, 2, 3):
+            arch = build_conochi()
+            lat[dist] = probe_single_message(arch, "m0", f"m{dist}", 4).total_cycles
+        assert lat[2] - lat[1] == cfg.switch_latency + cfg.link_latency
+        assert lat[3] - lat[2] == cfg.switch_latency + cfg.link_latency
+
+    def test_large_message_fragments(self):
+        arch = build_conochi()
+        msg = arch.ports["m0"].send("m1", 3000)  # 3 fragments
+        arch.run_to_completion()
+        assert msg.delivered
+        assert arch.sim.stats.counter("conochi.packets").value == 3
+
+    def test_shared_link_serializes(self):
+        arch = build_conochi()
+        a = arch.ports["m0"].send("m3", 512)
+        b = arch.ports["m1"].send("m3", 512)
+        arch.run_to_completion()
+        assert a.delivered_cycle != b.delivered_cycle
+
+    def test_unknown_destination_raises(self):
+        arch = build_conochi()
+        with pytest.raises(KeyError):
+            arch.ports["m0"].send("ghost", 8)
+
+
+class TestTopologyChange:
+    def test_add_switch_recomputes_tables_after_latency(self):
+        arch = build_conochi()
+        n_before = len(arch.grid.switches())
+        arch.add_switch((2, 3), wires=[((2, 2), TileType.VWIRE)])
+        assert len(arch.grid.switches()) == n_before + 1
+        arch.sim.run(arch.cfg.table_update_latency + 2)
+        assert (2, 3) in arch.control.tables
+
+    def test_add_switch_on_occupied_tile_raises(self):
+        arch = build_conochi()
+        with pytest.raises(ValueError):
+            arch.add_switch((1, 1))  # existing switch
+
+    def test_remove_switch_keeps_network_connected(self):
+        """Removal that would disconnect the NoC is refused."""
+        arch = build_conochi()
+        with pytest.raises(ValueError):
+            arch.remove_switch((2, 1))  # middle of the chain
+
+    def test_remove_added_switch(self):
+        arch = build_conochi()
+        arch.add_switch((2, 3), wires=[((2, 2), TileType.VWIRE)])
+        arch.sim.run(arch.cfg.table_update_latency + 2)
+        arch.remove_switch((2, 3))
+        arch.sim.run(arch.cfg.table_update_latency + 10)
+        assert (2, 3) not in arch.grid.switches()
+        # the feeding wire is pruned too
+        assert arch.grid.get(2, 2) is TileType.FREE
+
+    def test_remove_switch_with_module_raises(self):
+        arch = build_conochi()
+        with pytest.raises(ValueError):
+            arch.remove_switch((1, 1))  # m0 hangs off it
+
+    def test_traffic_survives_switch_insertion(self):
+        """§3.2: switches added 'without stalling the NoC'."""
+        arch = build_conochi()
+        msgs = [arch.ports["m0"].send("m3", 256) for _ in range(4)]
+        arch.sim.run(10)
+        arch.add_switch((2, 3), wires=[((2, 2), TileType.VWIRE)])
+        arch.run_to_completion()
+        assert all(m.delivered for m in msgs)
+
+    def test_migration_preserves_logical_address(self):
+        """Move m3's attachment to m0's switch; peers keep sending to
+        'm3' unchanged."""
+        arch = build_conochi()
+        arch.migrate_module("m3", (1, 1))
+        arch.sim.run(arch.cfg.table_update_latency + 2)
+        msg = arch.ports["m1"].send("m3", 32)
+        arch.run_to_completion()
+        assert msg.delivered
+
+    def test_migrate_to_full_switch_raises(self):
+        arch = build_conochi()
+        arch.migrate_module("m2", (1, 1))
+        arch.sim.run(arch.cfg.table_update_latency + 2)
+        # switch (1,1): link to (2,1) + m0 + m2 -> one port left; m3 fits
+        arch.migrate_module("m3", (1, 1))
+        arch.sim.run(arch.cfg.table_update_latency + 2)
+        with pytest.raises(ValueError):
+            arch.migrate_module("m1", (1, 1))
+
+
+class TestMetadata:
+    def test_descriptor(self):
+        from repro.core.parameters import PAPER_TABLE_1
+
+        assert build_conochi().descriptor() == PAPER_TABLE_1["CoNoChi"]
+
+    def test_area_matches_table3(self):
+        arch = build_conochi()
+        assert arch.area_slices() == 1640
+
+    def test_system_area_exceeds_switch_area(self):
+        arch = build_conochi()
+        assert arch.system_area_slices() > arch.area_slices()
+
+    def test_fmax(self):
+        assert build_conochi().fmax_hz() == pytest.approx(73e6)
+
+    def test_port_load_accounting(self):
+        arch = build_conochi()
+        # end switch: one link + one module
+        assert arch.switch_port_load((1, 1)) == 2
+        # middle switch: two links + one module
+        assert arch.switch_port_load((2, 1)) == 3

@@ -1,0 +1,185 @@
+"""DyNoC architecture tests: placement, transport, obstacles."""
+
+import pytest
+
+from repro.arch.dynoc import DyNoCConfig, build_dynoc
+from repro.core.metrics import probe_single_message
+from repro.fabric.geometry import Rect
+from repro.sim import SimError
+
+
+class TestConfig:
+    def test_for_modules_squares(self):
+        assert DyNoCConfig.for_modules(4).mesh_cols == 2
+        assert DyNoCConfig.for_modules(5).mesh_cols == 3
+        assert DyNoCConfig.for_modules(9).mesh_cols == 3
+
+    def test_packet_words(self):
+        cfg = DyNoCConfig()
+        assert cfg.packet_words(4) == 2   # 1 header + 1 payload word
+        assert cfg.packet_words(64) == 17
+
+    @pytest.mark.parametrize("kw", [
+        {"mesh_cols": 0}, {"width": 0}, {"router_latency": 0},
+        {"header_words": 0}, {"ttl_hops_factor": 1},
+    ])
+    def test_invalid_raises(self, kw):
+        with pytest.raises(ValueError):
+            DyNoCConfig(**kw)
+
+
+class TestMinimalSystem:
+    def test_builder_places_modules_on_own_pes(self):
+        arch = build_dynoc(num_modules=4)
+        assert arch.cfg.mesh_cols == 2
+        assert arch.active_routers() == 4  # Table 3's assumption
+
+    def test_area_matches_table3(self):
+        assert build_dynoc(num_modules=4).area_slices() == 1480
+
+    def test_single_message(self):
+        arch = build_dynoc()
+        msg = arch.ports["m0"].send("m3", 16)
+        arch.run_to_completion()
+        assert msg.delivered
+
+    def test_all_pairs(self):
+        arch = build_dynoc()
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    arch.ports[f"m{i}"].send(f"m{j}", 32)
+        arch.run_to_completion()
+        assert arch.log.all_delivered()
+
+    def test_latency_grows_with_hops(self):
+        arch = build_dynoc(num_modules=4, mesh=(4, 1))
+        near = probe_single_message(arch, "m0", "m1", 16)
+        far = probe_single_message(build_dynoc(num_modules=4, mesh=(4, 1)),
+                                   "m0", "m3", 16)
+        assert far.total_cycles > near.total_cycles
+
+    def test_hop_latency_slope(self):
+        """Each extra hop costs router_latency + link_latency."""
+        cfg_cost = DyNoCConfig().router_latency + DyNoCConfig().link_latency
+        lat = {}
+        for dist in (1, 2, 3):
+            arch = build_dynoc(num_modules=4, mesh=(4, 1))
+            lat[dist] = probe_single_message(arch, "m0", f"m{dist}", 4).total_cycles
+        assert lat[2] - lat[1] == cfg_cost
+        assert lat[3] - lat[2] == cfg_cost
+
+    def test_mesh_too_small_raises(self):
+        with pytest.raises(ValueError):
+            build_dynoc(num_modules=5, mesh=(2, 2))
+
+
+class TestPlacement:
+    def test_multi_pe_module_deactivates_interior_routers(self):
+        arch = build_dynoc(num_modules=0, mesh=(6, 6))
+        arch.attach("big", rect=Rect(2, 2, 2, 2))
+        assert arch.active_routers() == 32
+        assert not arch.is_active((2, 2))
+        assert not arch.is_active((3, 3))
+
+    def test_multi_pe_module_must_be_surrounded(self):
+        """The paper's placement rule: no border contact."""
+        arch = build_dynoc(num_modules=0, mesh=(6, 6))
+        with pytest.raises(ValueError):
+            arch.attach("edge", rect=Rect(0, 2, 2, 2))
+        with pytest.raises(ValueError):
+            arch.attach("edge", rect=Rect(4, 4, 2, 2))
+
+    def test_single_pe_module_keeps_router(self):
+        arch = build_dynoc(num_modules=0, mesh=(4, 4))
+        arch.attach("solo", rect=Rect(0, 0, 1, 1))
+        assert arch.is_active((0, 0))
+
+    def test_overlapping_placement_raises(self):
+        arch = build_dynoc(num_modules=0, mesh=(6, 6))
+        arch.attach("a", rect=Rect(2, 2, 2, 2))
+        with pytest.raises(ValueError):
+            arch.attach("b", rect=Rect(3, 3, 1, 1))
+
+    def test_remove_module_reactivates_routers(self):
+        arch = build_dynoc(num_modules=0, mesh=(6, 6))
+        arch.attach("big", rect=Rect(2, 2, 2, 2))
+        arch.detach("big")
+        assert arch.active_routers() == 36
+
+    def test_default_access_router_west_of_corner(self):
+        arch = build_dynoc(num_modules=0, mesh=(6, 6))
+        arch.attach("big", rect=Rect(2, 2, 2, 2))
+        assert arch.placement_of("big").access == (1, 2)
+
+    def test_traffic_routes_around_obstacle(self):
+        """End-to-end: a module blocking the straight path forces a
+        detour, and messages still arrive."""
+        arch = build_dynoc(num_modules=0, mesh=(7, 5))
+        arch.attach("src", rect=Rect(0, 2, 1, 1))
+        arch.attach("dst", rect=Rect(6, 2, 1, 1))
+        arch.attach("wall", rect=Rect(2, 1, 2, 3))  # blocks row 2
+        msg = arch.ports["src"].send("dst", 16)
+        arch.run_to_completion()
+        assert msg.delivered
+        hops = arch.sim.stats.histogram("dynoc.hops").samples[-1]
+        assert hops > 6  # longer than the straight 6-hop path
+
+    def test_obstacle_increases_latency(self):
+        def run(with_wall):
+            arch = build_dynoc(num_modules=0, mesh=(7, 5))
+            arch.attach("src", rect=Rect(0, 2, 1, 1))
+            arch.attach("dst", rect=Rect(6, 2, 1, 1))
+            if with_wall:
+                arch.attach("wall", rect=Rect(2, 1, 2, 3))
+            return probe_single_message(arch, "src", "dst", 16).total_cycles
+
+        assert run(True) > run(False)
+
+
+class TestContention:
+    def test_shared_link_serializes(self):
+        """Two packets over the same link: the second waits."""
+        arch = build_dynoc(num_modules=4, mesh=(4, 1))
+        a = arch.ports["m0"].send("m3", 256)
+        b = arch.ports["m0"].send("m3", 256)
+        arch.run_to_completion()
+        assert abs(a.delivered_cycle - b.delivered_cycle) >= 64  # 65 words
+
+    def test_disjoint_paths_parallel(self):
+        arch = build_dynoc(num_modules=4)  # 2x2
+        arch.ports["m0"].send("m1", 256)
+        arch.ports["m2"].send("m3", 256)
+        arch.run_to_completion()
+        assert arch.observed_dmax >= 2
+
+    def test_theoretical_dmax_counts_links(self):
+        arch = build_dynoc(num_modules=4)  # 2x2 mesh: 4 edges x 2
+        assert arch.theoretical_dmax() == 8
+
+    def test_dmax_shrinks_with_obstacle(self):
+        arch = build_dynoc(num_modules=0, mesh=(5, 5))
+        before = arch.theoretical_dmax()
+        arch.attach("big", rect=Rect(1, 1, 3, 3))
+        assert arch.theoretical_dmax() < before
+
+
+class TestSafety:
+    def test_send_to_unplaced_module_raises(self):
+        arch = build_dynoc()
+        with pytest.raises(KeyError):
+            arch.ports["m0"].send("ghost", 8)
+
+    def test_detach_then_messages_wait_is_an_error(self):
+        """DyNoC requires the destination to be placed at send time."""
+        arch = build_dynoc()
+        arch.detach("m3")
+        with pytest.raises(KeyError):
+            arch.ports["m0"].send("m3", 8)
+
+    def test_metadata(self):
+        from repro.core.parameters import PAPER_TABLE_1
+
+        arch = build_dynoc()
+        assert arch.descriptor() == PAPER_TABLE_1["DyNoC"]
+        assert arch.fmax_hz() == pytest.approx(74e6)

@@ -1,0 +1,111 @@
+"""Online DyNoC placement integration tests."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.arch.dynoc.placement import (
+    candidate_positions,
+    detour_cost,
+    place_module_online,
+    placer_for,
+)
+from repro.fabric.geometry import Rect
+from repro.reconfig.placement import PlacementError
+
+
+def mesh(cols=8, rows=8):
+    return build_architecture("dynoc", num_modules=0, mesh=(cols, rows))
+
+
+class TestPlacerFor:
+    def test_seeds_existing_placements(self):
+        arch = mesh()
+        arch.attach("a", rect=Rect(2, 2, 2, 2))
+        placer = placer_for(arch)
+        assert "a" in placer.placements
+
+    def test_margin_and_gap_rules(self):
+        arch = mesh()
+        placer = placer_for(arch)
+        assert placer.margin == 1 and placer.gap == 1
+
+
+class TestCandidates:
+    def test_scan_order(self):
+        arch = mesh()
+        placer = placer_for(arch)
+        cands = list(candidate_positions(placer, 2, 2))
+        assert cands[0] == Rect(1, 1, 2, 2)
+        assert all(
+            1 <= r.x and r.x2 <= 7 and 1 <= r.y and r.y2 <= 7
+            for r in cands
+        )
+
+    def test_no_candidates_when_full(self):
+        arch = mesh(5, 5)
+        placer = placer_for(arch)
+        placer.commit("big", Rect(1, 1, 3, 3))
+        assert list(candidate_positions(placer, 2, 2)) == []
+
+
+class TestDetourCost:
+    def test_cost_zero_without_endpoints(self):
+        arch = mesh()
+        assert detour_cost(arch, Rect(2, 2, 2, 2)) == 0
+
+    def test_blocking_rect_costs_more(self):
+        arch = mesh(9, 5)
+        arch.attach("src", rect=Rect(0, 2, 1, 1))
+        arch.attach("dst", rect=Rect(8, 2, 1, 1))
+        on_path = detour_cost(arch, Rect(4, 1, 2, 3))
+        off_path = detour_cost(arch, Rect(4, 3, 2, 1).expand(0))
+        assert on_path is not None and off_path is not None
+        assert on_path > off_path
+
+
+class TestOnlinePlacement:
+    def test_places_and_attaches(self):
+        arch = mesh()
+        rect = place_module_online(arch, "job", 2, 2)
+        assert "job" in arch.modules
+        assert arch.placement_of("job").rect == rect
+
+    def test_traffic_flows_after_placement(self):
+        arch = mesh()
+        arch.attach("src", rect=Rect(0, 3, 1, 1))
+        arch.attach("dst", rect=Rect(7, 3, 1, 1))
+        place_module_online(arch, "job", 3, 3)
+        msg = arch.ports["src"].send("dst", 32)
+        arch.run_to_completion()
+        assert msg.delivered
+
+    def test_minimize_detour_prefers_off_path(self):
+        arch = mesh(9, 5)
+        arch.attach("src", rect=Rect(0, 2, 1, 1))
+        arch.attach("dst", rect=Rect(8, 2, 1, 1))
+        rect = place_module_online(arch, "job", 2, 1,
+                                   minimize_detour=True)
+        # a 2x1 module fits off the src-dst row; the chooser must avoid
+        # covering row 2 head-on
+        cost_after = detour_cost(arch, Rect(1, 1, 1, 1))  # probe only
+        assert not (rect.y <= 2 < rect.y2 and 1 <= rect.x <= 7) or \
+            cost_after is not None
+
+    def test_no_space_raises(self):
+        arch = mesh(5, 5)
+        place_module_online(arch, "a", 3, 3)
+        with pytest.raises(PlacementError):
+            place_module_online(arch, "b", 3, 3)
+
+    def test_sequential_fill(self):
+        arch = mesh(10, 10)
+        names = []
+        for i in range(4):
+            place_module_online(arch, f"j{i}", 2, 2)
+            names.append(f"j{i}")
+        rects = [arch.placement_of(n).rect for n in names]
+        for a in rects:
+            for b in rects:
+                if a != b:
+                    assert not a.overlaps(b)
+                    assert not a.adjacent(b)  # gap rule preserved

@@ -1,0 +1,93 @@
+"""Property-based tests: S-XY delivery under DyNoC's placement rule.
+
+The DyNoC guarantee — the network stays connected and packets arrive —
+holds when every module is *completely surrounded* by routers. We
+generate random placements obeying that rule (margin 1 from the border,
+1-router corridors between modules) and assert S-XY delivers between
+all free routers.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.dynoc.routing import trace_route
+
+
+@st.composite
+def surrounded_placements(draw):
+    cols = draw(st.integers(6, 12))
+    rows = draw(st.integers(6, 12))
+    n_obstacles = draw(st.integers(1, 3))
+    rects = []
+    for _ in range(n_obstacles):
+        w = draw(st.integers(1, 3))
+        h = draw(st.integers(1, 3))
+        x = draw(st.integers(1, max(1, cols - w - 1)))
+        y = draw(st.integers(1, max(1, rows - h - 1)))
+        rect = (x, y, w, h)
+        # enforce 1-router corridors between modules
+        ok = all(
+            x + w < ox or ox + ow < x or y + h < oy or oy + oh < y
+            for ox, oy, ow, oh in rects
+        )
+        if ok:
+            rects.append(rect)
+    assume(rects)
+    return cols, rows, rects
+
+
+def _active_and_extent(cols, rows, rects):
+    blocked = {
+        (xx, yy)
+        for x, y, w, h in rects
+        for yy in range(y, y + h)
+        for xx in range(x, x + w)
+    }
+
+    def active(c):
+        x, y = c
+        return 0 <= x < cols and 0 <= y < rows and c not in blocked
+
+    def extent(c):
+        for x, y, w, h in rects:
+            if x <= c[0] < x + w and y <= c[1] < y + h:
+                return (y, y + h - 1, x, x + w - 1)
+        return None
+
+    return active, extent, blocked
+
+
+@given(data=surrounded_placements(), pick=st.randoms(use_true_random=False))
+@settings(max_examples=120, deadline=None)
+def test_sxy_delivers_between_random_free_routers(data, pick):
+    cols, rows, rects = data
+    active, extent, blocked = _active_and_extent(cols, rows, rects)
+    free = [
+        (x, y) for x in range(cols) for y in range(rows)
+        if (x, y) not in blocked
+    ]
+    src = pick.choice(free)
+    dst = pick.choice(free)
+    if src == dst:
+        return
+    path = trace_route(src, dst, active, extent,
+                       max_hops=8 * (cols + rows))
+    assert path[0] == src and path[-1] == dst
+    # every hop is between orthogonal neighbours on active routers
+    for a, b in zip(path, path[1:]):
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+        assert active(b)
+
+
+@given(data=surrounded_placements())
+@settings(max_examples=60, deadline=None)
+def test_sxy_path_length_bounded(data):
+    """Paths never exceed a small multiple of the Manhattan distance
+    plus the total obstacle perimeter."""
+    cols, rows, rects = data
+    active, extent, blocked = _active_and_extent(cols, rows, rects)
+    src, dst = (0, 0), (cols - 1, rows - 1)
+    path = trace_route(src, dst, active, extent, max_hops=8 * (cols + rows))
+    manhattan = abs(dst[0] - src[0]) + abs(dst[1] - src[1])
+    perimeter = sum(2 * (w + h) for _, _, w, h in rects)
+    assert len(path) - 1 <= manhattan + 2 * perimeter + 4

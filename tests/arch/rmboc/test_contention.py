@@ -1,0 +1,117 @@
+"""RMBoC deep-contention scenarios: lane exhaustion, crossing traffic,
+freeze races — the protocol paths only stress exposes."""
+
+import pytest
+
+from repro.arch.rmboc import build_rmboc
+from repro.sim import Tracer
+
+
+class TestLaneExhaustion:
+    def test_middle_segment_is_the_bottleneck(self):
+        """All-crossing traffic funnels through segment 1; lane-exact
+        accounting keeps it at <= k lanes at all times."""
+        arch = build_rmboc(num_buses=2)
+        max_lanes_seen = 0
+
+        def probe(sim):
+            nonlocal max_lanes_seen
+            used = sum(
+                1 for owner in arch._lanes[1] if owner is not None
+            )
+            max_lanes_seen = max(max_lanes_seen, used)
+            if not arch.idle():
+                sim.after(1, probe)
+
+        for _ in range(3):
+            arch.ports["m0"].send("m2", 256)
+            arch.ports["m1"].send("m3", 256)
+            arch.ports["m3"].send("m0", 256)
+        arch.sim.after(0, probe)
+        arch.run_to_completion(max_cycles=200_000)
+        assert arch.log.all_delivered()
+        assert 0 < max_lanes_seen <= 2
+
+    def test_all_lanes_busy_forces_cancel_then_success(self):
+        arch = build_rmboc(num_buses=1)
+        first = arch.ports["m0"].send("m3", 2048)   # holds every segment
+        arch.sim.run(20)
+        second = arch.ports["m1"].send("m2", 64)    # must wait
+        arch.run_to_completion(max_cycles=200_000)
+        assert first.delivered and second.delivered
+        assert second.delivered_cycle > first.delivered_cycle - 512
+        assert arch.sim.stats.counter("rmboc.cancel.blocked").value >= 1
+
+    def test_opposite_directions_share_lanes(self):
+        """Lanes are direction-agnostic: m0->m3 and m3->m0 both need
+        full paths; with one bus they strictly serialize."""
+        arch = build_rmboc(num_buses=1)
+        a = arch.ports["m0"].send("m3", 512)
+        b = arch.ports["m3"].send("m0", 512)
+        arch.run_to_completion(max_cycles=200_000)
+        # transfers cannot overlap on any shared segment
+        overlap = min(a.delivered_cycle, b.delivered_cycle) - max(
+            a.accepted_cycle, b.accepted_cycle
+        )
+        assert overlap <= 0
+
+
+class TestFreezeRaces:
+    def test_freeze_after_reservation_cancels_inflight_request(self):
+        """A request already past a cross-point when it freezes still
+        dies there and releases its partial reservation."""
+        arch = build_rmboc()
+        arch.sim.tracer = Tracer()
+        msg = arch.ports["m0"].send("m3", 64)
+        arch.sim.run(3)                # request processed at XP0, en route
+        arch.freeze_slot(2)            # freeze ahead of it
+        arch.sim.run(100)
+        assert not msg.delivered
+        assert arch.lanes_in_use() == 0  # partial reservation rolled back
+        arch.unfreeze_slot(2)
+        arch.run_to_completion(max_cycles=200_000)
+        assert msg.delivered
+
+    def test_freeze_every_slot_stalls_everything(self):
+        arch = build_rmboc()
+        for xp in range(4):
+            arch.freeze_slot(xp)
+        msg = arch.ports["m0"].send("m1", 16)
+        arch.sim.run(300)
+        assert not msg.delivered
+        for xp in range(4):
+            arch.unfreeze_slot(xp)
+        arch.run_to_completion()
+        assert msg.delivered
+
+
+class TestProtocolAccounting:
+    def test_every_request_terminates(self):
+        """requested == established + cancelled at quiescence, for a
+        messy mixed workload."""
+        arch = build_rmboc(num_buses=2)
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    arch.ports[f"m{i}"].send(f"m{j}", 96)
+        arch.run_to_completion(max_cycles=500_000)
+        stats = arch.sim.stats
+        requested = stats.counter("rmboc.channels.requested").value
+        established = stats.counter("rmboc.channels.established").value
+        cancelled = stats.counter("rmboc.channels.cancelled").value
+        assert requested == established + cancelled
+        assert established == stats.counter("rmboc.channels.destroyed").value
+
+    def test_trace_shows_retry_chain(self):
+        arch = build_rmboc(num_buses=1)
+        arch.sim.tracer = Tracer()
+        arch.ports["m0"].send("m2", 512)
+        arch.ports["m2"].send("m0", 512)
+        arch.run_to_completion(max_cycles=200_000)
+        tracer = arch.sim.tracer
+        cancels = tracer.query(kind="cancel")
+        if cancels:  # a cancel implies a later re-request of that pair
+            first_cancel = cancels[0].cycle
+            later_requests = tracer.query(kind="request",
+                                          since=first_cancel + 1)
+            assert later_requests

@@ -1,0 +1,71 @@
+"""RMBoC protocol-object unit tests."""
+
+import pytest
+
+from repro.arch.rmboc.protocol import (
+    Channel,
+    ChannelState,
+    CtrlKind,
+    CtrlMsg,
+    Transfer,
+)
+
+
+class TestChannel:
+    def test_direction_and_distance(self):
+        ch = Channel(src_xp=1, dst_xp=3)
+        assert ch.direction == 1
+        assert ch.distance == 2
+        back = Channel(src_xp=3, dst_xp=0)
+        assert back.direction == -1
+        assert back.distance == 3
+
+    def test_same_endpoints_raise(self):
+        with pytest.raises(ValueError):
+            Channel(src_xp=2, dst_xp=2)
+
+    def test_segments_forward(self):
+        """Segment i joins cross-points i and i+1."""
+        ch = Channel(src_xp=0, dst_xp=3)
+        assert list(ch.segments()) == [0, 1, 2]
+
+    def test_segments_backward(self):
+        ch = Channel(src_xp=3, dst_xp=1)
+        assert list(ch.segments()) == [2, 1]
+
+    def test_segment_count_equals_distance(self):
+        for src, dst in [(0, 1), (0, 3), (3, 0), (2, 1)]:
+            ch = Channel(src_xp=src, dst_xp=dst)
+            assert len(list(ch.segments())) == ch.distance
+
+    def test_unique_ids(self):
+        a = Channel(src_xp=0, dst_xp=1)
+        b = Channel(src_xp=0, dst_xp=1)
+        assert a.cid != b.cid
+
+    def test_initial_state(self):
+        ch = Channel(src_xp=0, dst_xp=1)
+        assert ch.state is ChannelState.REQUESTING
+        assert ch.established_cycle == -1
+        assert ch.lanes == {}
+
+
+class TestCtrlMsg:
+    def test_fields(self):
+        ch = Channel(src_xp=0, dst_xp=2)
+        msg = CtrlMsg(CtrlKind.REQUEST, ch, at_xp=0, ready_at=2)
+        assert msg.kind is CtrlKind.REQUEST
+        assert msg.channel is ch
+
+    def test_kinds_cover_protocol(self):
+        assert {k.value for k in CtrlKind} == {
+            "request", "reply", "cancel", "destroy",
+        }
+
+
+class TestTransfer:
+    def test_bookkeeping(self):
+        ch = Channel(src_xp=0, dst_xp=1)
+        tr = Transfer(channel=ch, words_left=16, msg=object())
+        assert tr.words_left == 16
+        assert tr.channel is ch

@@ -1,0 +1,170 @@
+"""Common-interface tests across all four architectures."""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, build_all, build_architecture
+from repro.arch.base import Message, MessageLog
+
+
+class TestMessage:
+    def test_latency(self):
+        m = Message("a", "b", 10)
+        m.created_cycle = 5
+        m.delivered_cycle = 17
+        assert m.latency == 12
+
+    def test_latency_before_delivery_raises(self):
+        m = Message("a", "b", 10)
+        with pytest.raises(ValueError):
+            m.latency
+
+    def test_self_message_raises(self):
+        with pytest.raises(ValueError):
+            Message("a", "a", 10)
+
+    def test_nonpositive_payload_raises(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", 0)
+
+    def test_unique_ids(self):
+        assert Message("a", "b", 1).mid != Message("a", "b", 1).mid
+
+
+class TestMessageLog:
+    def test_pending_and_delivered(self):
+        log = MessageLog()
+        m1 = Message("a", "b", 8)
+        m2 = Message("a", "b", 8)
+        log.sent(m1)
+        log.sent(m2)
+        m1.created_cycle, m1.delivered_cycle = 0, 4
+        assert log.delivered() == [m1]
+        assert log.pending() == [m2]
+        assert not log.all_delivered()
+
+    def test_latency_filters(self):
+        log = MessageLog()
+        for src, dst, lat in [("a", "b", 3), ("a", "c", 5), ("b", "c", 7)]:
+            m = Message(src, dst, 8)
+            m.created_cycle, m.delivered_cycle = 0, lat
+            log.sent(m)
+        assert log.latencies(src="a") == [3, 5]
+        assert log.latencies(dst="c") == [5, 7]
+        assert log.latencies(src="a", dst="c") == [5]
+
+    def test_delivered_payload_bytes(self):
+        log = MessageLog()
+        m = Message("a", "b", 100)
+        m.created_cycle, m.delivered_cycle = 0, 1
+        log.sent(m)
+        log.sent(Message("a", "b", 50))
+        assert log.delivered_payload_bytes() == 100
+
+
+@pytest.mark.parametrize("name", ARCHITECTURES)
+class TestCommonBehaviour:
+    def test_builds_with_four_modules(self, name):
+        arch = build_architecture(name)
+        assert arch.modules == ("m0", "m1", "m2", "m3")
+
+    def test_attach_duplicate_raises(self, name):
+        arch = build_architecture(name)
+        with pytest.raises(ValueError):
+            arch.attach("m0")
+
+    def test_detach_unknown_raises(self, name):
+        arch = build_architecture(name)
+        with pytest.raises(KeyError):
+            arch.detach("ghost")
+
+    def test_idle_initially(self, name):
+        assert build_architecture(name).idle()
+
+    def test_message_delivery_and_port_receive(self, name):
+        arch = build_architecture(name)
+        msg = arch.ports["m0"].send("m1", 16)
+        arch.run_to_completion()
+        assert msg.delivered
+        received = arch.ports["m1"].take_received()
+        assert received == [msg]
+        assert arch.ports["m1"].take_received() == []  # drained
+
+    def test_latency_recorded_centrally(self, name):
+        arch = build_architecture(name)
+        arch.ports["m0"].send("m1", 16)
+        arch.run_to_completion()
+        hist = arch.sim.stats.histogram("latency.message")
+        assert hist.count == 1
+
+    def test_delivered_counters(self, name):
+        arch = build_architecture(name)
+        arch.ports["m0"].send("m1", 16)
+        arch.run_to_completion()
+        assert arch.sim.stats.counter("delivered.messages").value == 1
+        assert arch.sim.stats.counter("delivered.bytes").value == 16
+
+    def test_descriptor_and_metadata_present(self, name):
+        arch = build_architecture(name)
+        d = arch.descriptor()
+        assert d.arch_type in ("Bus", "NoC")
+        assert arch.area_slices() > 0
+        assert arch.fmax_hz() > 0
+        assert arch.theoretical_dmax() > 0
+
+    def test_width_parameter_respected(self, name):
+        arch8 = build_architecture(name, width=8)
+        arch32 = build_architecture(name, width=32)
+        assert arch8.width == 8
+        # narrower links => same payload needs more cycles
+        m8 = arch8.ports["m0"].send("m1", 64)
+        m32 = arch32.ports["m0"].send("m1", 64)
+        arch8.run_to_completion()
+        arch32.run_to_completion()
+        assert m8.latency > m32.latency
+
+    def test_zero_width_raises(self, name):
+        with pytest.raises(ValueError):
+            build_architecture(name, width=0)
+
+
+class TestFactory:
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(KeyError):
+            build_architecture("amba")
+
+    def test_name_normalization(self):
+        assert build_architecture("BUS-COM").KEY == "buscom"
+        assert build_architecture("RMBoC").KEY == "rmboc"
+
+    def test_build_all(self):
+        archs = build_all()
+        assert set(archs) == set(ARCHITECTURES)
+        # each architecture has its own simulator
+        sims = {id(a.sim) for a in archs.values()}
+        assert len(sims) == 4
+
+
+class TestSummaryByPair:
+    def test_counts_bytes_and_latency(self):
+        arch = build_architecture("buscom")
+        arch.ports["m0"].send("m1", 64)
+        arch.ports["m0"].send("m1", 32)
+        arch.ports["m2"].send("m3", 16)
+        arch.run_to_completion()
+        summary = arch.log.summary_by_pair()
+        assert summary[("m0", "m1")]["messages"] == 2
+        assert summary[("m0", "m1")]["bytes"] == 96
+        assert summary[("m0", "m1")]["mean_latency"] > 0
+        assert summary[("m2", "m3")]["bytes"] == 16
+
+    def test_undelivered_counts_messages_only(self):
+        arch = build_architecture("buscom")
+        arch.freeze_module("m0")
+        arch.ports["m0"].send("m1", 64)
+        arch.sim.run(50)
+        summary = arch.log.summary_by_pair()
+        import math
+
+        assert summary[("m0", "m1")]["messages"] == 1
+        assert summary[("m0", "m1")]["bytes"] == 0
+        assert math.isnan(summary[("m0", "m1")]["mean_latency"])

@@ -1,0 +1,171 @@
+"""Architecture-advisor tests: the paper's guidance, executable."""
+
+import math
+
+import pytest
+
+from repro.core.advisor import (
+    ARCHS,
+    Assessment,
+    Recommendation,
+    Requirements,
+    assess,
+    recommend,
+)
+
+
+class TestRequirements:
+    def test_defaults_valid(self):
+        Requirements()
+
+    @pytest.mark.parametrize("kw", [
+        {"num_modules": 1},
+        {"link_width": 0},
+        {"min_parallel_transfers": 0},
+        {"max_transfer_bytes": 0},
+        {"weight_area": -1.0},
+    ])
+    def test_invalid_raises(self, kw):
+        with pytest.raises(ValueError):
+            Requirements(**kw)
+
+
+class TestVetoes:
+    def test_variable_shape_vetoes_buses(self):
+        req = Requirements(variable_module_shape=True)
+        rec = recommend(req)
+        assert not rec.assessments["RMBoC"].feasible
+        assert not rec.assessments["BUS-COM"].feasible
+        assert rec.assessments["DyNoC"].feasible
+        assert rec.assessments["CoNoChi"].feasible
+
+    def test_parallelism_vetoes_buscom(self):
+        req = Requirements(min_parallel_transfers=6)
+        rec = recommend(req)
+        assert not rec.assessments["BUS-COM"].feasible  # d_max = 4
+        assert rec.assessments["RMBoC"].feasible        # d_max = 12
+
+    def test_area_budget_vetoes_rmboc(self):
+        req = Requirements(area_budget_slices=2000)
+        rec = recommend(req)
+        assert not rec.assessments["RMBoC"].feasible    # 5084 slices
+        assert rec.assessments["BUS-COM"].feasible      # 1294
+
+    def test_runtime_growth_vetoes_rmboc(self):
+        """Table 4: RMBoC extensibility is low."""
+        req = Requirements(needs_runtime_growth=True)
+        rec = recommend(req)
+        assert not rec.assessments["RMBoC"].feasible
+        assert rec.assessments["CoNoChi"].feasible
+
+    def test_payload_fragmentation_with_tight_budget(self):
+        req = Requirements(max_transfer_bytes=4096,
+                           latency_budget_cycles=300)
+        a = assess("BUS-COM", req)  # 256-byte limit -> 16 fragments
+        assert not a.feasible
+        assert any("fragments" in v for v in a.vetoes)
+
+    def test_vetoed_assessment_documents_reason(self):
+        req = Requirements(variable_module_shape=True)
+        a = assess("RMBoC", req)
+        assert a.vetoes
+        assert math.isinf(a.score)
+
+
+class TestRecommendations:
+    def test_area_critical_design_picks_buscom(self):
+        """§4: 'If area efficiency is the main design parameter, the
+        bus-based systems are the first choice. Especially BUS-COM.'"""
+        req = Requirements(weight_area=10.0, weight_latency=0.1,
+                           weight_flexibility=0.1, weight_scalability=0.1)
+        assert recommend(req).best == "BUS-COM"
+
+    def test_flexible_reconfig_heavy_design_picks_conochi(self):
+        """§4: 'CoNoChi offers the best structural parameters and the
+        best conceptional support for dynamic reconfiguration.'"""
+        req = Requirements(variable_module_shape=True,
+                           reconfigures_often=True,
+                           needs_runtime_growth=True,
+                           weight_flexibility=5.0, weight_scalability=3.0,
+                           weight_area=0.2, weight_latency=0.2)
+        assert recommend(req).best == "CoNoChi"
+
+    def test_all_vetoed_gives_none(self):
+        req = Requirements(variable_module_shape=True,
+                           area_budget_slices=100)
+        rec = recommend(req)
+        assert rec.best is None
+        assert rec.ranking == []
+
+    def test_ranking_sorted_by_score(self):
+        rec = recommend(Requirements())
+        scores = [rec.assessments[n].score for n in rec.ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_report_mentions_every_architecture(self):
+        text = recommend(Requirements()).report()
+        for name in ARCHS:
+            assert name in text
+        assert "recommendation:" in text
+
+    def test_assessments_cover_all_archs(self):
+        rec = recommend(Requirements())
+        assert set(rec.assessments) == set(ARCHS)
+
+
+class TestEstimates:
+    def test_area_estimates_match_table3_for_slot_modules(self):
+        req = Requirements(num_modules=4, link_width=32)
+        assert assess("RMBoC", req).area_slices == 5084
+        assert assess("BUS-COM", req).area_slices == 1294
+        assert assess("DyNoC", req).area_slices == 1480
+
+    def test_dynoc_area_grows_for_variable_shapes(self):
+        fixed = assess("DyNoC", Requirements())
+        variable = assess("DyNoC", Requirements(variable_module_shape=True))
+        assert variable.area_slices > fixed.area_slices
+
+    def test_latency_estimate_scales_with_transfer_size(self):
+        small = assess("RMBoC", Requirements(max_transfer_bytes=16))
+        big = assess("RMBoC", Requirements(max_transfer_bytes=1024))
+        assert big.est_latency_cycles > small.est_latency_cycles
+
+    def test_dmax_estimates(self):
+        req = Requirements(num_modules=4)
+        assert assess("RMBoC", req).dmax == 12
+        assert assess("BUS-COM", req).dmax == 4
+
+
+class TestStaticBaselineCandidates:
+    def test_static_designs_excluded_by_default(self):
+        rec = recommend(Requirements())
+        assert "SharedBus" not in rec.assessments
+        assert "StaticMesh" not in rec.assessments
+
+    def test_no_dpr_needed_lets_baseline_win_on_area(self):
+        """The E10 result as advice: if the module mix never changes,
+        a static design is the cheapest feasible answer."""
+        req = Requirements(needs_runtime_module_exchange=False,
+                           weight_area=10.0, weight_latency=0.5,
+                           weight_flexibility=0.1, weight_scalability=0.1)
+        rec = recommend(req)
+        assert rec.best in ("SharedBus", "StaticMesh")
+
+    def test_parallelism_still_vetoes_sharedbus(self):
+        req = Requirements(needs_runtime_module_exchange=False,
+                           min_parallel_transfers=2)
+        rec = recommend(req)
+        assert not rec.assessments["SharedBus"].feasible
+        assert rec.assessments["StaticMesh"].feasible
+
+    def test_growth_requirement_vetoes_statics(self):
+        req = Requirements(needs_runtime_module_exchange=False,
+                           needs_runtime_growth=True)
+        rec = recommend(req)
+        assert not rec.assessments["SharedBus"].feasible
+        assert not rec.assessments["StaticMesh"].feasible
+
+    def test_report_lists_baselines_when_candidates(self):
+        req = Requirements(needs_runtime_module_exchange=False)
+        text = recommend(req).report()
+        assert "SharedBus" in text and "StaticMesh" in text

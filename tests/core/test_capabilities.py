@@ -1,0 +1,63 @@
+"""Capability-profile tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.capabilities import PROFILES, CapabilityProfile
+from repro.core.parameters import ARCH_NAMES, ModuleShape
+
+
+class TestProfiles:
+    def test_all_four_present(self):
+        assert set(PROFILES) == set(ARCH_NAMES)
+
+    def test_names_match_keys(self):
+        for key, profile in PROFILES.items():
+            assert profile.name == key
+
+    def test_nocs_concurrent_buses_not(self):
+        assert PROFILES["DyNoC"].concurrent_medium
+        assert PROFILES["CoNoChi"].concurrent_medium
+        assert not PROFILES["RMBoC"].concurrent_medium
+        assert not PROFILES["BUS-COM"].concurrent_medium
+
+    def test_only_conochi_has_tables_and_redirection(self):
+        for name, p in PROFILES.items():
+            expected = name == "CoNoChi"
+            assert p.routing_tables is expected
+            assert p.packet_redirection is expected
+
+    def test_shape_freedom_matches_style(self):
+        for name in ("RMBoC", "BUS-COM"):
+            assert PROFILES[name].module_shape is ModuleShape.FIXED
+        for name in ("DyNoC", "CoNoChi"):
+            assert PROFILES[name].module_shape is ModuleShape.VARIABLE
+
+    def test_extension_dims_bounds(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PROFILES["RMBoC"], extension_dims=-1)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PROFILES["RMBoC"].extension_dims = 2
+
+    def test_model_agreement_with_simulators(self):
+        """Capability booleans match what the simulators actually do."""
+        from repro.arch import build_architecture
+
+        # RMBoC bandwidth adaptation: >1 circuit per pair exists
+        arch = build_architecture("rmboc")
+        for _ in range(2):
+            arch.ports["m0"].send("m1", 512)
+        arch.run_to_completion()
+        established = arch.sim.stats.counter(
+            "rmboc.channels.established").value
+        assert (established > 1) == PROFILES["RMBoC"].bandwidth_adaptation
+
+        # BUS-COM virtual topology: slot reassignment exists and works
+        arch = build_architecture("buscom")
+        arch.reassign_slot(0, 0, "m2")
+        arch.sim.run(arch.cfg.reassign_latency + 2)
+        assert (arch.table.entry(0, 0).owner == "m2") == \
+            PROFILES["BUS-COM"].virtual_topology

@@ -1,0 +1,164 @@
+"""Metric-probe tests."""
+
+import math
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.core.metrics import (
+    effective_bandwidth,
+    measure_min_setup_latency,
+    measure_per_hop_latency,
+    observed_parallelism,
+    probe_single_message,
+)
+
+
+class TestProbeSingleMessage:
+    def test_rmboc_decomposition(self):
+        arch = build_architecture("rmboc")
+        p = probe_single_message(arch, "m0", "m1", 64)
+        assert p.setup_cycles == 8
+        assert p.transfer_cycles == 16
+        assert p.total_cycles == 24
+        assert p.cycles_per_word == 1.0
+
+    def test_noc_has_no_setup(self):
+        arch = build_architecture("conochi")
+        p = probe_single_message(arch, "m0", "m1", 64)
+        assert p.setup_cycles is None
+        assert p.transfer_cycles == p.total_cycles
+
+    def test_payload_words(self):
+        arch = build_architecture("dynoc")
+        p = probe_single_message(arch, "m0", "m1", 100)
+        assert p.payload_words == 25
+
+
+class TestPublishedFigures:
+    def test_min_setup_latency_is_8(self):
+        """Table 2's RMBoC row."""
+        assert measure_min_setup_latency() == 8
+
+    def test_conochi_per_hop_slope(self):
+        """Table 2: 5-cycle switch + 1-cycle link = 6/hop."""
+        slope, samples = measure_per_hop_latency("conochi")
+        assert slope == pytest.approx(6.0)
+        assert set(samples) == {1, 2, 3}
+
+    def test_dynoc_per_hop_slope(self):
+        slope, _ = measure_per_hop_latency("dynoc")
+        assert slope == pytest.approx(4.0)  # 3-cycle router + 1 link
+
+
+class TestEffectiveBandwidth:
+    def test_buscom_90pct_with_full_static_slots(self):
+        arch = build_architecture("buscom")
+        for _ in range(4):
+            arch.ports["m0"].send("m1", 72)
+        arch.run_to_completion()
+        assert effective_bandwidth(arch) == pytest.approx(0.90)
+
+    def test_conochi_90pct_at_108_bytes(self):
+        arch = build_architecture("conochi")
+        arch.ports["m0"].send("m1", 108)
+        arch.run_to_completion()
+        assert effective_bandwidth(arch) == pytest.approx(0.90)
+
+    def test_rmboc_negligible_overhead(self):
+        """§4.2: 'the protocol overhead becomes neglectable here'."""
+        arch = build_architecture("rmboc")
+        arch.ports["m0"].send("m1", 8192)
+        arch.run_to_completion()
+        assert effective_bandwidth(arch) > 0.99
+
+    def test_nan_without_traffic(self):
+        arch = build_architecture("buscom")
+        assert math.isnan(effective_bandwidth(arch))
+
+
+class TestObservedParallelism:
+    def test_zero_without_traffic(self):
+        arch = build_architecture("buscom")
+        assert observed_parallelism(arch) == (0, pytest.approx(math.nan, nan_ok=True))
+
+    def test_max_and_mean(self):
+        arch = build_architecture("buscom")
+        for i in range(4):
+            arch.ports[f"m{i}"].send(f"m{(i + 1) % 4}", 720)
+        arch.run_to_completion()
+        mx, mean = observed_parallelism(arch)
+        assert mx == 4
+        assert 0 < mean <= 4
+
+
+class TestLatencyDecomposition:
+    def test_empty_is_nan(self):
+        from repro.core.metrics import latency_decomposition
+
+        arch = build_architecture("buscom")
+        d = latency_decomposition(arch)
+        assert d.samples == 0
+        assert math.isnan(d.total_mean)
+
+    def test_buscom_queueing_visible(self):
+        """A message sent just after its slot passed queues measurably."""
+        from repro.core.metrics import latency_decomposition
+
+        arch = build_architecture("buscom")
+        arch.sim.run(100)
+        arch.ports["m0"].send("m1", 16)
+        arch.run_to_completion()
+        d = latency_decomposition(arch)
+        assert d.samples == 1
+        assert d.queueing_mean >= 0
+        assert d.transport_mean > 0
+        assert d.total_mean == pytest.approx(
+            arch.log.latencies()[0], abs=1e-9
+        )
+
+    def test_rmboc_setup_counts_as_queueing(self):
+        from repro.core.metrics import latency_decomposition
+
+        arch = build_architecture("rmboc")
+        arch.ports["m0"].send("m1", 64)
+        arch.run_to_completion()
+        d = latency_decomposition(arch)
+        # the 8-cycle circuit setup precedes acceptance into a transfer
+        assert d.queueing_mean == 8.0
+        assert d.transport_mean == 16.0
+
+    def test_decomposition_sums_to_latency(self):
+        from repro.core.metrics import latency_decomposition
+
+        for name in ("rmboc", "buscom", "dynoc", "conochi"):
+            arch = build_architecture(name)
+            for i in range(4):
+                arch.ports[f"m{i}"].send(f"m{(i + 1) % 4}", 48)
+            arch.run_to_completion()
+            d = latency_decomposition(arch)
+            lat = arch.log.latencies()
+            assert d.total_mean == pytest.approx(sum(lat) / len(lat))
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        from repro.core.metrics import jain_fairness
+
+        assert jain_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_one_flow_takes_all(self):
+        from repro.core.metrics import jain_fairness
+
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_raises(self):
+        from repro.core.metrics import jain_fairness
+
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_all_zero_is_vacuously_fair(self):
+        from repro.core.metrics import jain_fairness
+
+        assert jain_fairness([0, 0]) == 1.0

@@ -1,0 +1,117 @@
+"""Taxonomy datatype tests + the paper's transcribed ground truth."""
+
+import pytest
+
+from repro.core.parameters import (
+    ARCH_NAMES,
+    PAPER_TABLE_1,
+    PAPER_TABLE_4,
+    DesignParameters,
+    Level,
+    ModuleShape,
+    StructuralRanking,
+    Switching,
+    Topology,
+)
+
+
+class TestLevel:
+    def test_ordering(self):
+        assert Level.LOW < Level.MEDIUM < Level.HIGH
+
+    def test_str(self):
+        assert str(Level.HIGH) == "high"
+
+
+class TestDesignParameters:
+    def test_invalid_type_raises(self):
+        with pytest.raises(ValueError):
+            DesignParameters(
+                name="x", arch_type="Star", topology=Topology.ARRAY_1D,
+                module_size=ModuleShape.FIXED, switching=Switching.CIRCUIT,
+                bit_width=(1, 32), overhead="", overhead_bits=None,
+                max_payload_bytes=None, protocol_layers=1,
+            )
+
+    def test_invalid_width_range_raises(self):
+        with pytest.raises(ValueError):
+            DesignParameters(
+                name="x", arch_type="Bus", topology=Topology.ARRAY_1D,
+                module_size=ModuleShape.FIXED, switching=Switching.CIRCUIT,
+                bit_width=(32, 1), overhead="", overhead_bits=None,
+                max_payload_bytes=None, protocol_layers=1,
+            )
+
+    def test_zero_layers_raises(self):
+        with pytest.raises(ValueError):
+            DesignParameters(
+                name="x", arch_type="Bus", topology=Topology.ARRAY_1D,
+                module_size=ModuleShape.FIXED, switching=Switching.CIRCUIT,
+                bit_width=(1, 32), overhead="", overhead_bits=None,
+                max_payload_bytes=None, protocol_layers=0,
+            )
+
+
+class TestPaperTable1:
+    """Row-by-row transcription checks against the paper's Table 1."""
+
+    def test_all_architectures_present(self):
+        assert set(PAPER_TABLE_1) == set(ARCH_NAMES)
+
+    def test_bus_rows(self):
+        for name in ("RMBoC", "BUS-COM"):
+            row = PAPER_TABLE_1[name]
+            assert row.arch_type == "Bus"
+            assert row.topology is Topology.ARRAY_1D
+            assert row.module_size is ModuleShape.FIXED
+
+    def test_noc_rows(self):
+        for name in ("DyNoC", "CoNoChi"):
+            row = PAPER_TABLE_1[name]
+            assert row.arch_type == "NoC"
+            assert row.topology is Topology.ARRAY_2D
+            assert row.module_size is ModuleShape.VARIABLE
+            assert row.switching is Switching.PACKET
+
+    def test_switching_kinds(self):
+        assert PAPER_TABLE_1["RMBoC"].switching is Switching.CIRCUIT
+        assert PAPER_TABLE_1["BUS-COM"].switching is Switching.TIME_MULTIPLEXED
+
+    def test_payload_limits(self):
+        assert PAPER_TABLE_1["BUS-COM"].max_payload_bytes == 256
+        assert PAPER_TABLE_1["CoNoChi"].max_payload_bytes == 1024
+        assert PAPER_TABLE_1["RMBoC"].max_payload_bytes is None
+        assert PAPER_TABLE_1["DyNoC"].max_payload_bytes is None
+
+    def test_protocol_layers(self):
+        layers = {n: PAPER_TABLE_1[n].protocol_layers for n in ARCH_NAMES}
+        assert layers == {"RMBoC": 1, "BUS-COM": 1, "DyNoC": 1, "CoNoChi": 3}
+
+    def test_overhead_bits(self):
+        assert PAPER_TABLE_1["BUS-COM"].overhead_bits == 20
+        assert PAPER_TABLE_1["CoNoChi"].overhead_bits == 96
+
+
+class TestPaperTable4:
+    def test_all_architectures_present(self):
+        assert set(PAPER_TABLE_4) == set(ARCH_NAMES)
+
+    def test_conochi_all_high(self):
+        r = PAPER_TABLE_4["CoNoChi"]
+        assert r.as_tuple() == (Level.HIGH,) * 4
+
+    def test_buscom_all_medium(self):
+        r = PAPER_TABLE_4["BUS-COM"]
+        assert r.as_tuple() == (Level.MEDIUM,) * 4
+
+    def test_rmboc_row(self):
+        r = PAPER_TABLE_4["RMBoC"]
+        assert (r.flexibility, r.scalability, r.extensibility,
+                r.modularity) == (Level.HIGH, Level.MEDIUM, Level.LOW,
+                                  Level.MEDIUM)
+
+    def test_dynoc_row(self):
+        r = PAPER_TABLE_4["DyNoC"]
+        assert (r.flexibility, r.scalability, r.extensibility,
+                r.modularity) == (Level.LOW, Level.HIGH, Level.HIGH,
+                                  Level.HIGH)

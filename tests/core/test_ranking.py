@@ -1,0 +1,80 @@
+"""Ranking-rubric tests: the rubric must regenerate Table 4 exactly."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.capabilities import PROFILES, CapabilityProfile
+from repro.core.parameters import PAPER_TABLE_4, Level, ModuleShape
+from repro.core.ranking import (
+    extensibility_score,
+    flexibility_score,
+    modularity_score,
+    rank,
+    rank_all,
+    scalability_score,
+    score,
+)
+
+
+class TestTable4Reproduction:
+    def test_exact_match_with_paper(self):
+        """The headline regression: rubric(capabilities) == Table 4."""
+        ranked = rank_all()
+        for name, expected in PAPER_TABLE_4.items():
+            assert ranked[name].as_tuple() == expected.as_tuple(), name
+
+    def test_all_profiles_present(self):
+        assert set(PROFILES) == set(PAPER_TABLE_4)
+
+
+class TestRubricComponents:
+    def test_flexibility_order(self):
+        """CoNoChi >= RMBoC > BUS-COM > DyNoC in raw score."""
+        f = {n: flexibility_score(p) for n, p in PROFILES.items()}
+        assert f["CoNoChi"] >= f["RMBoC"] > f["BUS-COM"] > f["DyNoC"]
+
+    def test_scalability_noc_beats_bus(self):
+        s = {n: scalability_score(p) for n, p in PROFILES.items()}
+        assert s["DyNoC"] == s["CoNoChi"] == 2
+        assert s["RMBoC"] == s["BUS-COM"] == 1
+
+    def test_extensibility_is_dimensions(self):
+        e = {n: extensibility_score(p) for n, p in PROFILES.items()}
+        assert e == {"RMBoC": 0, "BUS-COM": 1, "DyNoC": 2, "CoNoChi": 2}
+
+    def test_modularity_tiled_beats_slots(self):
+        m = {n: modularity_score(p) for n, p in PROFILES.items()}
+        assert m["DyNoC"] == m["CoNoChi"] == 2
+        assert m["RMBoC"] == m["BUS-COM"] == 1
+
+    def test_score_breakdown_fields(self):
+        b = score(PROFILES["CoNoChi"])
+        assert b.flexibility >= 3
+        assert b.scalability == 2
+
+    def test_single_bus_without_mitigation_scores_zero(self):
+        plain = dataclasses.replace(
+            PROFILES["BUS-COM"],
+            name="PlainBus",
+            virtual_topology=False,
+            dynamic_arbitration=False,
+            bandwidth_adaptation=False,
+        )
+        assert scalability_score(plain) == 0
+        assert rank(plain).scalability is Level.LOW
+
+
+class TestProfiles:
+    def test_extension_dims_validated(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(PROFILES["DyNoC"], extension_dims=3)
+
+    def test_paper_citations_consistent(self):
+        """Spot-check the capability facts against the paper's prose."""
+        assert PROFILES["RMBoC"].bandwidth_adaptation       # §4.3
+        assert not PROFILES["DyNoC"].bandwidth_adaptation   # §4.3
+        assert PROFILES["CoNoChi"].packet_redirection       # §4.2
+        assert PROFILES["BUS-COM"].virtual_topology         # §3.1
+        assert not PROFILES["BUS-COM"].segmented_medium     # §4.2
+        assert PROFILES["DyNoC"].module_shape is ModuleShape.VARIABLE

@@ -1,0 +1,52 @@
+"""Report-rendering tests."""
+
+from repro.core import tables
+from repro.core.report import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        # all rows same width
+        assert len(set(len(l.rstrip()) for l in lines[2:])) <= 2
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = format_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestRenderers:
+    def test_table1_contains_all_rows(self):
+        text = render_table1(tables.table1())
+        for name in ("RMBoC", "BUS-COM", "DyNoC", "CoNoChi"):
+            assert name in text
+        assert "circuit" in text
+        assert "96 bit" in text
+        assert "n. p." in text  # DyNoC's unpublished payload
+
+    def test_table3_contains_published_numbers(self):
+        text = render_table3(tables.table3())
+        for number in ("5084", "1294", "1480", "1640"):
+            assert number in text
+
+    def test_table4_levels(self):
+        text = render_table4(tables.table4())
+        assert "high" in text and "medium" in text and "low" in text
+
+    def test_table2_slow_but_complete(self):
+        text = render_table2(tables.table2())
+        assert "94" in text    # RMBoC f_max
+        assert "410" in text   # CoNoChi switch slices

@@ -1,0 +1,102 @@
+"""Minimal-scenario tests."""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, build_architecture
+from repro.core.scenario import minimal_scenario, pattern_pairs
+
+
+class TestPatternPairs:
+    MODULES = ["m0", "m1", "m2", "m3"]
+
+    def test_all_pairs(self):
+        pairs = pattern_pairs(self.MODULES, "all-pairs")
+        assert len(pairs) == 12
+        assert ("m0", "m0") not in pairs
+
+    def test_ring(self):
+        assert pattern_pairs(self.MODULES, "ring") == [
+            ("m0", "m1"), ("m1", "m2"), ("m2", "m3"), ("m3", "m0"),
+        ]
+
+    def test_neighbors(self):
+        assert pattern_pairs(self.MODULES, "neighbors") == [
+            ("m0", "m1"), ("m1", "m2"), ("m2", "m3"),
+        ]
+
+    def test_pairs_disjoint(self):
+        assert pattern_pairs(self.MODULES, "pairs") == [
+            ("m0", "m1"), ("m2", "m3"),
+        ]
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(ValueError):
+            pattern_pairs(self.MODULES, "butterfly")
+
+    def test_single_module_raises(self):
+        with pytest.raises(ValueError):
+            pattern_pairs(["m0"], "ring")
+
+
+@pytest.mark.parametrize("name", ARCHITECTURES)
+class TestMinimalScenario:
+    def test_ring_completes(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=64, pattern="ring")
+        assert result.messages == 4
+        assert len(result.latencies) == 4
+        assert result.total_cycles > 0
+        assert result.arch_key == arch.KEY
+
+    def test_all_pairs_completes(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=32,
+                                  pattern="all-pairs")
+        assert result.messages == 12
+
+    def test_repeats_scale_message_count(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=16, pattern="pairs",
+                                  repeats=3, gap_cycles=50)
+        assert result.messages == 6
+
+    def test_pair_latency_mapping(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=16, pattern="ring")
+        assert set(result.pair_latency) == {
+            ("m0", "m1"), ("m1", "m2"), ("m2", "m3"), ("m3", "m0"),
+        }
+        assert result.mean_latency == pytest.approx(
+            sum(result.latencies) / 4
+        )
+
+    def test_stats_properties(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=64, pattern="ring")
+        assert result.min_latency <= result.mean_latency <= result.max_latency
+        assert result.delivered_payload_bytes == 4 * 64
+        assert result.observed_dmax >= 1
+
+
+class TestValidation:
+    def test_zero_repeats_raises(self):
+        arch = build_architecture("buscom")
+        with pytest.raises(ValueError):
+            minimal_scenario(arch, repeats=0)
+
+
+@pytest.mark.parametrize("name", ["sharedbus", "staticmesh"])
+class TestMinimalScenarioOnBaselines:
+    def test_baselines_run_the_scenario(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=64, pattern="ring")
+        assert result.messages == 4
+        assert result.observed_dmax >= 1
+
+    def test_sharedbus_serializes_ring(self, name):
+        arch = build_architecture(name)
+        result = minimal_scenario(arch, payload_bytes=64, pattern="pairs")
+        if name == "sharedbus":
+            assert result.observed_dmax == 1
+        else:
+            assert result.observed_dmax >= 1

@@ -1,0 +1,71 @@
+"""Table-generator regression tests: the reproduction's headline checks."""
+
+import pytest
+
+from repro.core import tables
+from repro.core.parameters import PAPER_TABLE_1, PAPER_TABLE_4
+
+
+class TestTable1:
+    def test_matches_paper_transcription(self):
+        assert tables.table1() == PAPER_TABLE_1
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return tables.table2()
+
+    def test_rmboc_row(self, t2):
+        row = t2["RMBoC"]
+        assert row.setup_latency_cycles == 8     # published minimum
+        assert row.data_cycles_per_word == 1.0   # published streaming rate
+        assert row.slices == 5084
+        assert row.fmax_mhz == pytest.approx(94.0)
+
+    def test_buscom_row(self, t2):
+        row = t2["BUS-COM"]
+        assert row.slices == 1294
+        assert row.fmax_mhz == 66.0
+        assert "296" in row.config  # published prototype figure
+
+    def test_conochi_row(self, t2):
+        row = t2["CoNoChi"]
+        assert row.per_hop_latency_cycles == 5   # published switch latency
+        assert row.slices == 410                 # published per-switch area
+
+    def test_dynoc_row_flagged_assumed(self, t2):
+        row = t2["DyNoC"]
+        assert row.slices == 370
+        assert "assumed" in row.provenance
+
+    def test_fmax_bracket(self, t2):
+        """§4.2: prototypes cluster in the same order of magnitude."""
+        values = [row.fmax_mhz for row in t2.values()]
+        assert max(values) / min(values) < 1.5
+
+
+class TestTable3:
+    def test_exact_paper_values(self):
+        assert tables.table3() == {
+            "RMBoC": 5084, "BUS-COM": 1294, "DyNoC": 1480, "CoNoChi": 1640,
+        }
+
+    def test_scales_with_modules(self):
+        t8 = tables.table3(m=8)
+        t4 = tables.table3(m=4)
+        for arch in t4:
+            assert t8[arch] > t4[arch]
+
+
+class TestTable4:
+    def test_matches_paper(self):
+        ranked = tables.table4()
+        for name, expected in PAPER_TABLE_4.items():
+            assert ranked[name].as_tuple() == expected.as_tuple()
+
+
+class TestAllTables:
+    def test_bundle_keys(self):
+        bundle = tables.all_tables()
+        assert set(bundle) == {"table1", "table2", "table3", "table4"}

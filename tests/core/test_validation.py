@@ -1,0 +1,33 @@
+"""Validation-harness tests."""
+
+from repro.core.validation import Check, ValidationReport, validate_reproduction
+
+
+class TestReport:
+    def test_all_pass(self):
+        r = ValidationReport()
+        r.add("a", True, "ok")
+        r.add("b", True, "ok")
+        assert r.passed
+        assert "2/2 checks passed" in r.render()
+
+    def test_one_failure_fails(self):
+        r = ValidationReport()
+        r.add("a", True, "ok")
+        r.add("b", False, "broken")
+        assert not r.passed
+        assert "[FAIL] b" in r.render()
+
+
+class TestValidateReproduction:
+    def test_fast_mode_passes(self):
+        report = validate_reproduction(fast=True)
+        assert report.passed, report.render()
+        names = [c.name for c in report.checks]
+        assert any("Table 1" in n for n in names)
+        assert any("Table 3" in n for n in names)
+        assert any("E3" in n for n in names)
+
+    def test_fast_skips_slow_checks(self):
+        fast = validate_reproduction(fast=True)
+        assert not any("E2" in c.name for c in fast.checks)

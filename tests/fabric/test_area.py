@@ -1,0 +1,121 @@
+"""Area-model tests: Table 3 and Table 2 calibration points, plus the
+scaling structure the §4.1 discussion relies on."""
+
+import pytest
+
+from repro.fabric.area import AreaModel
+
+
+@pytest.fixture
+def area():
+    return AreaModel()
+
+
+class TestTable3Calibration:
+    """The paper's Table 3, reproduced exactly."""
+
+    def test_table3_values(self, area):
+        assert area.table3() == {
+            "RMBoC": 5084,
+            "BUS-COM": 1294,
+            "DyNoC": 1480,
+            "CoNoChi": 1640,
+        }
+
+    def test_rmboc_complete_system(self, area):
+        assert area.rmboc_total(4, 4, 32) == 5084
+
+    def test_buscom_total(self, area):
+        assert area.buscom_total(4, 4, 32) == 1294
+
+    def test_dynoc_per_switch(self, area):
+        """Table 2/3: 370 slices per 32-bit DyNoC router."""
+        assert area.dynoc_router(32) == 370
+        assert area.dynoc_total(4, 32) == 1480
+
+    def test_conochi_per_switch(self, area):
+        """Table 2: 410 slices per 32-bit CoNoChi switch."""
+        assert area.conochi_switch(32) == 410
+        assert area.conochi_total(4, 32) == 1640
+
+    def test_buscom_prototype_296(self, area):
+        """§3.1: the published 32-in/16-out system needs 296 slices."""
+        assert area.buscom_prototype() == 296
+
+    def test_minimum_interconnect_dispatch(self, area):
+        assert area.minimum_interconnect("rmboc") == 5084
+        assert area.minimum_interconnect("BUS-COM") == 1294
+        assert area.minimum_interconnect("DyNoC") == 1480
+        assert area.minimum_interconnect("conochi") == 1640
+
+    def test_unknown_architecture_raises(self, area):
+        with pytest.raises(KeyError):
+            area.minimum_interconnect("amba")
+
+
+class TestScalingStructure:
+    """§4.1: how area grows away from the calibration point."""
+
+    def test_rmboc_scales_linearly_in_modules(self, area):
+        per = area.rmboc_crosspoint(4, 32)
+        assert area.rmboc_total(8, 4, 32) == 8 * per
+
+    def test_rmboc_crosspoint_scales_with_buses(self, area):
+        assert area.rmboc_crosspoint(8, 32) > area.rmboc_crosspoint(4, 32)
+
+    def test_noc_switch_grows_with_width(self, area):
+        assert area.conochi_switch(64) > area.conochi_switch(32)
+        assert area.dynoc_router(64) > area.dynoc_router(32)
+
+    def test_conochi_switch_larger_than_dynoc(self, area):
+        """Table lookup + 3-layer protocol make the CoNoChi switch
+        bigger than the DyNoC router at equal width."""
+        for width in (8, 16, 32):
+            assert area.conochi_switch(width) > area.dynoc_router(width)
+
+    def test_buscom_macros_follow_8bit_granularity(self, area):
+        # 33 bits need 5 macros per direction
+        assert area.buscom_bus_macros(1, 33, 0) == 5 * 20
+
+    def test_buscom_arbiter_grows_with_buses(self, area):
+        assert area.buscom_arbiter(8) > area.buscom_arbiter(4)
+
+    def test_conochi_control_unit_offset(self, area):
+        """§4.1: control-unit area appears as an offset when scaling."""
+        delta = (area.conochi_control_unit(8)
+                 - area.conochi_control_unit(4))
+        assert delta == 4 * area.CONOCHI_CONTROL_PER_SWITCH
+
+    def test_bus_area_flat_in_module_size(self, area):
+        """Slot systems cost the same regardless of module footprint;
+        only module count matters."""
+        assert area.buscom_total(4, 4, 32) == 1294  # no size parameter exists
+
+    def test_invalid_inputs_raise(self, area):
+        with pytest.raises(ValueError):
+            area.rmboc_total(0, 4, 32)
+        with pytest.raises(ValueError):
+            area.rmboc_crosspoint(4, 0)
+        with pytest.raises(ValueError):
+            area.dynoc_total(-1, 32)
+        with pytest.raises(ValueError):
+            area.conochi_total(-1, 32)
+        with pytest.raises(ValueError):
+            area.buscom_interface(0)
+
+
+class TestTable3Trend:
+    """'The values in table 3 show a trend': bus < NoC for fixed-size
+    minimal systems — except RMBoC, whose per-bus datapaths dominate."""
+
+    def test_buscom_cheapest(self, area):
+        t = area.table3()
+        assert t["BUS-COM"] == min(t.values())
+
+    def test_rmboc_most_expensive(self, area):
+        t = area.table3()
+        assert t["RMBoC"] == max(t.values())
+
+    def test_conochi_adds_one_switch_per_module(self, area):
+        base = area.conochi_total(4, 32)
+        assert area.conochi_total(5, 32) - base == area.conochi_switch(32)

@@ -1,0 +1,71 @@
+"""Reconfiguration-timing model tests."""
+
+import pytest
+
+from repro.fabric.bitstream import ConfigPort, ReconfigTimingModel
+from repro.fabric.device import get_device
+from repro.fabric.geometry import Rect
+
+
+@pytest.fixture
+def model():
+    return ReconfigTimingModel(get_device("XC2V6000"))
+
+
+class TestColumnGranularity:
+    def test_columns_touched_is_width(self, model):
+        assert model.columns_touched(Rect(0, 0, 4, 96)) == 4
+
+    def test_height_is_irrelevant(self, model):
+        """Virtex-II reconfigures full columns: a 1-row region costs the
+        same as a full-height one."""
+        short = model.bitstream_bytes(Rect(0, 0, 4, 1))
+        tall = model.bitstream_bytes(Rect(0, 0, 4, 96))
+        assert short == tall
+
+    def test_region_outside_device_raises(self, model):
+        with pytest.raises(ValueError):
+            model.columns_touched(Rect(86, 0, 4, 1))
+
+    def test_bytes_scale_with_columns(self, model):
+        b1 = model.bitstream_bytes(Rect(0, 0, 1, 1))
+        b2 = model.bitstream_bytes(Rect(0, 0, 2, 1))
+        dev = get_device("XC2V6000")
+        assert b2 - b1 == dev.frames_per_clb_col * dev.frame_bytes
+
+
+class TestTiming:
+    def test_seconds_positive(self, model):
+        assert model.seconds(Rect(0, 0, 1, 1)) > 0
+
+    def test_cycles_at_clock(self, model):
+        region = Rect(0, 0, 2, 1)
+        secs = model.seconds(region)
+        assert model.cycles(region, 100e6) == pytest.approx(
+            secs * 100e6, abs=1
+        )
+
+    def test_faster_port_is_faster(self):
+        dev = get_device("XC2V6000")
+        slow = ReconfigTimingModel(dev, ConfigPort(width_bits=8))
+        fast = ReconfigTimingModel(dev, ConfigPort(width_bits=32))
+        region = Rect(0, 0, 4, 1)
+        assert fast.seconds(region) < slow.seconds(region)
+
+    def test_nonpositive_clock_raises(self, model):
+        with pytest.raises(ValueError):
+            model.cycles(Rect(0, 0, 1, 1), 0)
+
+    def test_invalid_port_raises(self):
+        with pytest.raises(ValueError):
+            ConfigPort(width_bits=0)
+
+    def test_port_bandwidth(self):
+        port = ConfigPort(width_bits=8, clock_hz=50e6)
+        assert port.bytes_per_second == 50e6
+
+    def test_realistic_magnitude(self, model):
+        """A 4-column region at 50 MB/s should take on the order of a
+        millisecond or two — the magnitude real Virtex-II DPR showed."""
+        secs = model.seconds(Rect(0, 0, 4, 96))
+        assert 1e-4 < secs < 1e-2

@@ -1,0 +1,46 @@
+"""Bus-macro model tests."""
+
+import pytest
+
+from repro.fabric.busmacro import (
+    BusMacroSpec,
+    duplex_macro_slices,
+    macro_slices,
+    macros_for_width,
+)
+
+
+class TestMacroCounts:
+    def test_published_granularity(self):
+        """BUS-COM: 8 bits per macro, 20 slices per macro."""
+        spec = BusMacroSpec()
+        assert spec.bits == 8
+        assert spec.slices == 20
+
+    @pytest.mark.parametrize("bits,macros", [
+        (1, 1), (8, 1), (9, 2), (16, 2), (32, 4), (48, 6), (0, 0),
+    ])
+    def test_macros_for_width(self, bits, macros):
+        assert macros_for_width(bits) == macros
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            macros_for_width(-1)
+
+    def test_published_buscom_bus(self):
+        """§3.1: 32-bit in + 16-bit out = six macros = 120 slices/bus."""
+        assert duplex_macro_slices(32, 16) == 120
+
+    def test_macro_slices(self):
+        assert macro_slices(32) == 80
+
+    def test_custom_spec(self):
+        wide = BusMacroSpec(bits=16, slices=30)
+        assert macros_for_width(32, wide) == 2
+        assert macro_slices(32, wide) == 60
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(ValueError):
+            BusMacroSpec(bits=0)
+        with pytest.raises(ValueError):
+            BusMacroSpec(slices=-1)

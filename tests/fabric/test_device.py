@@ -1,0 +1,94 @@
+"""Device catalog tests: the real Virtex-II slice arithmetic."""
+
+import pytest
+
+from repro.fabric.device import Device, get_device, list_devices
+
+
+class TestCatalog:
+    def test_xc2v6000_slices(self):
+        """The paper's main prototyping platform: 33,792 slices."""
+        assert get_device("XC2V6000").total_slices == 33792
+
+    def test_xc2v3000_slices(self):
+        """BUS-COM's platform: 14,336 slices."""
+        assert get_device("XC2V3000").total_slices == 14336
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("xc2v6000") is get_device("XC2V6000")
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("XC7Z020")
+
+    def test_list_devices_sorted(self):
+        devices = list_devices()
+        assert list(devices) == sorted(devices)
+        assert "XC2V6000" in devices
+
+    def test_rmboc_overhead_fits_published_range(self):
+        """RMBoC's 5084 slices land at the top of the 4-15 % of-XC2V6000
+        window the source paper reported (15.04 % — the paper's '15 %'
+        rounded down)."""
+        dev = get_device("XC2V6000")
+        util = dev.utilization(5084)
+        assert 0.04 <= util <= 0.155
+
+
+class TestDevice:
+    def test_column_slices(self):
+        dev = get_device("XC2V3000")
+        assert dev.column_slices() == 64 * 4
+        assert dev.column_slices(2) == 64 * 8
+
+    def test_slices_in(self):
+        dev = get_device("XC2V1000")
+        assert dev.slices_in(10) == 40
+
+    def test_slices_in_negative_raises(self):
+        with pytest.raises(ValueError):
+            get_device("XC2V1000").slices_in(-1)
+
+    def test_degenerate_grid_raises(self):
+        with pytest.raises(ValueError):
+            Device("bad", clb_rows=0, clb_cols=10)
+
+    def test_frame_bytes_derived_from_rows(self):
+        dev = Device("t", clb_rows=10, clb_cols=10)
+        assert dev.frame_bytes == 130
+
+    def test_explicit_frame_bytes_kept(self):
+        dev = Device("t", clb_rows=10, clb_cols=10, frame_bytes=99)
+        assert dev.frame_bytes == 99
+
+    def test_total_clbs(self):
+        assert Device("t", clb_rows=3, clb_cols=5).total_clbs == 15
+
+
+class TestSmallestDeviceFor:
+    def test_picks_smallest_fitting(self):
+        from repro.fabric.device import smallest_device_for
+
+        assert smallest_device_for(5000).name == "XC2V1000"
+        assert smallest_device_for(14000).name == "XC2V3000"
+        assert smallest_device_for(20000).name == "XC2V6000"
+
+    def test_margin_pushes_up(self):
+        from repro.fabric.device import smallest_device_for
+
+        # 5000 slices fit the XC2V1000 (5120) raw but not with 20% room
+        assert smallest_device_for(5000, margin=0.2).name != "XC2V1000"
+
+    def test_nothing_fits_raises(self):
+        from repro.fabric.device import smallest_device_for
+
+        with pytest.raises(LookupError):
+            smallest_device_for(10**6)
+
+    def test_invalid_args_raise(self):
+        from repro.fabric.device import smallest_device_for
+
+        with pytest.raises(ValueError):
+            smallest_device_for(-1)
+        with pytest.raises(ValueError):
+            smallest_device_for(1, margin=-0.5)

@@ -1,0 +1,68 @@
+"""Floorplan-renderer tests."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.floorplan_render import render_floorplan
+from repro.fabric.geometry import Rect
+
+
+class TestRender:
+    def test_letters_and_free_area(self):
+        dev = get_device("XC2V1000")  # 32x40 CLBs
+        text = render_floorplan(dev, {"alpha": Rect(0, 0, 8, 40)},
+                                cell_clbs=4)
+        assert "A" in text and "·" in text
+        assert "alpha" in text  # legend
+
+    def test_overlap_marked(self):
+        dev = get_device("XC2V1000")
+        text = render_floorplan(
+            dev,
+            {"a": Rect(0, 0, 8, 8), "b": Rect(4, 4, 8, 8)},
+            cell_clbs=4,
+        )
+        assert "#" in text
+
+    def test_dimensions(self):
+        dev = get_device("XC2V1000")
+        text = render_floorplan(dev, {}, cell_clbs=4, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 10            # 40 rows / 4
+        assert all(len(l) == 8 for l in lines)  # 32 cols / 4
+
+    def test_region_outside_raises(self):
+        dev = get_device("XC2V1000")
+        with pytest.raises(ValueError):
+            render_floorplan(dev, {"x": Rect(30, 0, 8, 8)})
+
+    def test_invalid_scale_raises(self):
+        dev = get_device("XC2V1000")
+        with pytest.raises(ValueError):
+            render_floorplan(dev, {}, cell_clbs=0)
+
+    def test_system_report_includes_floorplan(self):
+        from repro.system import ReconfigurableSystem
+
+        system = ReconfigurableSystem("rmboc")
+        text = system.report()
+        assert "CLBs" in text
+        assert "A = m0" in text
+
+    def test_slots_render_disjoint(self):
+        """Disjoint slots never show conflict marks, even when slot
+        edges share a raster cell."""
+        from repro.system import ReconfigurableSystem
+
+        system = ReconfigurableSystem("buscom")
+        assert "#" not in system.report()
+
+    def test_boundary_sharing_keeps_first_letter(self):
+        dev = get_device("XC2V1000")
+        # adjacent but non-overlapping regions splitting a raster cell
+        text = render_floorplan(
+            dev, {"a": Rect(0, 0, 6, 8), "b": Rect(6, 0, 6, 8)},
+            cell_clbs=4, legend=False,
+        )
+        assert "#" not in text
+        assert "A" in text and "B" in text

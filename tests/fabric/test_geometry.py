@@ -1,0 +1,85 @@
+"""Rect geometry tests."""
+
+import pytest
+
+from repro.fabric.device import Device
+from repro.fabric.geometry import Rect
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(1, 2, 3, 4)
+        assert (r.x, r.y, r.w, r.h) == (1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+
+    @pytest.mark.parametrize("w,h", [(0, 1), (1, 0), (-1, 1)])
+    def test_degenerate_raises(self, w, h):
+        with pytest.raises(ValueError):
+            Rect(0, 0, w, h)
+
+    def test_negative_origin_raises(self):
+        with pytest.raises(ValueError):
+            Rect(-1, 0, 1, 1)
+
+    def test_area(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.area_clbs == 12
+        assert r.area_slices == 48
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        r = Rect(1, 1, 2, 2)
+        assert r.contains_point(1, 1)
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(3, 1)
+        assert not r.contains_point(0, 1)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 4, 4)
+        assert outer.contains(Rect(1, 1, 2, 2))
+        assert outer.contains(outer)
+        assert not Rect(1, 1, 2, 2).contains(outer)
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # edge-touching
+        assert not a.overlaps(Rect(5, 5, 1, 1))
+
+    def test_overlaps_is_symmetric(self):
+        a, b = Rect(0, 0, 3, 3), Rect(2, 2, 3, 3)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_adjacent_edge(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.adjacent(Rect(2, 0, 1, 2))   # east edge
+        assert a.adjacent(Rect(0, 2, 2, 1))   # north edge
+        assert not a.adjacent(Rect(2, 2, 1, 1))  # corner only
+        assert not a.adjacent(Rect(3, 0, 1, 1))  # gap
+        assert not a.adjacent(Rect(1, 1, 2, 2))  # overlapping
+
+    def test_expand(self):
+        r = Rect(2, 2, 2, 2).expand(1)
+        assert r == Rect(1, 1, 4, 4)
+
+    def test_expand_clips_at_zero(self):
+        r = Rect(0, 0, 1, 1).expand(2)
+        assert r.x == 0 and r.y == 0
+        assert r.x2 == 3 and r.y2 == 3
+
+    def test_cells(self):
+        cells = list(Rect(1, 2, 2, 2).cells())
+        assert cells == [(1, 2), (2, 2), (1, 3), (2, 3)]
+
+    def test_fits_in_device(self):
+        dev = Device("t", clb_rows=4, clb_cols=4)
+        assert Rect(0, 0, 4, 4).fits_in(dev)
+        assert not Rect(1, 0, 4, 4).fits_in(dev)
+
+    def test_ordering_and_hash(self):
+        assert Rect(0, 0, 1, 1) < Rect(1, 0, 1, 1)
+        assert len({Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)}) == 1
+
+    def test_str(self):
+        assert str(Rect(1, 2, 3, 4)) == "[1,2 3x4]"

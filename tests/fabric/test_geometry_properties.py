@@ -1,0 +1,101 @@
+"""Property-based tests for Rect geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.geometry import Rect
+
+rects = st.builds(
+    Rect,
+    x=st.integers(0, 20),
+    y=st.integers(0, 20),
+    w=st.integers(1, 10),
+    h=st.integers(1, 10),
+)
+
+
+@given(a=rects, b=rects)
+@settings(max_examples=200, deadline=None)
+def test_overlap_symmetry(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(a=rects, b=rects)
+@settings(max_examples=200, deadline=None)
+def test_adjacent_symmetry_and_disjointness(a, b):
+    assert a.adjacent(b) == b.adjacent(a)
+    if a.adjacent(b):
+        assert not a.overlaps(b)
+
+
+@given(a=rects)
+@settings(max_examples=100, deadline=None)
+def test_self_relations(a):
+    assert a.overlaps(a)
+    assert a.contains(a)
+    assert not a.adjacent(a)
+
+
+@given(a=rects, b=rects)
+@settings(max_examples=200, deadline=None)
+def test_containment_implies_overlap(a, b):
+    if a.contains(b):
+        assert a.overlaps(b)
+        assert a.area_clbs >= b.area_clbs
+
+
+@given(a=rects)
+@settings(max_examples=100, deadline=None)
+def test_cells_match_area_and_membership(a):
+    cells = list(a.cells())
+    assert len(cells) == a.area_clbs
+    assert len(set(cells)) == len(cells)
+    assert all(a.contains_point(x, y) for x, y in cells)
+
+
+@given(a=rects, b=rects)
+@settings(max_examples=200, deadline=None)
+def test_overlap_agrees_with_cell_intersection(a, b):
+    shared = set(a.cells()) & set(b.cells())
+    assert a.overlaps(b) == bool(shared)
+
+
+@given(a=rects, margin=st.integers(0, 5))
+@settings(max_examples=100, deadline=None)
+def test_expand_contains_original(a, margin):
+    assert a.expand(margin).contains(a)
+
+
+# ----------------------------------------------------------------------
+# TileGrid render/parse round-trip
+# ----------------------------------------------------------------------
+from repro.fabric.tiles import TileGrid, TileType
+
+tile_grids = st.builds(
+    lambda cols, rows, cells: _fill_grid(cols, rows, cells),
+    cols=st.integers(1, 8),
+    rows=st.integers(1, 8),
+    cells=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7),
+                  st.sampled_from(list(TileType))),
+        max_size=20,
+    ),
+)
+
+
+def _fill_grid(cols, rows, cells):
+    grid = TileGrid(cols, rows)
+    for x, y, t in cells:
+        if x < cols and y < rows:
+            grid.set(x, y, t)
+    return grid
+
+
+@given(grid=tile_grids)
+@settings(max_examples=100, deadline=None)
+def test_tilegrid_render_parse_round_trip(grid):
+    reparsed = TileGrid.parse(grid.render())
+    assert reparsed.cols == grid.cols and reparsed.rows == grid.rows
+    assert list(reparsed) == list(grid)
+    assert reparsed.links() == grid.links()
+    assert reparsed.dangling_wires() == grid.dangling_wires()

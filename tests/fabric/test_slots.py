@@ -1,0 +1,106 @@
+"""Slot-floorplan tests."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.slots import SlotFloorplan
+
+
+@pytest.fixture
+def plan():
+    return SlotFloorplan(get_device("XC2V6000"), num_slots=4)
+
+
+class TestPartition:
+    def test_slot_count(self, plan):
+        assert len(plan) == 4
+
+    def test_slots_cover_all_columns(self, plan):
+        total = sum(s.rect.w for s in plan)
+        assert total == get_device("XC2V6000").clb_cols
+
+    def test_slots_are_full_height(self, plan):
+        dev = get_device("XC2V6000")
+        for slot in plan:
+            assert slot.rect.h == dev.clb_rows
+            assert slot.rect.y == 0
+
+    def test_slots_do_not_overlap(self, plan):
+        slots = list(plan)
+        for a in slots:
+            for b in slots:
+                if a is not b:
+                    assert not a.rect.overlaps(b.rect)
+
+    def test_uneven_division(self):
+        plan = SlotFloorplan(get_device("XC2V6000"), num_slots=3)
+        widths = [s.rect.w for s in plan]
+        assert sum(widths) == 88
+        assert max(widths) - min(widths) <= 1
+
+    def test_reserved_columns(self):
+        plan = SlotFloorplan(get_device("XC2V6000"), num_slots=4,
+                             reserved_cols=8)
+        assert plan[0].rect.x == 8
+        assert sum(s.rect.w for s in plan) == 80
+
+    def test_too_many_slots_raises(self):
+        with pytest.raises(ValueError):
+            SlotFloorplan(get_device("XC2V1000"), num_slots=33)
+
+    def test_zero_slots_raises(self):
+        with pytest.raises(ValueError):
+            SlotFloorplan(get_device("XC2V1000"), num_slots=0)
+
+
+class TestOccupancy:
+    def test_place_first_free(self, plan):
+        slot = plan.place("a")
+        assert slot.index == 0
+        assert plan.slot_of("a") is slot
+
+    def test_place_specific(self, plan):
+        slot = plan.place("a", slot_index=2)
+        assert slot.index == 2
+
+    def test_double_place_raises(self, plan):
+        plan.place("a")
+        with pytest.raises(ValueError):
+            plan.place("a")
+
+    def test_occupied_slot_raises(self, plan):
+        plan.place("a", slot_index=1)
+        with pytest.raises(ValueError):
+            plan.place("b", slot_index=1)
+
+    def test_frozen_slot_rejected(self, plan):
+        plan[0].frozen = True
+        slot = plan.place("a")  # falls through to slot 1
+        assert slot.index == 1
+        with pytest.raises(ValueError):
+            plan.place("b", slot_index=0)
+
+    def test_evict(self, plan):
+        plan.place("a", slot_index=3)
+        slot = plan.evict("a")
+        assert slot.index == 3 and slot.is_free
+
+    def test_evict_unknown_raises(self, plan):
+        with pytest.raises(KeyError):
+            plan.evict("ghost")
+
+    def test_full_floorplan(self, plan):
+        for i in range(4):
+            plan.place(f"m{i}")
+        assert not plan.free_slots()
+        with pytest.raises(ValueError):
+            plan.place("extra")
+
+    def test_occupied_mapping(self, plan):
+        plan.place("a", slot_index=2)
+        plan.place("b", slot_index=0)
+        assert plan.occupied() == {"a": 2, "b": 0}
+
+    def test_slot_slices(self, plan):
+        dev = get_device("XC2V6000")
+        assert plan[0].slices == plan[0].rect.w * dev.clb_rows * 4

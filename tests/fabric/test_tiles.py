@@ -1,0 +1,154 @@
+"""Tile-grid tests: CoNoChi geometry and topology extraction."""
+
+import pytest
+
+from repro.fabric.geometry import Rect
+from repro.fabric.tiles import TileGrid, TileType
+
+
+def chain_grid():
+    """Three switches joined by wire runs of different lengths."""
+    g = TileGrid(7, 3)
+    g.set(1, 1, TileType.SWITCH)
+    g.set(2, 1, TileType.HWIRE)
+    g.set(3, 1, TileType.SWITCH)
+    g.set(5, 1, TileType.SWITCH)
+    g.set(4, 1, TileType.HWIRE)
+    return g
+
+
+class TestBasics:
+    def test_all_free_initially(self):
+        g = TileGrid(3, 3)
+        assert all(t is TileType.FREE for _, t in g)
+
+    def test_set_get(self):
+        g = TileGrid(3, 3)
+        g.set(1, 2, TileType.SWITCH)
+        assert g.get(1, 2) is TileType.SWITCH
+
+    def test_out_of_bounds_raises(self):
+        g = TileGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.get(2, 0)
+        with pytest.raises(IndexError):
+            g.set(0, -1, TileType.SWITCH)
+
+    def test_degenerate_grid_raises(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 5)
+
+    def test_conducts(self):
+        assert TileType.HWIRE.conducts(1, 0)
+        assert not TileType.HWIRE.conducts(0, 1)
+        assert TileType.VWIRE.conducts(0, -1)
+        assert not TileType.VWIRE.conducts(1, 0)
+        assert TileType.SWITCH.conducts(1, 0)
+        assert not TileType.FREE.conducts(1, 0)
+        assert not TileType.MODULE.conducts(0, 1)
+
+
+class TestTopology:
+    def test_direct_adjacency_link(self):
+        g = TileGrid(3, 1)
+        g.set(0, 0, TileType.SWITCH)
+        g.set(1, 0, TileType.SWITCH)
+        assert g.links() == [((0, 0), (1, 0), 0)]
+
+    def test_wire_run_link(self):
+        g = chain_grid()
+        links = g.links()
+        assert (((1, 1), (3, 1), 1)) in links
+        assert (((3, 1), (5, 1), 1)) in links
+        assert len(links) == 2
+
+    def test_wrong_orientation_breaks_run(self):
+        g = TileGrid(4, 1)
+        g.set(0, 0, TileType.SWITCH)
+        g.set(1, 0, TileType.VWIRE)  # vertical wire on a horizontal run
+        g.set(2, 0, TileType.SWITCH)
+        assert g.links() == []
+
+    def test_vertical_run(self):
+        g = TileGrid(1, 4)
+        g.set(0, 0, TileType.SWITCH)
+        g.set(0, 1, TileType.VWIRE)
+        g.set(0, 2, TileType.VWIRE)
+        g.set(0, 3, TileType.SWITCH)
+        assert g.links() == [((0, 0), (0, 3), 2)]
+
+    def test_neighbors(self):
+        g = chain_grid()
+        assert g.neighbors((3, 1)) == [(5, 1), (1, 1)]
+
+    def test_connectivity(self):
+        g = chain_grid()
+        assert g.is_connected()
+        g.set(2, 1, TileType.FREE)  # cut the first link
+        assert not g.is_connected()
+
+    def test_single_switch_is_connected(self):
+        g = TileGrid(2, 2)
+        g.set(0, 0, TileType.SWITCH)
+        assert g.is_connected()
+
+    def test_no_switch_is_connected(self):
+        assert TileGrid(2, 2).is_connected()
+
+    def test_dangling_wires(self):
+        g = TileGrid(4, 1)
+        g.set(0, 0, TileType.SWITCH)
+        g.set(1, 0, TileType.HWIRE)
+        g.set(2, 0, TileType.HWIRE)  # run ends in FREE: dangling
+        assert g.dangling_wires() == [(1, 0), (2, 0)]
+
+    def test_no_dangling_on_valid_run(self):
+        assert chain_grid().dangling_wires() == []
+
+    def test_switches_sorted(self):
+        g = chain_grid()
+        assert g.switches() == [(1, 1), (3, 1), (5, 1)]
+
+
+class TestModules:
+    def test_place_and_remove(self):
+        g = TileGrid(4, 4)
+        g.place_module("m", Rect(1, 1, 2, 2))
+        assert g.get(1, 1) is TileType.MODULE
+        assert g.modules == {"m": Rect(1, 1, 2, 2)}
+        rect = g.remove_module("m")
+        assert rect == Rect(1, 1, 2, 2)
+        assert g.get(1, 1) is TileType.FREE
+
+    def test_place_on_nonfree_raises(self):
+        g = TileGrid(4, 4)
+        g.set(1, 1, TileType.SWITCH)
+        with pytest.raises(ValueError):
+            g.place_module("m", Rect(0, 0, 2, 2))
+        # failed placement must not leave partial MODULE tiles
+        assert g.get(0, 0) is TileType.FREE
+
+    def test_place_outside_raises(self):
+        g = TileGrid(3, 3)
+        with pytest.raises(ValueError):
+            g.place_module("m", Rect(2, 2, 2, 2))
+
+    def test_duplicate_module_raises(self):
+        g = TileGrid(4, 4)
+        g.place_module("m", Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            g.place_module("m", Rect(2, 2, 1, 1))
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TileGrid(2, 2).remove_module("ghost")
+
+
+class TestRender:
+    def test_render_shape_and_symbols(self):
+        g = chain_grid()
+        text = g.render()
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # row y=1 is the middle line (rendered top-down)
+        assert lines[1].split() == ["0", "S", "H", "S", "H", "S", "0"]

@@ -1,0 +1,79 @@
+"""CLI integration tests."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = make_parser().parse_args(["scenario"])
+        assert args.arch == "conochi"
+        assert args.pattern == "ring"
+
+
+class TestCommands:
+    def test_scenario(self, capsys):
+        assert main(["scenario", "-a", "buscom", "-b", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "architecture : buscom" in out
+        assert "latency" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for token in ("Figure 1", "Figure 2", "Figure 3", "Figure 4"):
+            assert token in out
+
+    def test_experiment_e1(self, capsys):
+        assert main(["experiment", "e1"]) == 0
+        assert "E1Result" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "e99"]) == 2
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 4" in out
+        assert "5084" in out  # Table 3 RMBoC
+
+
+class TestNewCommands:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--archs", "buscom", "--widths", "32",
+                     "--payloads", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "buscom" in out and "mean lat" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--variable-shape"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+        assert "VETO" in out  # buses vetoed by variable shape
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "e8", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert set(parsed["rows"]) == {"rmboc", "buscom", "dynoc",
+                                       "conochi"}
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# repro run report" in out
+        assert "Tables 1-4" in out
+        assert "E10" in out
+        assert "5084" in out
+
+    def test_validate_fast(self, capsys):
+        assert main(["validate", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert "FAIL" not in out

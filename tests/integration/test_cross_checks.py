@@ -1,0 +1,81 @@
+"""Cross-validation: analytic models vs measured behaviour.
+
+These tests close the loop between the closed-form expressions the
+paper (or our config layer) states and what the cycle-level simulators
+actually do.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.arch import build_architecture
+from repro.arch.rmboc import RMBoCConfig
+from repro.core.metrics import probe_single_message
+
+
+class TestRmbocFormula:
+    @given(m=st.integers(3, 8), k=st.integers(1, 6),
+           dist=st.integers(1, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_setup_formula_holds_for_any_m_k(self, m, k, dist):
+        """setup(d) = 2d+6 for every uncontended geometry."""
+        if dist >= m:
+            return
+        arch = build_architecture("rmboc", num_modules=m, num_buses=k)
+        probe = probe_single_message(arch, "m0", f"m{dist}", 32)
+        assert probe.setup_cycles == 2 * dist + 6
+        assert probe.setup_cycles == RMBoCConfig(
+            num_modules=m, num_buses=k
+        ).setup_latency(dist)
+
+    @given(payload=st.integers(1, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_total_latency_closed_form(self, payload):
+        """latency = setup + ceil(8·payload/width), exactly."""
+        arch = build_architecture("rmboc")
+        probe = probe_single_message(arch, "m0", "m1", payload)
+        words = -(-payload * 8 // 32)
+        assert probe.total_cycles == 8 + words
+
+
+class TestConochiAnalyticRoutes:
+    @given(src=st.integers(0, 3), dst=st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_route_latency_predicts_header_arrival(self, src, dst):
+        """The control unit's analytic path latency equals the measured
+        single-word message latency minus the NI injection and final
+        local-port serialization."""
+        if src == dst:
+            return
+        arch = build_architecture("conochi")
+        phys = arch.control.resolve(f"m{dst}")
+        analytic = arch.control.route_latency(
+            arch._module_switch[f"m{src}"], phys,
+            switch_latency=arch.cfg.switch_latency,
+        )
+        probe = probe_single_message(arch, f"m{src}", f"m{dst}", 4)
+        words = arch.cfg.header_words + 1
+        # measured = 1 (NI) + link + analytic-without-last-local + words
+        # Validate the relationship by recomputing from components:
+        expected = 1 + arch.cfg.link_latency + analytic + words
+        assert probe.total_cycles == expected
+
+
+class TestBuscomRoundArithmetic:
+    @given(offset=st.integers(0, 700))
+    @settings(max_examples=25, deadline=None)
+    def test_latency_bounded_by_round_length(self, offset):
+        """An 8-byte frame never waits longer than one full TDMA round
+        plus its own slot (the static-slot guarantee)."""
+        arch = build_architecture("buscom")
+        cfg = arch.cfg
+        arch.sim.run(offset)
+        msg = arch.ports["m0"].send("m1", 8)
+        arch.run_to_completion(max_cycles=100_000)
+        round_cycles = (
+            cfg.static_slots * cfg.static_slot_cycles
+            + (cfg.slots_per_bus - cfg.static_slots)
+            * cfg.empty_dynamic_slot_cycles
+        )
+        assert msg.latency <= round_cycles + cfg.static_slot_cycles

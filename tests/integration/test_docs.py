@@ -1,0 +1,53 @@
+"""Documentation-rot guards: README snippets execute, doc links exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parents[2]
+
+
+class TestReadmeSnippets:
+    def test_python_snippets_execute(self):
+        """All ```python blocks in the README run top-to-bottom in one
+        namespace (later blocks may use earlier blocks' names)."""
+        text = (ROOT / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+        assert blocks, "README lost its python examples"
+        namespace = {}
+        for block in blocks:
+            exec(compile(block, "<README>", "exec"), namespace)
+
+    def test_published_numbers_present(self):
+        text = (ROOT / "README.md").read_text()
+        for number in ("5084", "1294", "1480", "1640"):
+            assert number in text
+
+
+class TestDocTree:
+    def test_index_links_resolve(self):
+        index = (ROOT / "docs" / "README.md").read_text()
+        for target in re.findall(r"\]\((\w+\.md)\)", index):
+            assert (ROOT / "docs" / target).exists(), target
+
+    def test_every_doc_is_indexed(self):
+        index = (ROOT / "docs" / "README.md").read_text()
+        for doc in (ROOT / "docs").glob("*.md"):
+            if doc.name != "README.md":
+                assert doc.name in index, f"{doc.name} not in docs index"
+
+    def test_design_experiment_index_matches_benchmarks(self):
+        """Every bench target named in DESIGN.md §4 exists on disk."""
+        design = (ROOT / "DESIGN.md").read_text()
+        targets = re.findall(r"`benchmarks/(bench_\w+\.py)`", design)
+        assert targets
+        for target in targets:
+            assert (ROOT / "benchmarks" / target).exists(), target
+
+    def test_experiments_md_covers_all_ids(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for exp in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+                    "E9", "E10", "E11"):
+            assert f"## {exp} " in text or f"## {exp}/" in text or \
+                f"## {exp} —" in text, exp

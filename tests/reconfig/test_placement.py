@@ -1,0 +1,108 @@
+"""Online 2D placer tests."""
+
+import pytest
+
+from repro.fabric.geometry import Rect
+from repro.reconfig import FreeRectPlacer, PlacementError
+
+
+class TestFind:
+    def test_first_fit_bottom_left(self):
+        p = FreeRectPlacer(8, 8)
+        assert p.find(2, 2) == Rect(0, 0, 2, 2)
+
+    def test_margin_respected(self):
+        p = FreeRectPlacer(8, 8, margin=1)
+        rect = p.find(2, 2)
+        assert rect == Rect(1, 1, 2, 2)
+
+    def test_no_space_returns_none(self):
+        p = FreeRectPlacer(4, 4)
+        assert p.find(5, 1) is None
+
+    def test_best_fit_prefers_origin(self):
+        p = FreeRectPlacer(8, 8)
+        p.place("a", 2, 2)
+        rect = p.find(2, 2, strategy="best")
+        assert rect is not None
+        assert rect.x + rect.y <= 4
+
+    def test_unknown_strategy_raises(self):
+        p = FreeRectPlacer(4, 4)
+        with pytest.raises(ValueError):
+            p.find(1, 1, strategy="random")
+
+    def test_degenerate_footprint_raises(self):
+        with pytest.raises(ValueError):
+            FreeRectPlacer(4, 4).find(0, 1)
+
+
+class TestPlaceRemove:
+    def test_place_commits(self):
+        p = FreeRectPlacer(6, 6)
+        rect = p.place("a", 2, 3)
+        assert p.placements == {"a": rect}
+        assert p.free_cells == 36 - 6
+
+    def test_no_overlap_between_placements(self):
+        p = FreeRectPlacer(6, 6)
+        a = p.place("a", 3, 3)
+        b = p.place("b", 3, 3)
+        assert not a.overlaps(b)
+
+    def test_gap_enforced(self):
+        p = FreeRectPlacer(8, 8, gap=1)
+        a = p.place("a", 2, 2)
+        b = p.place("b", 2, 2)
+        # rects must not even touch
+        assert not a.overlaps(b) and not a.adjacent(b)
+
+    def test_full_area_raises(self):
+        p = FreeRectPlacer(4, 4)
+        p.place("a", 4, 4)
+        with pytest.raises(PlacementError):
+            p.place("b", 1, 1)
+
+    def test_duplicate_name_raises(self):
+        p = FreeRectPlacer(4, 4)
+        p.place("a", 1, 1)
+        with pytest.raises(PlacementError):
+            p.place("a", 1, 1)
+
+    def test_remove_frees_space(self):
+        p = FreeRectPlacer(4, 4)
+        p.place("a", 4, 4)
+        p.remove("a")
+        assert p.free_cells == 16
+        p.place("b", 4, 4)  # fits again
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(PlacementError):
+            FreeRectPlacer(4, 4).remove("ghost")
+
+    def test_commit_validates(self):
+        p = FreeRectPlacer(4, 4)
+        p.place("a", 2, 2)
+        with pytest.raises(PlacementError):
+            p.commit("b", Rect(1, 1, 2, 2))
+
+    def test_forbidden_cells(self):
+        p = FreeRectPlacer(4, 4, forbidden=[(0, 0), (1, 0)])
+        rect = p.find(2, 1)
+        assert rect != Rect(0, 0, 2, 1)
+
+    def test_utilization(self):
+        p = FreeRectPlacer(4, 4)
+        assert p.utilization() == 0.0
+        p.place("a", 2, 2)
+        assert p.utilization() == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_degenerate_area_raises(self):
+        with pytest.raises(ValueError):
+            FreeRectPlacer(0, 4)
+
+    def test_negative_margin_raises(self):
+        with pytest.raises(ValueError):
+            FreeRectPlacer(4, 4, margin=-1)

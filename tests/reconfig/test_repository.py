@@ -1,0 +1,90 @@
+"""Module-repository tests."""
+
+import pytest
+
+from repro.reconfig.module import ModuleSpec
+from repro.reconfig.repository import ModuleRepository, Variant
+
+
+def stocked_repo():
+    repo = ModuleRepository()
+    repo.add("fir", Variant(ModuleSpec("fir_small", width=2, height=2,
+                                       slices=400), performance=1.0,
+                            bitstream_bytes=40_000))
+    repo.add("fir", Variant(ModuleSpec("fir_fast", width=4, height=4,
+                                       slices=1600), performance=3.0,
+                            bitstream_bytes=160_000))
+    repo.add("fft", Variant(ModuleSpec("fft_v1", width=3, height=3,
+                                       slices=900), performance=1.0))
+    return repo
+
+
+class TestCatalog:
+    def test_functions_sorted(self):
+        assert stocked_repo().functions == ["fft", "fir"]
+
+    def test_duplicate_variant_name_raises(self):
+        repo = stocked_repo()
+        with pytest.raises(ValueError):
+            repo.add("fir", Variant(ModuleSpec("fir_small")))
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            stocked_repo().variants("aes")
+
+    def test_total_bitstream_bytes(self):
+        assert stocked_repo().total_bitstream_bytes() == 200_000
+
+    def test_invalid_variant_raises(self):
+        with pytest.raises(ValueError):
+            Variant(ModuleSpec("x"), performance=0)
+        with pytest.raises(ValueError):
+            Variant(ModuleSpec("x"), bitstream_bytes=-1)
+
+    def test_add_specs_bulk(self):
+        repo = ModuleRepository()
+        repo.add_specs("aes", [ModuleSpec("aes_a"), ModuleSpec("aes_b")])
+        assert len(repo.variants("aes")) == 2
+
+
+class TestSelection:
+    def test_fastest_fitting_variant_wins(self):
+        repo = stocked_repo()
+        assert repo.select("fir").spec.name == "fir_fast"
+
+    def test_slice_budget_forces_small_variant(self):
+        repo = stocked_repo()
+        assert repo.select("fir", max_slices=500).spec.name == "fir_small"
+
+    def test_footprint_constraints(self):
+        repo = stocked_repo()
+        v = repo.select("fir", max_width=3, max_height=3)
+        assert v.spec.name == "fir_small"
+
+    def test_nothing_fits_raises_with_diagnosis(self):
+        repo = stocked_repo()
+        with pytest.raises(LookupError) as err:
+            repo.select("fir", max_slices=100)
+        assert "fir_small" in str(err.value)
+        assert "fir_fast" in str(err.value)
+
+    def test_select_for_region(self):
+        repo = stocked_repo()
+        v = repo.select_for_region("fir", region_slices=1000,
+                                   region_w=4, region_h=4)
+        assert v.spec.name == "fir_small"
+
+
+class TestSystemIntegration:
+    def test_variant_selected_for_slot_then_swapped_in(self):
+        """End-to-end: pick the variant fitting a real slot and swap it
+        into a live system."""
+        from repro.system import ReconfigurableSystem
+
+        system = ReconfigurableSystem("rmboc")
+        slot_slices = system.region_of("m2").area_slices
+        repo = stocked_repo()
+        variant = repo.select_for_region("fir", slot_slices)
+        record = system.swap("m2", variant.spec)
+        system.sim.run_until(lambda s: record.done, max_cycles=2_000_000)
+        assert variant.spec.name in system.arch.modules

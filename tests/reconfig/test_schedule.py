@@ -1,0 +1,121 @@
+"""Scenario/timeline tests, including manager install/remove."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.fabric.device import get_device
+from repro.fabric.geometry import Rect
+from repro.reconfig import (
+    ModuleSpec,
+    OpKind,
+    ReconfigurationManager,
+    Scenario,
+    ScheduledOp,
+)
+
+R0 = Rect(0, 0, 4, 96)
+R1 = Rect(4, 0, 4, 96)
+
+
+def make(arch_name="buscom", num_modules=4):
+    arch = build_architecture(arch_name, num_modules=num_modules)
+    mgr = ReconfigurationManager(arch, get_device("XC2V6000"))
+    return arch, mgr
+
+
+class TestManagerInstallRemove:
+    def test_install_into_free_slot(self):
+        arch, mgr = make("rmboc", num_modules=4)
+        arch.detach("m3")
+        rec = mgr.install(ModuleSpec("fresh"), R1, xp=3)
+        arch.sim.run_until(lambda s: rec.done, max_cycles=2_000_000)
+        assert "fresh" in arch.modules
+        msg = arch.ports["m0"].send("fresh", 32)
+        arch.run_to_completion()
+        assert msg.delivered
+
+    def test_remove_blanks_module(self):
+        arch, mgr = make()
+        rec = mgr.remove("m3", R1)
+        arch.sim.run_until(lambda s: rec.done, max_cycles=2_000_000)
+        assert "m3" not in arch.modules
+        assert rec.reconfig_cycles > 0
+
+    def test_remove_waits_for_quiesce(self):
+        arch, mgr = make()
+        msg = arch.ports["m3"].send("m0", 512)
+        rec = mgr.remove("m3", R1)
+        arch.sim.run_until(lambda s: rec.done, max_cycles=2_000_000)
+        assert msg.delivered
+        assert rec.detach_cycle >= msg.delivered_cycle
+
+    def test_install_counter(self):
+        arch, mgr = make("rmboc")
+        arch.detach("m3")
+        rec = mgr.install(ModuleSpec("x"), R1, xp=3)
+        arch.sim.run_until(lambda s: rec.done, max_cycles=2_000_000)
+        assert arch.sim.stats.counter("reconfig.installs").value == 1
+
+
+class TestScheduledOp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledOp(-1, OpKind.REMOVE, R0, module_out="m")
+        with pytest.raises(ValueError):
+            ScheduledOp(0, OpKind.SWAP, R0, module_in=ModuleSpec("x"))
+        with pytest.raises(ValueError):
+            ScheduledOp(0, OpKind.INSTALL, R0)
+
+
+class TestScenario:
+    def test_ordered_timeline_runs(self):
+        arch, mgr = make()
+        sc = (Scenario(mgr)
+              .swap(100, "m0", ModuleSpec("m0b"), R0)
+              .remove(200, "m3", R1))
+        sc.run_to_completion()
+        assert sc.done
+        assert set(arch.modules) == {"m0b", "m1", "m2"}
+        assert len(sc.records) == 2
+
+    def test_ops_sorted_by_cycle(self):
+        arch, mgr = make()
+        sc = Scenario(mgr)
+        sc.remove(500, "m3", R1)
+        sc.swap(100, "m0", ModuleSpec("m0b"), R0)
+        assert [op.at_cycle for op in sc.ops] == [100, 500]
+
+    def test_overlapping_requests_serialize_on_config_port(self):
+        arch, mgr = make()
+        sc = (Scenario(mgr)
+              .swap(0, "m0", ModuleSpec("m0b"), R0)
+              .swap(1, "m1", ModuleSpec("m1b"), R1))
+        sc.run_to_completion()
+        first, second = sorted(sc.records, key=lambda r: r.requested_cycle)
+        assert second.detach_cycle >= first.attach_cycle
+
+    def test_cannot_modify_after_arm(self):
+        arch, mgr = make()
+        sc = Scenario(mgr).remove(10, "m3", R1)
+        sc.arm()
+        with pytest.raises(RuntimeError):
+            sc.remove(20, "m2", R0)
+        with pytest.raises(RuntimeError):
+            sc.arm()
+
+    def test_report_lists_operations(self):
+        arch, mgr = make()
+        sc = Scenario(mgr).swap(50, "m0", ModuleSpec("m0b"), R0)
+        sc.run_to_completion()
+        text = sc.report()
+        assert "m0 -> m0b" in text
+        assert "done" in text
+
+    def test_install_then_swap_same_slot(self):
+        arch, mgr = make("rmboc")
+        arch.detach("m3")
+        sc = (Scenario(mgr)
+              .install(10, ModuleSpec("a"), R1, xp=3)
+              .swap(20, "a", ModuleSpec("b"), R1))
+        sc.run_to_completion()
+        assert "b" in arch.modules and "a" not in arch.modules

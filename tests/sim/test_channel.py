@@ -1,0 +1,161 @@
+"""Unit tests for wires and FIFOs (commit semantics)."""
+
+import pytest
+
+from repro.sim import FIFO, PulseWire, SimError, Simulator, Wire
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestWire:
+    def test_initial_value(self, sim):
+        assert Wire(sim, "w", init=7).value == 7
+
+    def test_drive_not_visible_before_commit(self, sim):
+        w = Wire(sim, "w", init=0)
+        w.drive(1)
+        assert w.value == 0
+
+    def test_drive_visible_after_step(self, sim):
+        w = Wire(sim, "w", init=0)
+        w.drive(1)
+        sim.step()
+        assert w.value == 1
+
+    def test_holds_value_when_not_driven(self, sim):
+        w = Wire(sim, "w", init=3)
+        sim.run(5)
+        assert w.value == 3
+
+    def test_double_drive_raises(self, sim):
+        w = Wire(sim, "w")
+        w.drive(1)
+        with pytest.raises(SimError):
+            w.drive(2)
+
+    def test_driven_flag(self, sim):
+        w = Wire(sim, "w")
+        assert not w.driven()
+        w.drive(1)
+        assert w.driven()
+        sim.step()
+        assert not w.driven()
+
+    def test_redrive_after_commit(self, sim):
+        w = Wire(sim, "w", init=0)
+        for v in (1, 2, 3):
+            w.drive(v)
+            sim.step()
+            assert w.value == v
+
+
+class TestPulseWire:
+    def test_clears_to_default(self, sim):
+        p = PulseWire(sim, "p", default=False)
+        p.drive(True)
+        sim.step()
+        assert p.value is True
+        sim.step()
+        assert p.value is False
+
+    def test_default_value(self, sim):
+        p = PulseWire(sim, "p", default=0)
+        sim.run(3)
+        assert p.value == 0
+
+
+class TestFIFO:
+    def test_push_visible_next_cycle(self, sim):
+        f = FIFO(sim, "f")
+        f.push("a")
+        assert len(f) == 0
+        sim.step()
+        assert len(f) == 1
+        assert f.pop() == "a"
+
+    def test_fifo_order(self, sim):
+        f = FIFO(sim, "f")
+        for x in (1, 2, 3):
+            f.push(x)
+        sim.step()
+        assert [f.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_pop_empty_raises(self, sim):
+        with pytest.raises(SimError):
+            FIFO(sim, "f").pop()
+
+    def test_try_pop_empty_returns_none(self, sim):
+        assert FIFO(sim, "f").try_pop() is None
+
+    def test_peek(self, sim):
+        f = FIFO(sim, "f")
+        assert f.peek() is None
+        f.push("x")
+        sim.step()
+        assert f.peek() == "x"
+        assert len(f) == 1  # peek does not consume
+
+    def test_capacity_overflow_raises(self, sim):
+        f = FIFO(sim, "f", capacity=2)
+        f.push(1)
+        f.push(2)
+        with pytest.raises(SimError):
+            f.push(3)
+
+    def test_capacity_counts_staged_and_committed(self, sim):
+        f = FIFO(sim, "f", capacity=2)
+        f.push(1)
+        sim.step()
+        f.push(2)
+        assert not f.can_push()
+
+    def test_try_push_respects_capacity(self, sim):
+        f = FIFO(sim, "f", capacity=1)
+        assert f.try_push(1)
+        assert not f.try_push(2)
+
+    def test_unbounded_by_default(self, sim):
+        f = FIFO(sim, "f")
+        for i in range(1000):
+            f.push(i)
+        sim.step()
+        assert len(f) == 1000
+
+    def test_clear_drops_everything(self, sim):
+        f = FIFO(sim, "f")
+        f.push(1)
+        sim.step()
+        f.push(2)
+        f.clear()
+        sim.step()
+        assert len(f) == 0
+
+    def test_occupancy_and_pending(self, sim):
+        f = FIFO(sim, "f")
+        f.push(1)
+        assert f.pending == 1
+        assert f.occupancy == 1
+        sim.step()
+        assert f.pending == 0
+        assert f.occupancy == 1
+
+    def test_bool_and_iter(self, sim):
+        f = FIFO(sim, "f")
+        assert not f
+        f.push(1)
+        f.push(2)
+        sim.step()
+        assert f
+        assert list(f) == [1, 2]
+
+    def test_pop_then_push_same_cycle(self, sim):
+        f = FIFO(sim, "f")
+        f.push("a")
+        sim.step()
+        assert f.pop() == "a"
+        f.push("b")
+        sim.step()
+        assert f.pop() == "b"

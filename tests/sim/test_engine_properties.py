@@ -1,0 +1,112 @@
+"""Property-based tests: the kernel's order-insensitivity guarantee."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FIFO, Component, Simulator, Wire
+
+
+class Producer(Component):
+    """Drives a wire from a script: {cycle: value}."""
+
+    def __init__(self, name, wire, script):
+        super().__init__(name)
+        self.wire = wire
+        self.script = script
+
+    def tick(self, sim):
+        if sim.cycle in self.script:
+            self.wire.drive(self.script[sim.cycle])
+
+
+class Observer(Component):
+    """Samples a wire every cycle."""
+
+    def __init__(self, name, wire):
+        super().__init__(name)
+        self.wire = wire
+        self.samples = []
+
+    def tick(self, sim):
+        self.samples.append(self.wire.value)
+
+
+@st.composite
+def scripts(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    cycles = draw(st.lists(st.integers(0, 19), min_size=0, max_size=n,
+                           unique=True))
+    return {c: draw(st.integers(-100, 100)) for c in cycles}
+
+
+@given(script=scripts(), observer_first=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_wire_observation_is_registration_order_independent(
+        script, observer_first):
+    """An observer sees identical values whether registered before or
+    after the producer — the two-phase commit guarantee."""
+    def run(first_observer):
+        sim = Simulator()
+        w = Wire(sim, "w", init=0)
+        obs = Observer("o", w)
+        prod = Producer("p", w, script)
+        if first_observer:
+            sim.add(obs)
+            sim.add(prod)
+        else:
+            sim.add(prod)
+            sim.add(obs)
+        sim.run(25)
+        return obs.samples
+
+    assert run(True) == run(False)
+    # and both equal the expected register semantics
+    expected, value = [], 0
+    for cycle in range(25):
+        expected.append(value)
+        if cycle in script:
+            value = script[cycle]
+    assert run(observer_first) == expected
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_fifo_preserves_order_across_cycles(items):
+    """Items pushed over arbitrary cycles pop in push order."""
+    sim = Simulator()
+    f = FIFO(sim, "f")
+
+    class Pusher(Component):
+        def __init__(self):
+            super().__init__("pusher")
+            self.idx = 0
+
+        def tick(self, sim):
+            # push 0-2 items per cycle
+            for _ in range((sim.cycle % 3)):
+                if self.idx < len(items):
+                    f.push(items[self.idx])
+                    self.idx += 1
+
+    sim.add(Pusher())
+    sim.run(len(items) + 10)
+    popped = []
+    while f:
+        popped.append(f.pop())
+    assert popped == items
+
+
+@given(caps=st.integers(min_value=1, max_value=8),
+       n=st.integers(min_value=0, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_fifo_never_exceeds_capacity(caps, n):
+    sim = Simulator()
+    f = FIFO(sim, "f", capacity=caps)
+    pushed = 0
+    for _ in range(n):
+        if f.try_push(object()):
+            pushed += 1
+        assert f.occupancy <= caps
+        if pushed % 3 == 0:
+            sim.step()
+            assert len(f) <= caps

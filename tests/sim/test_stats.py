@@ -1,0 +1,155 @@
+"""Unit tests for measurement primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_raises(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_int_conversion(self):
+        c = Counter("c")
+        c.inc(3)
+        assert int(c) == 3
+
+
+class TestHistogram:
+    def test_empty_stats_are_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+        assert math.isnan(h.percentile(50))
+
+    def test_mean_min_max(self):
+        h = Histogram("h")
+        h.extend([1, 2, 3, 4])
+        assert h.mean == 2.5
+        assert h.min == 1
+        assert h.max == 4
+        assert h.count == 4
+
+    def test_percentiles_exact(self):
+        h = Histogram("h")
+        h.extend(range(101))
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+
+    def test_summary_keys(self):
+        h = Histogram("h")
+        h.add(1.0)
+        s = h.summary()
+        assert set(s) == {"count", "mean", "std", "min", "p50", "p95",
+                          "p99", "max"}
+
+    def test_samples_immutable_copy(self):
+        h = Histogram("h")
+        h.add(1)
+        samples = h.samples
+        assert isinstance(samples, tuple)
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        ts = TimeSeries("t")
+        ts.record(0, 1.0)
+        ts.record(5, 2.0)
+        assert list(ts.cycles) == [0, 5]
+        assert list(ts.values) == [1.0, 2.0]
+        assert len(ts) == 2
+
+    def test_non_monotonic_raises(self):
+        ts = TimeSeries("t")
+        ts.record(5, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4, 1.0)
+
+    def test_window_mean(self):
+        ts = TimeSeries("t")
+        for c, v in [(0, 1.0), (10, 3.0), (20, 5.0)]:
+            ts.record(c, v)
+        assert ts.window_mean(0, 15) == 2.0
+        assert math.isnan(ts.window_mean(100, 200))
+
+    def test_same_cycle_allowed(self):
+        ts = TimeSeries("t")
+        ts.record(3, 1.0)
+        ts.record(3, 2.0)
+        assert len(ts) == 2
+
+
+class TestStatsRegistry:
+    def test_counter_is_memoized(self):
+        reg = StatsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_histogram_is_memoized(self):
+        reg = StatsRegistry()
+        assert reg.histogram("x") is reg.histogram("x")
+
+    def test_series_is_memoized(self):
+        reg = StatsRegistry()
+        assert reg.series("x") is reg.series("x")
+
+    def test_counters_prefix_filter(self):
+        reg = StatsRegistry()
+        reg.counter("a.x").inc()
+        reg.counter("a.y").inc(2)
+        reg.counter("b.z").inc(3)
+        assert reg.counters("a.") == {"a.x": 1, "a.y": 2}
+
+    def test_get_missing_returns_none(self):
+        reg = StatsRegistry()
+        assert reg.get_counter("nope") is None
+        assert reg.get_histogram("nope") is None
+
+
+class TestCounterSnapshot:
+    def test_delta_since_snapshot(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        reg.counter("a").inc(5)
+        snap = CounterSnapshot(reg)
+        reg.counter("a").inc(3)
+        reg.counter("b").inc(1)
+        assert snap.delta() == {"a": 3, "b": 1}
+
+    def test_unchanged_counters_omitted(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        reg.counter("a").inc()
+        snap = CounterSnapshot(reg)
+        assert snap.delta() == {}
+
+    def test_prefix_filter(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        snap = CounterSnapshot(reg, prefix="x.")
+        reg.counter("x.a").inc()
+        reg.counter("y.b").inc()
+        assert snap.delta() == {"x.a": 1}
+
+    def test_rebase(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        snap = CounterSnapshot(reg)
+        reg.counter("a").inc(2)
+        snap.rebase()
+        assert snap.delta() == {}

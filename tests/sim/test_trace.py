@@ -1,0 +1,127 @@
+"""Tracer tests: protocol-event logging across the stack."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.sim import Simulator, Tracer
+
+
+class TestTracerCore:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        sim.emit("x", "y", a=1)  # no tracer: silently ignored
+        assert sim.tracer is None
+
+    def test_record_and_query(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+        sim.emit("src", "kind1", a=1)
+        sim.run(3)
+        sim.emit("src", "kind2", a=2)
+        assert len(sim.tracer) == 2
+        assert sim.tracer.query(kind="kind1")[0].cycle == 0
+        assert sim.tracer.query(kind="kind2")[0].cycle == 3
+
+    def test_query_filters(self):
+        t = Tracer()
+        t.record(1, "a", "x", {"v": 1})
+        t.record(2, "b", "x", {"v": 2})
+        t.record(3, "a", "y", {"v": 1})
+        assert len(t.query(source="a")) == 2
+        assert len(t.query(kind="x")) == 2
+        assert len(t.query(v=1)) == 2
+        assert len(t.query(source="a", kind="x", v=1)) == 1
+        assert len(t.query(since=2, until=3)) == 1
+
+    def test_capacity_bound(self):
+        t = Tracer(max_events=3)
+        for i in range(10):
+            t.record(i, "s", "k", {})
+        assert len(t) == 3
+        assert t.dropped == 7
+
+    def test_clear(self):
+        t = Tracer(max_events=2)
+        t.record(0, "s", "k", {})
+        t.record(0, "s", "k", {})
+        t.record(0, "s", "k", {})
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0
+
+    def test_render_timeline(self):
+        t = Tracer()
+        t.record(5, "rmboc", "request", {"cid": 1})
+        text = t.render_timeline()
+        assert "rmboc.request" in text and "cid=1" in text
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+
+class TestArchitectureInstrumentation:
+    def test_rmboc_channel_lifecycle_events(self):
+        arch = build_architecture("rmboc")
+        arch.sim.tracer = Tracer()
+        arch.ports["m0"].send("m1", 64)
+        arch.run_to_completion()
+        kinds = arch.sim.tracer.kinds()
+        assert {"request", "establish", "destroy"} <= kinds
+        # lifecycle ordering for the single channel
+        req = arch.sim.tracer.query(kind="request")[0]
+        est = arch.sim.tracer.query(kind="establish")[0]
+        des = arch.sim.tracer.query(kind="destroy")[0]
+        assert req.cycle < est.cycle < des.cycle
+        assert req.data["cid"] == est.data["cid"] == des.data["cid"]
+
+    def test_rmboc_cancel_event_on_contention(self):
+        arch = build_architecture("rmboc", num_buses=1)
+        arch.sim.tracer = Tracer()
+        arch.ports["m0"].send("m1", 512)
+        arch.ports["m1"].send("m0", 512)
+        arch.run_to_completion(max_cycles=50_000)
+        assert arch.sim.tracer.query(kind="cancel")
+
+    def test_buscom_frame_events(self):
+        arch = build_architecture("buscom")
+        arch.sim.tracer = Tracer()
+        arch.ports["m0"].send("m1", 144)  # two static frames
+        arch.run_to_completion()
+        frames = arch.sim.tracer.query(source="buscom", kind="frame")
+        assert len(frames) == 2
+        assert all(f.data["src"] == "m0" for f in frames)
+        assert sum(f.data["bytes"] for f in frames) == 144
+
+    def test_dynoc_route_events_follow_path(self):
+        arch = build_architecture("dynoc", num_modules=4, mesh=(4, 1))
+        arch.sim.tracer = Tracer()
+        msg = arch.ports["m0"].send("m3", 16)
+        arch.run_to_completion()
+        hops = arch.sim.tracer.query(source="dynoc", kind="route",
+                                     mid=msg.mid)
+        path = [h.data["at"] for h in hops] + [hops[-1].data["nxt"]]
+        assert path == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_conochi_reconfig_events(self):
+        from repro.fabric.tiles import TileType
+
+        arch = build_architecture("conochi")
+        arch.sim.tracer = Tracer()
+        arch.add_switch((2, 3), wires=[((2, 2), TileType.VWIRE)])
+        assert arch.sim.tracer.query(kind="switch_added",
+                                     at=(2, 3))
+
+    def test_reconfig_manager_phases(self):
+        from repro.fabric.device import get_device
+        from repro.fabric.geometry import Rect
+        from repro.reconfig import ModuleSpec, ReconfigurationManager
+
+        arch = build_architecture("buscom")
+        arch.sim.tracer = Tracer()
+        mgr = ReconfigurationManager(arch, get_device("XC2V6000"))
+        rec = mgr.swap("m0", ModuleSpec("m0b"), Rect(0, 0, 4, 96))
+        arch.sim.run_until(lambda s: rec.done, max_cycles=2_000_000)
+        start = arch.sim.tracer.query(kind="rewrite_start")[0]
+        attach = arch.sim.tracer.query(kind="attached")[0]
+        assert attach.cycle - start.cycle == rec.reconfig_cycles
+        assert attach.data["module"] == "m0b"

@@ -1,0 +1,76 @@
+"""Application-workload tests."""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, build_architecture
+from repro.traffic.apps import automotive_workload, network_workload, video_pipeline
+
+
+class TestVideoPipeline:
+    def test_stage_wiring(self):
+        arch = build_architecture("rmboc")
+        gens = video_pipeline(arch, stop=2000)
+        assert len(gens) == 3  # 4 modules -> 3 stage links
+        assert [g.dst for g in gens] == ["m1", "m2", "m3"]
+
+    def test_streams_flow(self):
+        arch = build_architecture("rmboc")
+        gens = video_pipeline(arch, stop=2000)
+        arch.sim.run(2000)
+        arch.run_to_completion()
+        for g in gens:
+            assert len(g.sent) == 10
+            assert g.all_delivered()
+
+    def test_needs_two_modules(self):
+        arch = build_architecture("dynoc", num_modules=1)
+        with pytest.raises(ValueError):
+            video_pipeline(arch)
+
+
+class TestAutomotive:
+    def test_control_loops_meet_deadlines_on_buscom(self):
+        """The BUS-COM design goal: guaranteed real-time slots."""
+        arch = build_architecture("buscom")
+        gens = automotive_workload(arch, stop=4000)
+        arch.sim.run(4000)
+        arch.run_to_completion(max_cycles=100_000)
+        control = [g for g in gens if g.name.startswith("auto.ctrl")]
+        assert control
+        for g in control:
+            assert g.deadline_met_ratio() >= 0.95
+
+    def test_runs_on_all_architectures(self):
+        for name in ARCHITECTURES:
+            arch = build_architecture(name)
+            automotive_workload(arch, stop=1000)
+            arch.sim.run(1000)
+            arch.run_to_completion(max_cycles=200_000)
+            assert arch.log.all_delivered()
+
+
+class TestNetwork:
+    def test_hot_sink_receives_most(self):
+        arch = build_architecture("conochi")
+        network_workload(arch, sink="m3", stop=3000)
+        arch.sim.run(3000)
+        arch.run_to_completion(max_cycles=200_000)
+        by_dst = {}
+        for m in arch.log.delivered():
+            by_dst[m.dst] = by_dst.get(m.dst, 0) + 1
+        assert by_dst.get("m3", 0) == max(by_dst.values())
+
+    def test_sink_does_not_send(self):
+        arch = build_architecture("conochi")
+        gens = network_workload(arch, sink="m3", stop=500)
+        assert all(g.port.module != "m3" for g in gens)
+
+    def test_deterministic(self):
+        def run():
+            arch = build_architecture("conochi")
+            network_workload(arch, stop=1500, seed=13)
+            arch.sim.run(1500)
+            arch.run_to_completion(max_cycles=200_000)
+            return arch.log.total
+
+        assert run() == run()

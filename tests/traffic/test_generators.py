@@ -1,0 +1,170 @@
+"""Traffic-generator tests (driven against BUS-COM, the cheapest arch)."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.sim import make_rng
+from repro.traffic.generators import (
+    BurstyGenerator,
+    PeriodicStream,
+    RandomTraffic,
+    TraceReplay,
+)
+from repro.traffic.patterns import uniform_chooser
+
+
+@pytest.fixture
+def arch():
+    return build_architecture("buscom")
+
+
+class TestPeriodicStream:
+    def test_injection_rate(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=50, payload_bytes=16, stop=500)
+        arch.sim.add(gen)
+        arch.sim.run(500)
+        assert len(gen.sent) == 10
+
+    def test_phase_offsets_first_injection(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=50, payload_bytes=16, phase=20, stop=100)
+        arch.sim.add(gen)
+        arch.sim.run(100)
+        assert gen.sent[0].created_cycle == 20
+
+    def test_start_stop_window(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=10, payload_bytes=8,
+                             start=100, stop=200)
+        arch.sim.add(gen)
+        arch.sim.run(400)
+        assert all(100 <= m.created_cycle < 200 for m in gen.sent)
+        assert len(gen.sent) == 10
+
+    def test_deadline_accounting(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=100, payload_bytes=8, stop=500,
+                             deadline=200)
+        arch.sim.add(gen)
+        arch.sim.run(500)
+        arch.run_to_completion()
+        assert gen.deadline_misses() == 0
+        assert gen.deadline_met_ratio() == 1.0
+
+    def test_deadline_miss_detected(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=100, payload_bytes=8, stop=150,
+                             deadline=1)  # impossible deadline
+        arch.sim.add(gen)
+        arch.sim.run(150)
+        arch.run_to_completion()
+        assert gen.deadline_misses() == len(gen.sent) > 0
+
+    def test_no_deadline_raises(self, arch):
+        gen = PeriodicStream("s", arch.ports["m0"], "m1",
+                             period=100, payload_bytes=8)
+        with pytest.raises(ValueError):
+            gen.deadline_misses()
+
+    def test_invalid_params_raise(self, arch):
+        with pytest.raises(ValueError):
+            PeriodicStream("s", arch.ports["m0"], "m1", period=0,
+                           payload_bytes=8)
+        with pytest.raises(ValueError):
+            PeriodicStream("s", arch.ports["m0"], "m1", period=1,
+                           payload_bytes=0)
+
+
+class TestRandomTraffic:
+    def test_rate_controls_volume(self, arch):
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        gen = RandomTraffic("g", arch.ports["m0"], choose,
+                            make_rng(1, "r"), rate=0.1,
+                            payload_bytes=8, stop=2000)
+        arch.sim.add(gen)
+        arch.sim.run(2000)
+        assert 140 <= len(gen.sent) <= 260  # ~200 expected
+
+    def test_zero_rate_sends_nothing(self, arch):
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        gen = RandomTraffic("g", arch.ports["m0"], choose,
+                            make_rng(1, "r"), rate=0.0, stop=500)
+        arch.sim.add(gen)
+        arch.sim.run(500)
+        assert not gen.sent
+
+    def test_invalid_rate_raises(self, arch):
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        with pytest.raises(ValueError):
+            RandomTraffic("g", arch.ports["m0"], choose,
+                          make_rng(1, "r"), rate=1.5)
+
+    def test_deterministic_with_seed(self):
+        def run():
+            arch = build_architecture("buscom")
+            choose = uniform_chooser("m0", list(arch.modules),
+                                     make_rng(2, "c"))
+            gen = RandomTraffic("g", arch.ports["m0"], choose,
+                                make_rng(2, "r"), rate=0.05, stop=1000)
+            arch.sim.add(gen)
+            arch.sim.run(1000)
+            arch.run_to_completion()
+            return [(m.created_cycle, m.dst, m.latency) for m in gen.sent]
+
+        assert run() == run()
+
+
+class TestBurstyGenerator:
+    def test_duty_cycle_formula(self, arch):
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        gen = BurstyGenerator("g", arch.ports["m0"], choose,
+                              make_rng(1, "r"), p_on=0.1, p_off=0.3)
+        assert gen.duty_cycle == pytest.approx(0.25)
+
+    def test_burstiness(self, arch):
+        """Messages cluster: consecutive-cycle sends are common."""
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        gen = BurstyGenerator("g", arch.ports["m0"], choose,
+                              make_rng(1, "r"), p_on=0.02, p_off=0.2,
+                              payload_bytes=8, stop=3000)
+        arch.sim.add(gen)
+        arch.sim.run(3000)
+        cycles = [m.created_cycle for m in gen.sent]
+        assert len(cycles) > 10
+        consecutive = sum(
+            1 for a, b in zip(cycles, cycles[1:]) if b - a == 1
+        )
+        assert consecutive / len(cycles) > 0.3
+
+    def test_invalid_probs_raise(self, arch):
+        choose = uniform_chooser("m0", list(arch.modules), make_rng(1, "c"))
+        with pytest.raises(ValueError):
+            BurstyGenerator("g", arch.ports["m0"], choose,
+                            make_rng(1, "r"), p_on=0.0, p_off=0.5)
+
+
+class TestTraceReplay:
+    def test_replays_in_order(self, arch):
+        trace = [(5, "m1", 8), (10, "m2", 16), (10, "m3", 8)]
+        gen = TraceReplay("g", arch.ports["m0"], trace)
+        arch.sim.add(gen)
+        arch.sim.run(20)
+        assert [m.created_cycle for m in gen.sent] == [5, 10, 10]
+        assert gen.exhausted()
+
+    def test_unsorted_trace_is_sorted(self, arch):
+        trace = [(10, "m1", 8), (2, "m2", 8)]
+        gen = TraceReplay("g", arch.ports["m0"], trace)
+        arch.sim.add(gen)
+        arch.sim.run(20)
+        assert [m.dst for m in gen.sent] == ["m2", "m1"]
+
+    def test_all_delivered_helper(self, arch):
+        gen = TraceReplay("g", arch.ports["m0"], [(0, "m1", 8)])
+        arch.sim.add(gen)
+        arch.sim.run(5)
+        assert not gen.all_delivered()
+        arch.run_to_completion()
+        assert gen.all_delivered()
+        assert len(gen.latencies()) == 1

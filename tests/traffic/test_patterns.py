@@ -1,0 +1,89 @@
+"""Destination-chooser tests."""
+
+import pytest
+
+from repro.sim import make_rng
+from repro.traffic.patterns import (
+    hotspot_chooser,
+    neighbor_chooser,
+    permutation_chooser,
+    uniform_chooser,
+)
+
+MODULES = ["m0", "m1", "m2", "m3"]
+
+
+class TestUniform:
+    def test_never_self(self):
+        choose = uniform_chooser("m0", MODULES, make_rng(1, "t"))
+        assert all(choose() != "m0" for _ in range(200))
+
+    def test_covers_all_peers(self):
+        choose = uniform_chooser("m0", MODULES, make_rng(1, "t"))
+        seen = {choose() for _ in range(300)}
+        assert seen == {"m1", "m2", "m3"}
+
+    def test_no_peers_raises(self):
+        with pytest.raises(ValueError):
+            uniform_chooser("m0", ["m0"], make_rng(1, "t"))
+
+    def test_deterministic_with_seed(self):
+        a = [uniform_chooser("m0", MODULES, make_rng(5, "x"))() for _ in range(5)]
+        b = [uniform_chooser("m0", MODULES, make_rng(5, "x"))() for _ in range(5)]
+        assert a == b
+
+
+class TestHotspot:
+    def test_hotspot_dominates(self):
+        choose = hotspot_chooser("m0", MODULES, make_rng(1, "t"),
+                                 hotspot="m3", hot_fraction=0.8)
+        picks = [choose() for _ in range(1000)]
+        assert picks.count("m3") > 600
+
+    def test_zero_fraction_is_uniform(self):
+        choose = hotspot_chooser("m0", MODULES, make_rng(1, "t"),
+                                 hotspot="m3", hot_fraction=0.0)
+        picks = [choose() for _ in range(600)]
+        assert 120 < picks.count("m3") < 280
+
+    def test_source_as_hotspot_falls_back(self):
+        choose = hotspot_chooser("m0", MODULES, make_rng(1, "t"),
+                                 hotspot="m0", hot_fraction=0.9)
+        assert all(choose() != "m0" for _ in range(100))
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            hotspot_chooser("m0", MODULES, make_rng(1, "t"), "m1", 1.5)
+
+
+class TestNeighbor:
+    def test_ring_successor(self):
+        assert neighbor_chooser("m0", MODULES)() == "m1"
+        assert neighbor_chooser("m3", MODULES)() == "m0"
+
+    def test_singleton_raises(self):
+        with pytest.raises(ValueError):
+            neighbor_chooser("m0", ["m0"])
+
+
+class TestPermutation:
+    def test_random_permutation_is_derangement(self):
+        for src in MODULES:
+            choose = permutation_chooser(src, MODULES, make_rng(3, "p"))
+            assert choose() != src
+
+    def test_explicit_permutation(self):
+        perm = ["m1", "m0", "m3", "m2"]
+        choose = permutation_chooser("m2", MODULES, make_rng(1, "t"),
+                                     permutation=perm)
+        assert choose() == "m3"
+
+    def test_self_mapping_raises(self):
+        perm = ["m0", "m1", "m2", "m3"]  # identity
+        with pytest.raises(ValueError):
+            permutation_chooser("m0", MODULES, make_rng(1, "t"),
+                                permutation=perm)
+
+    def test_stable_across_calls(self):
+        choose = permutation_chooser("m1", MODULES, make_rng(9, "p"))
+        assert len({choose() for _ in range(20)}) == 1

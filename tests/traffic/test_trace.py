@@ -1,0 +1,72 @@
+"""Trace capture / cross-architecture replay tests."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.sim import make_rng
+from repro.traffic.generators import RandomTraffic
+from repro.traffic.patterns import uniform_chooser
+from repro.traffic.trace import capture_trace, compare_on_trace, replay_trace
+
+
+def generate_workload(seed=5, horizon=1500):
+    """A reference run on BUS-COM whose trace we capture."""
+    arch = build_architecture("buscom", seed=seed)
+    for src in arch.modules:
+        arch.sim.add(RandomTraffic(
+            f"g.{src}", arch.ports[src],
+            uniform_chooser(src, list(arch.modules), make_rng(seed, src, "c")),
+            make_rng(seed, src, "r"), rate=0.01, payload_bytes=48,
+            stop=horizon))
+    arch.sim.run(horizon)
+    arch.run_to_completion(max_cycles=100_000)
+    return arch
+
+
+class TestCapture:
+    def test_trace_matches_log(self):
+        arch = generate_workload()
+        trace = capture_trace(arch.log)
+        assert len(trace) == arch.log.total
+        assert trace == sorted(trace)
+        assert all(nbytes == 48 for _, _, _, nbytes in trace)
+
+    def test_empty_log_empty_trace(self):
+        arch = build_architecture("buscom")
+        assert capture_trace(arch.log) == []
+
+
+class TestReplay:
+    def test_replay_reproduces_identical_run(self):
+        """Replaying a trace on the same architecture type yields the
+        exact same delivery schedule (determinism check)."""
+        ref = generate_workload()
+        trace = capture_trace(ref.log)
+        replayed = build_architecture("buscom")
+        result = replay_trace(replayed, trace)
+        assert result.messages == len(trace)
+        ref_lats = sorted(ref.log.latencies())
+        new_lats = sorted(replayed.log.latencies())
+        assert ref_lats == new_lats
+
+    def test_replay_on_different_architecture(self):
+        ref = generate_workload()
+        trace = capture_trace(ref.log)
+        result = replay_trace(build_architecture("conochi"), trace)
+        assert result.messages == len(trace)
+        assert result.mean_latency > 0
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(KeyError):
+            replay_trace(build_architecture("buscom", num_modules=2),
+                         [(0, "m0", "m3", 8)])
+
+
+class TestCompare:
+    def test_compare_all_four(self):
+        ref = generate_workload(horizon=800)
+        trace = capture_trace(ref.log)
+        results = compare_on_trace(trace)
+        assert set(results) == {"rmboc", "buscom", "dynoc", "conochi"}
+        for result in results.values():
+            assert result.messages == len(trace)
