@@ -4,6 +4,23 @@ Not paper tables: each sweep isolates one architectural knob
 (DESIGN.md's design-choice list) and prints its measured effect."""
 
 from repro.analysis import ablations as A
+from repro.analysis.parallel import run_named
+
+
+def test_ablations_via_parallel_runner(benchmark, tmp_path):
+    """The runner fans ablations across processes and returns the same
+    results the direct calls produce (simulations are deterministic)."""
+    cache = str(tmp_path / "cache")
+
+    def run():
+        return run_named(["a4", "a5"], max_workers=2, cache_dir=cache,
+                         use_cache=False)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    direct_a4 = A.a4_dynoc_router_latency()
+    direct_a5 = A.a5_buscom_adaptivity()
+    assert results["a4"].points == direct_a4.points
+    assert results["a5"] == direct_a5
 
 
 def test_a1_rmboc_bus_count(benchmark):

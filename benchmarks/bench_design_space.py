@@ -4,7 +4,22 @@ Not a paper table: the computed version of the §4 trade-off prose —
 who dominates in (area, latency) space, at which widths."""
 
 from repro.analysis.pareto import dominated_by, pareto_frontier, render_frontier
+from repro.analysis.parallel import run_sweep_parallel
 from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
+
+
+def test_design_space_sweep_parallel(benchmark):
+    """Process-parallel sweep reproduces the serial sweep exactly."""
+    grid = SweepGrid(
+        arch=["rmboc", "buscom", "dynoc", "conochi"],
+        width=[16, 32],
+        payload_bytes=[64],
+    )
+    points = benchmark.pedantic(
+        lambda: run_sweep_parallel(grid, max_workers=4),
+        rounds=1, iterations=1,
+    )
+    assert points == run_sweep(grid)
 
 
 def test_design_space_pareto(benchmark):

@@ -19,6 +19,21 @@ class _Spin(Component):
         self.count += 1
 
 
+class _MostlyIdle(Component):
+    """Active one cycle in ``period``: the quiescence-kernel's sweet spot."""
+
+    def __init__(self, idx, period=100):
+        super().__init__(f"idle{idx}")
+        self.period = period
+        self.phase = idx % period
+        self.count = 0
+
+    def tick(self, sim):
+        self.count += 1
+        gap = (self.phase - sim.cycle) % self.period
+        return sim.cycle + (gap or self.period)
+
+
 def test_perf_kernel_step(benchmark):
     def run():
         sim = Simulator()
@@ -28,6 +43,26 @@ def test_perf_kernel_step(benchmark):
         return sim.cycle
 
     assert benchmark(run) == 2000
+
+
+def _run_idle_heavy(fast_path):
+    """64 components, each active ~1% of cycles, over 20k cycles."""
+    sim = Simulator(fast_path=fast_path)
+    comps = [sim.add(_MostlyIdle(i)) for i in range(64)]
+    sim.run(20_000)
+    # every component fired once per period plus its cycle-0 tick
+    assert all(c.count >= 20_000 // c.period for c in comps)
+    return sim.cycle
+
+
+def test_perf_idle_heavy_fastpath(benchmark):
+    """The headline win: sleep/wake + fast-forward on idle-heavy load."""
+    assert benchmark(_run_idle_heavy, True) == 20_000
+
+
+def test_perf_idle_heavy_slowpath(benchmark):
+    """Baseline for the same workload with the optimization disabled."""
+    assert benchmark(_run_idle_heavy, False) == 20_000
 
 
 def test_perf_fifo_throughput(benchmark):

@@ -760,3 +760,28 @@ def e12_reconfiguration_frequency(
                 "bystander_mean_latency": sum(lats) / len(lats),
             }
     return E12Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+#: every experiment harness by its paper label — the single source of
+#: truth used by the CLI and by repro.analysis.parallel.  Each entry is
+#: a top-level, argument-light callable returning a picklable result,
+#: which is what lets the parallel runner ship them across processes.
+EXPERIMENTS = {
+    "e1": e1_rmboc_setup,
+    "e2": e2_parallelism,
+    "e3": e3_effective_bandwidth,
+    "e4": e4_latency_scaling,
+    "e5": e5_area_scaling,
+    "e6": e6_reconfiguration,
+    "e6b": e6b_conochi_topology_change,
+    "e7": e7_bus_vs_noc,
+    "e7b": e7b_module_scaling,
+    "e8": e8_energy,
+    "e9": e9_latency_decomposition,
+    "e10": e10_reconfigurability_tax,
+    "e11": e11_realtime_study,
+    "e12": e12_reconfiguration_frequency,
+}

@@ -1,0 +1,211 @@
+"""Parallel experiment runner: fan independent harnesses across processes.
+
+The E1–E12 experiment harnesses and the a1–a7 ablations are all
+top-level callables with keyword-only configuration and picklable
+results, which makes them embarrassingly parallel: this module fans a
+list of :class:`Job`\\ s across a ``concurrent.futures``
+``ProcessPoolExecutor`` and memoizes each result on disk under a
+content hash of the job's configuration, so re-running a sweep after
+editing one experiment only recomputes that experiment.
+
+Cache entries key on the package version as well as the job config —
+any release invalidates the whole cache, which is crude but safe for
+results produced by a deterministic simulator.
+
+``max_workers=0`` forces serial in-process execution (no pool, no
+pickling), which is also what the runner silently uses for a single
+job; ``use_cache=False`` (or the ``--no-cache`` CLI flag) bypasses the
+cache both ways.  The cache directory defaults to ``.repro-cache`` and
+can be moved with the ``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import repro
+
+#: environment override for the on-disk result cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def registry() -> Dict[str, Callable[..., Any]]:
+    """All named harnesses runnable as jobs: experiments plus ablations.
+
+    Resolved lazily (and in the worker process) so importing this
+    module stays cheap and the callables never need to cross the
+    process boundary — only the job *names* do.
+    """
+    from repro.analysis import ablations as A
+    from repro.analysis.experiments import EXPERIMENTS
+
+    jobs: Dict[str, Callable[..., Any]] = dict(EXPERIMENTS)
+    jobs.update({
+        "a1": A.a1_rmboc_bus_count,
+        "a2": A.a2_buscom_static_split,
+        "a3": A.a3_conochi_table_update_latency,
+        "a4": A.a4_dynoc_router_latency,
+        "a5": A.a5_buscom_adaptivity,
+        "a6": A.a6_dynoc_switching_mode,
+        "a7": A.a7_rmboc_fairness,
+    })
+    return jobs
+
+
+@dataclass
+class Job:
+    """One unit of work: a registered harness name plus its kwargs."""
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+def config_hash(job: Job) -> str:
+    """A stable content hash identifying a job's full configuration."""
+    payload = json.dumps(
+        {
+            "name": job.name,
+            "kwargs": job.kwargs,
+            "version": repro.__version__,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def _cache_path(cache_dir: str, job: Job) -> str:
+    return os.path.join(cache_dir, f"{job.name}-{config_hash(job)}.pkl")
+
+
+def _cache_load(path: str) -> Optional[tuple]:
+    """``("hit", result)`` from disk, or None on a miss (absent file,
+    corrupt bytes, or a result class that no longer unpickles).
+
+    Unpickling arbitrary corrupt bytes can raise almost anything
+    (protocol-0 opcodes alone produce ValueError, KeyError, Unicode
+    errors...), and a bad cache entry must always degrade to a miss,
+    so everything non-exiting is caught."""
+    try:
+        with open(path, "rb") as fh:
+            return ("hit", pickle.load(fh))
+    except Exception:
+        return None
+
+
+def _cache_store(path: str, result: Any) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, path)
+    except (OSError, pickle.PicklingError):
+        # unpicklable or read-only cache: run uncached, don't fail the job
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _execute(job: Job) -> Any:
+    """Worker entry point: resolve the harness by name and run it.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it.
+    """
+    jobs = registry()
+    if job.name not in jobs:
+        raise KeyError(
+            f"unknown job {job.name!r}; known: {', '.join(sorted(jobs))}"
+        )
+    return jobs[job.name](**job.kwargs)
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> List[Any]:
+    """Run every job, in parallel where possible; results in job order.
+
+    ``max_workers=None`` lets the executor pick (CPU count);
+    ``max_workers=0`` runs serially in-process.  Cached results are
+    returned without running anything.
+    """
+    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    results: List[Any] = [None] * len(jobs)
+    misses: List[int] = []
+    for i, job in enumerate(jobs):
+        hit = _cache_load(_cache_path(cache_dir, job)) if use_cache else None
+        if hit is not None:
+            results[i] = hit[1]
+        else:
+            misses.append(i)
+
+    if misses:
+        if max_workers == 0 or len(misses) == 1:
+            computed = [_execute(jobs[i]) for i in misses]
+        else:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                computed = list(pool.map(_execute, [jobs[i] for i in misses]))
+        for i, result in zip(misses, computed):
+            results[i] = result
+            if use_cache:
+                _cache_store(_cache_path(cache_dir, jobs[i]), result)
+    return results
+
+
+def run_named(
+    names: Sequence[str],
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> Dict[str, Any]:
+    """Convenience wrapper: run registered harnesses by name with their
+    default configuration; returns ``{name: result}`` in input order."""
+    jobs = [Job(name) for name in names]
+    out = run_jobs(jobs, max_workers=max_workers, cache_dir=cache_dir,
+                   use_cache=use_cache)
+    return dict(zip(names, out))
+
+
+# ----------------------------------------------------------------------
+# parallel design-space sweeps
+# ----------------------------------------------------------------------
+def _sweep_single_point(packed: tuple) -> Any:
+    """Run one sweep point in a worker via a single-point grid."""
+    params, max_cycles = packed
+    from repro.analysis.sweeps import SweepGrid, run_sweep
+
+    grid = SweepGrid(**{k: [v] for k, v in params.items()})
+    return run_sweep(grid, max_cycles=max_cycles)[0]
+
+
+def run_sweep_parallel(
+    grid: "Any",
+    max_workers: Optional[int] = None,
+    max_cycles: int = 1_000_000,
+) -> List[Any]:
+    """Like :func:`repro.analysis.sweeps.run_sweep` but with each grid
+    point simulated in its own process.  Points are independent
+    simulations, so results are identical to the serial sweep."""
+    from repro.analysis.sweeps import run_sweep
+
+    points = list(grid.points())
+    if max_workers == 0 or len(points) <= 1:
+        return run_sweep(grid, max_cycles=max_cycles)
+    packed = [(p, max_cycles) for p in points]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_sweep_single_point, packed))

@@ -21,7 +21,7 @@ from repro.core.parameters import (
 )
 from repro.fabric.area import AreaModel
 from repro.fabric.timing import ClockModel
-from repro.sim import Component, Simulator
+from repro.sim import SLEEP, Component, Simulator
 
 SHAREDBUS_DESCRIPTOR = DesignParameters(
     name="SharedBus",
@@ -85,6 +85,7 @@ class SharedBus(CommArchitecture, Component):
         if msg.src not in self._queues:
             raise KeyError(f"source module {msg.src!r} is not attached")
         self._queues[msg.src].append(msg)
+        self.wake()  # new traffic ends any quiescent stretch
 
     def idle(self) -> bool:
         return self._current is None and all(
@@ -110,7 +111,7 @@ class SharedBus(CommArchitecture, Component):
     def words(self, payload_bytes: int) -> int:
         return -(-payload_bytes * 8 // self.width)
 
-    def tick(self, sim: Simulator) -> None:
+    def tick(self, sim: Simulator):
         now = sim.cycle
         if self._current is not None:
             self._note_parallelism(1)
@@ -118,7 +119,7 @@ class SharedBus(CommArchitecture, Component):
                 self._deliver(self._current)
                 self._current = None
             else:
-                return
+                return None  # burst in progress: sample parallelism each cycle
         # arbitration: round-robin over modules with queued traffic
         # whose destination is attached
         n = len(self._rr_order)
@@ -137,7 +138,10 @@ class SharedBus(CommArchitecture, Component):
                 self._current = msg
                 self._done_at = now + duration - 1
                 self.sim.stats.counter("sharedbus.grants").inc()
-                return
+                return None
+        if any(self._queues.values()):
+            return None  # queued traffic waiting on a detached destination
+        return SLEEP  # bus and queues empty: wait for the next submit
 
 
 def build_sharedbus(num_modules: int = 4, width: int = 32, seed: int = 1,

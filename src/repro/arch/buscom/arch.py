@@ -80,6 +80,9 @@ class BusCom(CommArchitecture, Component):
         self._priority: List[str] = []           # dynamic-segment arbitration order
         self._frozen: Dict[str, bool] = {}
         self._delivered_bytes: Dict[int, int] = {}  # msg.mid -> bytes landed
+        # last cycle this component ticked; cycles slept through are
+        # replayed arithmetically by _account_idle on wake
+        self._last_ticked = sim.cycle - 1
 
     # ==================================================================
     # CommArchitecture interface
@@ -111,6 +114,7 @@ class BusCom(CommArchitecture, Component):
         queue = (self._queues if msg.tag in self.RT_TAGS
                  else self._bulk)[msg.src]
         queue.append(_SendItem(msg, msg.payload_bytes))
+        self.wake()  # new traffic ends any quiescent stretch
 
     def idle(self) -> bool:
         return (
@@ -174,8 +178,11 @@ class BusCom(CommArchitecture, Component):
     # ==================================================================
     # per-cycle behaviour
     # ==================================================================
-    def tick(self, sim: Simulator) -> None:
+    def tick(self, sim: Simulator):
         now = sim.cycle
+        if self._last_ticked < now - 1:
+            self._account_idle(now - 1)
+        self._last_ticked = now
         active = 0
         for bus in self._buses:
             bus.total_cycles += 1
@@ -192,6 +199,37 @@ class BusCom(CommArchitecture, Component):
                 # be shorter than the config default
                 bus.slot_idx = (bus.slot_idx + 1) % self.table.slots_per_bus
         self._note_parallelism(active)
+        return self._quiescence(now)
+
+    def _account_idle(self, through: int) -> None:
+        """Replay the cycles slept through, up to and including ``through``.
+
+        The sleep hint always lands on the next slot start across all
+        buses, so a skipped cycle never runs ``_start_slot`` and never
+        carries a frame: its whole effect is counting time and running
+        down the current slot (with the slot-index wrap when a slot's
+        countdown completes).  That makes the replay pure arithmetic,
+        identical to having ticked each skipped cycle with empty queues.
+        """
+        gap = through - self._last_ticked
+        if gap <= 0:
+            return
+        for bus in self._buses:
+            bus.total_cycles += gap
+            bus.slot_remaining -= gap
+            if bus.slot_remaining == 0:
+                bus.slot_idx = (bus.slot_idx + 1) % self.table.slots_per_bus
+        self._last_ticked = through
+
+    def _quiescence(self, now: int):
+        """With nothing queued and no frame on any wire, the only thing
+        ticks would do is run slot countdowns — sleep to the earliest
+        next slot start and let :meth:`_account_idle` replay the rest."""
+        if any(self._queues.values()) or any(self._bulk.values()):
+            return None
+        if any(b.frame_msg is not None for b in self._buses):
+            return None
+        return now + 1 + min(b.slot_remaining for b in self._buses)
 
     # ------------------------------------------------------------------
     def _queue_for(self, module: str) -> Optional[Deque[_SendItem]]:
@@ -312,6 +350,9 @@ class BusCom(CommArchitecture, Component):
     # ------------------------------------------------------------------
     def bus_utilization(self) -> List[float]:
         """Fraction of cycles each bus spent carrying a frame."""
+        # catch up on any cycles currently being slept through so the
+        # denominator matches the wall clock
+        self._account_idle(self.sim.cycle - 1)
         return [
             b.busy_cycles / b.total_cycles if b.total_cycles else 0.0
             for b in self._buses

@@ -31,7 +31,7 @@ from repro.fabric.area import AreaModel
 from repro.fabric.geometry import Rect
 from repro.fabric.tiles import TileGrid, TileType
 from repro.fabric.timing import ClockModel
-from repro.sim import Component, SimError, Simulator
+from repro.sim import SLEEP, Component, SimError, Simulator
 
 Coord = Tuple[int, int]
 
@@ -170,6 +170,7 @@ class CoNoChi(CommArchitecture, Component):
         self.sim.stats.counter("conochi.header_words").inc(
             nfrag * self.cfg.header_words
         )
+        self.wake()  # new traffic ends any quiescent stretch
 
     def idle(self) -> bool:
         return not self._arrivals and not self._deliveries
@@ -313,7 +314,7 @@ class CoNoChi(CommArchitecture, Component):
     # ==================================================================
     # per-cycle behaviour
     # ==================================================================
-    def tick(self, sim: Simulator) -> None:
+    def tick(self, sim: Simulator):
         now = sim.cycle
         self._transmissions = [t for t in self._transmissions if t[1] > now]
         self._note_parallelism(
@@ -327,6 +328,26 @@ class CoNoChi(CommArchitecture, Component):
         for item in due:
             self._arrivals.remove(item)
             self._route(item[1], item[2], now)
+        return self._quiescence(now)
+
+    def _quiescence(self, now: int):
+        """Quiescence hint: wake for the next switch arrival, delivery,
+        or link-occupancy interval; stay hot while any link carries data
+        next cycle (the parallelism probe samples every busy cycle)."""
+        nxt: Optional[int] = None
+        for start, end, _ in self._transmissions:
+            if end <= now + 1:
+                continue
+            if start <= now + 1:
+                return None
+            nxt = start if nxt is None else min(nxt, start)
+        for t, _, _ in self._arrivals:
+            nxt = t if nxt is None else min(nxt, t)
+        for t, _ in self._deliveries:
+            nxt = t if nxt is None else min(nxt, t)
+        if nxt is None:
+            return SLEEP
+        return nxt
 
     def _reserve(self, key: Tuple[object, object], now: int, words: int,
                  mid: int) -> int:

@@ -34,7 +34,7 @@ from repro.core.parameters import PAPER_TABLE_1, DesignParameters
 from repro.fabric.area import AreaModel
 from repro.fabric.geometry import Rect
 from repro.fabric.timing import ClockModel
-from repro.sim import Component, SimError, Simulator
+from repro.sim import SLEEP, Component, SimError, Simulator
 
 
 @dataclass
@@ -241,6 +241,7 @@ class DyNoC(CommArchitecture, Component):
         )
         self.sim.stats.counter("dynoc.packets").inc()
         self.sim.stats.counter("dynoc.header_words").inc(self.cfg.header_words)
+        self.wake()  # new traffic ends any quiescent stretch
 
     def idle(self) -> bool:
         return not self._arrivals and not self._deliveries
@@ -260,7 +261,7 @@ class DyNoC(CommArchitecture, Component):
     # ==================================================================
     # per-cycle behaviour
     # ==================================================================
-    def tick(self, sim: Simulator) -> None:
+    def tick(self, sim: Simulator):
         now = sim.cycle
         self._tick_parallelism(now)
         due_deliveries = [d for d in self._deliveries if d[0] <= now]
@@ -271,6 +272,26 @@ class DyNoC(CommArchitecture, Component):
         for item in due:
             self._arrivals.remove(item)
             self._route(item[1], item[2], now)
+        return self._quiescence(now)
+
+    def _quiescence(self, now: int):
+        """Quiescence hint: wake for the next header arrival, delivery,
+        or link-occupancy interval; stay hot while any link carries data
+        next cycle (the parallelism probe samples every busy cycle)."""
+        nxt: Optional[int] = None
+        for start, end, _ in self._transmissions:
+            if end <= now + 1:
+                continue
+            if start <= now + 1:
+                return None
+            nxt = start if nxt is None else min(nxt, start)
+        for t, _, _ in self._arrivals:
+            nxt = t if nxt is None else min(nxt, t)
+        for t, _ in self._deliveries:
+            nxt = t if nxt is None else min(nxt, t)
+        if nxt is None:
+            return SLEEP
+        return nxt
 
     def _reserve_port(self, router: Coord, target: object,
                       now: int, words: int, mid: int) -> int:

@@ -27,7 +27,7 @@ from repro.arch.rmboc.protocol import Channel, ChannelState, CtrlKind, CtrlMsg, 
 from repro.core.parameters import PAPER_TABLE_1, DesignParameters
 from repro.fabric.area import AreaModel
 from repro.fabric.timing import ClockModel
-from repro.sim import Component, Simulator
+from repro.sim import SLEEP, Component, Simulator
 
 
 class RMBoC(CommArchitecture, Component):
@@ -91,6 +91,7 @@ class RMBoC(CommArchitecture, Component):
         if msg.src not in self._module_xp:
             raise KeyError(f"source module {msg.src!r} is not attached")
         self._queues[msg.src].append(msg)
+        self.wake()  # new traffic ends any quiescent stretch
 
     def idle(self) -> bool:
         return (
@@ -124,6 +125,7 @@ class RMBoC(CommArchitecture, Component):
 
     def unfreeze_slot(self, xp: int) -> None:
         self._frozen[xp] = False
+        self.wake()  # held traffic may resume
 
     def module_at(self, xp: int) -> Optional[str]:
         return self._xp_module.get(xp)
@@ -158,11 +160,35 @@ class RMBoC(CommArchitecture, Component):
     # ==================================================================
     # per-cycle behaviour
     # ==================================================================
-    def tick(self, sim: Simulator) -> None:
+    def tick(self, sim: Simulator):
         now = sim.cycle
         self._tick_data(now)
         self._tick_control(now)
         self._tick_ni(now)
+        return self._quiescence(now)
+
+    def _quiescence(self, now: int):
+        """Quiescence hint for the activity-driven kernel.
+
+        The fabric is inert when there are no in-flight control
+        messages, no streaming transfers and no queued requests; the
+        only self-generated future work is then retiring established
+        idle circuits, which happens at a known linger deadline.
+        Anything external (a new submit, an unfreeze) wakes us.
+        """
+        if self._ctrl or self._transfers:
+            return None
+        if any(self._queues.values()):
+            return None
+        if not self._channels:
+            return SLEEP
+        # Remaining channels should all be established-and-idle with a
+        # linger clock running; if any lacks one (e.g. a REQUESTING
+        # channel whose REPLY handshake is a scheduled event), stay hot.
+        if len(self._idle_since) != len(self._channels):
+            return None
+        return max(min(self._idle_since.values()) + self.cfg.channel_linger,
+                   now + 1)
 
     # -- data plane -----------------------------------------------------
     def _tick_data(self, now: int) -> None:
@@ -252,6 +278,7 @@ class RMBoC(CommArchitecture, Component):
             now - ch._requested_cycle  # type: ignore[attr-defined]
         )
         self._idle_since[ch.cid] = now
+        self.wake()  # the circuit may start serving queued traffic
 
     def _start_cancel(self, ch: Channel, from_xp: int, now: int) -> None:
         ch.state = ChannelState.CANCELLED

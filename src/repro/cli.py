@@ -49,24 +49,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.analysis import experiments as E
+    from repro.analysis.experiments import EXPERIMENTS
+    from repro.analysis.parallel import registry, run_named
 
-    runners = {
-        "e1": lambda: E.e1_rmboc_setup(),
-        "e2": lambda: E.e2_parallelism(),
-        "e3": lambda: E.e3_effective_bandwidth(),
-        "e4": lambda: E.e4_latency_scaling(),
-        "e5": lambda: E.e5_area_scaling(),
-        "e6": lambda: E.e6_reconfiguration(),
-        "e6b": lambda: E.e6b_conochi_topology_change(),
-        "e7": lambda: E.e7_bus_vs_noc(),
-        "e7b": lambda: E.e7b_module_scaling(),
-        "e8": lambda: E.e8_energy(),
-        "e9": lambda: E.e9_latency_decomposition(),
-        "e10": lambda: E.e10_reconfigurability_tax(),
-        "e11": lambda: E.e11_realtime_study(),
-        "e12": lambda: E.e12_reconfiguration_frequency(),
-    }
     def render(result):
         if getattr(args, "json", False):
             from repro.analysis.export import dumps
@@ -74,16 +59,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             return dumps(result)
         return str(result)
 
-    if args.which == "all":
-        for name, run in runners.items():
-            print(f"== {name} ==")
-            print(render(run()))
-        return 0
-    if args.which not in runners:
+    # "all" means the paper experiments; single runs also accept the
+    # a1..a7 ablation harnesses from the shared registry
+    known = registry()
+    names = list(EXPERIMENTS) if args.which == "all" else [args.which]
+    if args.which != "all" and args.which not in known:
         print(f"unknown experiment {args.which!r}; "
-              f"choose from {', '.join(runners)} or 'all'", file=sys.stderr)
+              f"choose from {', '.join(known)} or 'all'",
+              file=sys.stderr)
         return 2
-    print(render(runners[args.which]()))
+    # -j/--jobs > 1 fans the independent harnesses across processes;
+    # the default stays serial in-process (and single runs always are)
+    max_workers = args.jobs if args.parallel or args.jobs else 0
+    results = run_named(names, max_workers=max_workers,
+                        use_cache=not args.no_cache)
+    for name in names:
+        if len(names) > 1:
+            print(f"== {name} ==")
+        print(render(results[name]))
     return 0
 
 
@@ -173,6 +166,12 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("which", help="e1..e12 or 'all'")
     p.add_argument("--json", action="store_true",
                    help="emit the result as JSON")
+    p.add_argument("--parallel", action="store_true",
+                   help="fan experiments across worker processes")
+    p.add_argument("-j", "--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for --parallel (default: CPUs)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and don't write the result cache")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("scenario", help="run the minimal scenario")

@@ -14,11 +14,16 @@ A small scheduled-event facility (``Simulator.at`` / ``Simulator.after``)
 models asynchronous control actions such as partial reconfiguration,
 which in hardware are driven by a configuration port rather than the
 user clock.
+
+The kernel is activity-driven by default: components may return
+:data:`SLEEP` (or a wake cycle) from ``tick`` to leave the hot loop
+while idle, and only channels with staged writes are committed.  See
+``repro.sim.engine`` for the fast path and its equivalence guarantee.
 """
 
 from repro.sim.channel import FIFO, PulseWire, Wire
 from repro.sim.component import Component
-from repro.sim.engine import SimError, Simulator
+from repro.sim.engine import SLEEP, SimError, Simulator
 from repro.sim.rng import make_rng, spawn_rngs
 from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
 from repro.sim.trace import TraceEvent, Tracer
@@ -29,6 +34,7 @@ __all__ = [
     "FIFO",
     "Histogram",
     "PulseWire",
+    "SLEEP",
     "SimError",
     "Simulator",
     "StatsRegistry",

@@ -4,6 +4,14 @@ These model flip-flop-backed structures. During a cycle, components stage
 writes; the staged values become observable only after the simulator's
 commit phase. Reads always return the value committed at the end of the
 *previous* cycle, which is what any synchronous consumer would sample.
+
+All three primitives participate in the kernel's dirty-set commit: they
+register themselves with the simulator on the first staged write of a
+cycle, so the commit phase touches only elements that actually changed.
+They also carry a subscriber list (see :meth:`Wire.subscribe` /
+:meth:`Component.watch`) so that staging a write wakes any sleeping
+consumer — the staged value becomes visible next cycle, exactly when the
+woken consumer ticks.
 """
 
 from __future__ import annotations
@@ -16,7 +24,47 @@ from repro.sim.engine import SimError, Simulator
 _UNSET = object()
 
 
-class Wire:
+class _Subscribable:
+    """Dirty-set registration and subscriber wake-ups, shared by all
+    channel primitives.  ``_dirty_flag`` doubles as the marker telling
+    ``Simulator.register_sequential`` that this element participates in
+    dirty tracking (elements without it are committed every cycle)."""
+
+    _sim: Simulator
+    _dirty_flag = False
+
+    def _init_channel(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._waiters: List[object] = []
+        sim.register_sequential(self)
+
+    def subscribe(self, component: object) -> None:
+        """Wake ``component`` whenever a write is staged on this channel."""
+        if component not in self._waiters:
+            self._waiters.append(component)
+
+    def unsubscribe(self, component: object) -> None:
+        try:
+            self._waiters.remove(component)
+        except ValueError:
+            pass
+
+    def _mark_dirty(self) -> None:
+        if not self._dirty_flag:
+            self._dirty_flag = True
+            self._sim._dirty.append(self)
+
+    def _staged(self) -> None:
+        """Record a staged write: enter the dirty set and schedule
+        watchers for the cycle the value becomes visible."""
+        self._mark_dirty()
+        if self._waiters:
+            visible_at = self._sim.cycle + 1
+            for component in self._waiters:
+                self._sim.wake_at(component, visible_at)
+
+
+class Wire(_Subscribable):
     """A registered signal: holds its value until re-driven.
 
     Double-driving in one cycle raises — two hardware drivers on one net
@@ -27,21 +75,23 @@ class Wire:
         self.name = name
         self.value = init
         self._next: Any = _UNSET
-        sim.register_sequential(self)
+        self._init_channel(sim)
 
     def drive(self, value: Any) -> None:
         if self._next is not _UNSET:
             raise SimError(f"wire {self.name!r} driven twice in one cycle")
         self._next = value
+        self._staged()
 
     def driven(self) -> bool:
         """Whether the wire has already been driven this cycle."""
         return self._next is not _UNSET
 
-    def _commit(self) -> None:
+    def _commit(self) -> bool:
         if self._next is not _UNSET:
             self.value = self._next
             self._next = _UNSET
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Wire({self.name!r}, value={self.value!r})"
@@ -58,15 +108,17 @@ class PulseWire(Wire):
         super().__init__(sim, name, init=default)
         self._default = default
 
-    def _commit(self) -> None:
+    def _commit(self) -> bool:
         if self._next is _UNSET:
             self.value = self._default
-        else:
-            self.value = self._next
-            self._next = _UNSET
+            return False
+        self.value = self._next
+        self._next = _UNSET
+        # stay in the dirty set one more cycle so the self-clear commits
+        return True
 
 
-class FIFO:
+class FIFO(_Subscribable):
     """A bounded FIFO with registered push: pushes appear next cycle.
 
     ``pop``/``peek`` act on the committed queue, so a value pushed in
@@ -76,30 +128,31 @@ class FIFO:
     """
 
     def __init__(self, sim: Simulator, name: str, capacity: int = 0):
-        if capacity < 0:
-            raise SimError(f"FIFO {self.name if hasattr(self, 'name') else name!r}: "
-                           f"negative capacity {capacity}")
         self.name = name
+        if capacity < 0:
+            raise SimError(f"FIFO {name!r}: negative capacity {capacity}")
         self.capacity = capacity  # 0 means unbounded
         self._queue: Deque[Any] = deque()
-        self._staged: List[Any] = []
-        sim.register_sequential(self)
+        self._staged_items: List[Any] = []
+        self._init_channel(sim)
 
     # -- write port -----------------------------------------------------
     def can_push(self, n: int = 1) -> bool:
         """Conservative full check: counts both committed and staged items."""
         if self.capacity == 0:
             return True
-        return len(self._queue) + len(self._staged) + n <= self.capacity
+        return len(self._queue) + len(self._staged_items) + n <= self.capacity
 
     def push(self, item: Any) -> None:
         if not self.can_push():
             raise SimError(f"FIFO {self.name!r} overflow (capacity {self.capacity})")
-        self._staged.append(item)
+        self._staged_items.append(item)
+        self._staged()
 
     def try_push(self, item: Any) -> bool:
         if self.can_push():
-            self._staged.append(item)
+            self._staged_items.append(item)
+            self._staged()
             return True
         return False
 
@@ -127,22 +180,23 @@ class FIFO:
     def clear(self) -> None:
         """Drop committed and staged contents (reconfiguration flush)."""
         self._queue.clear()
-        self._staged.clear()
+        self._staged_items.clear()
 
     @property
     def pending(self) -> int:
         """Number of items staged this cycle (not yet visible)."""
-        return len(self._staged)
+        return len(self._staged_items)
 
     @property
     def occupancy(self) -> int:
         """Committed plus staged items — total buffered load."""
-        return len(self._queue) + len(self._staged)
+        return len(self._queue) + len(self._staged_items)
 
-    def _commit(self) -> None:
-        if self._staged:
-            self._queue.extend(self._staged)
-            self._staged.clear()
+    def _commit(self) -> bool:
+        if self._staged_items:
+            self._queue.extend(self._staged_items)
+            self._staged_items.clear()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"FIFO({self.name!r}, len={len(self._queue)}, cap={self.capacity})"

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
-from repro.sim.engine import SimError, Simulator
+from repro.sim.engine import SLEEP, SimError, Simulator
+
+#: what ``tick`` may return: None (tick next cycle), SLEEP, or a wake cycle
+QuiescenceHint = Optional[Union[int, type(SLEEP)]]
 
 
 class Component:
@@ -15,11 +18,40 @@ class Component:
     ``FIFO.push``). Mutating plain Python attributes inside ``tick`` is
     allowed only for state private to the component, since no other
     component may observe it in the same cycle.
+
+    Quiescence protocol (optional)
+    ------------------------------
+    ``tick`` may return a hint to the activity-driven scheduler:
+
+    * ``None`` — tick again next cycle (the default; any component that
+      ignores the protocol keeps today's semantics);
+    * :data:`repro.sim.SLEEP` — quiescent: skip this component's ticks
+      until something wakes it;
+    * an ``int`` cycle number — quiescent until that cycle (an absolute
+      wake time; earlier wake-ups may still occur).
+
+    Wake sources are: a watched channel being driven or pushed
+    (:meth:`watch`), the timed hint coming due, or an explicit
+    :meth:`wake` call.  Scheduled simulator events fire regardless of
+    sleep but do **not** implicitly wake components — an event that
+    makes a sleeping component relevant again must call its
+    :meth:`wake` (the channel primitives and the architecture
+    backends' submit paths already do).
+
+    **Contract:** while a component reports quiescence, its ``tick``
+    must be an observable no-op — then spurious or early wake-ups are
+    always harmless, and fast-path runs are bit-identical to slow-path
+    runs (the golden-equivalence guarantee).
     """
 
     def __init__(self, name: str):
         self.name = name
         self._sim: Optional[Simulator] = None
+        # scheduler bookkeeping, owned by Simulator
+        self._order: int = -1
+        self._asleep: bool = False
+        self._wake_at: Optional[int] = None
+        self._pending_wake: Optional[int] = None
 
     # ------------------------------------------------------------------
     def bind(self, sim: Simulator) -> None:
@@ -40,7 +72,26 @@ class Component:
         return self.sim.cycle
 
     # ------------------------------------------------------------------
-    def tick(self, sim: Simulator) -> None:
+    @property
+    def asleep(self) -> bool:
+        """Whether the scheduler currently has this component sleeping."""
+        return self._asleep
+
+    def wake(self) -> None:
+        """Return this component to the runnable set (no-op when awake
+        or unbound). Safe to call from anywhere, including other
+        components' ticks — the woken component runs next cycle."""
+        if self._sim is not None:
+            self._sim.wake(self)
+
+    def watch(self, channel: object) -> None:
+        """Subscribe to a channel: any ``Wire.drive``/``FIFO.push`` on it
+        wakes this component (the staged value is visible next cycle,
+        which is exactly when the woken component ticks)."""
+        channel.subscribe(self)
+
+    # ------------------------------------------------------------------
+    def tick(self, sim: Simulator) -> "QuiescenceHint":
         """Advance the component by one clock cycle."""
         raise NotImplementedError
 

@@ -5,23 +5,67 @@ three strictly ordered phases:
 
 1. **events** — callbacks scheduled for this cycle fire (configuration
    port actions, workload phase changes, test instrumentation);
-2. **tick** — every registered component's ``tick`` runs; components read
-   only *committed* state and stage writes;
-3. **commit** — all registered sequential elements latch their staged
-   state.
+2. **tick** — every *runnable* registered component's ``tick`` runs;
+   components read only *committed* state and stage writes;
+3. **commit** — sequential elements with staged state latch it.
 
 Because components see only committed state, the result of a cycle never
 depends on component registration order; this is asserted by the
 property tests in ``tests/sim/test_engine_properties.py``.
+
+Activity-driven fast path
+-------------------------
+
+By default the kernel is *activity-driven*: a component whose ``tick``
+returns a quiescence hint (:data:`SLEEP` or a future wake cycle) leaves
+the hot tick loop until it is woken again — by a watched channel being
+driven/pushed, by an explicit :meth:`Component.wake`, or by its timed
+wake coming due.  Likewise the commit phase walks only the *dirty set*
+of elements with staged writes instead of every registered sequential,
+and :meth:`Simulator.run` fast-forwards the clock over fully quiescent
+stretches straight to the next scheduled event or timed wake.
+
+The fast path is a pure optimization with a golden-equivalence
+guarantee (see ``tests/sim/test_fastpath_equivalence.py``): a model
+obeying the quiescence contract — *a tick while quiescent is an
+observable no-op, and spurious wake-ups are harmless* — produces
+bit-identical cycle counts and statistics with the fast path on or
+off.  Disable it for debugging with ``Simulator(fast_path=False)`` or
+``REPRO_SIM_FASTPATH=0`` in the environment.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+from bisect import insort
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.sim.stats import StatsRegistry
+
+#: environment switch for the activity-driven fast path ("0" disables)
+FASTPATH_ENV = "REPRO_SIM_FASTPATH"
+
+
+def fastpath_default() -> bool:
+    """The fast-path setting used when ``Simulator(fast_path=None)``."""
+    return os.environ.get(FASTPATH_ENV, "1").lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+class _SleepForever:
+    """Singleton quiescence hint: sleep until explicitly woken."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SLEEP"
+
+
+#: returned from ``Component.tick`` to leave the tick loop until woken
+SLEEP = _SleepForever()
 
 
 class SimError(RuntimeError):
@@ -39,21 +83,36 @@ class Simulator:
         Hard safety bound; :meth:`run_until` raises :class:`SimError`
         when the bound is exceeded, which turns livelocks in a model
         into test failures instead of hangs.
+    fast_path:
+        Enable the activity-driven scheduler (sleep/wake, dirty-set
+        commits, clock fast-forward).  ``None`` (the default) reads
+        :data:`FASTPATH_ENV` and falls back to enabled.
     """
 
-    def __init__(self, name: str = "sim", max_cycles: int = 10_000_000):
+    def __init__(self, name: str = "sim", max_cycles: int = 10_000_000,
+                 fast_path: Optional[bool] = None):
         self.name = name
         self.cycle = 0
         self.max_cycles = max_cycles
         self.stats = StatsRegistry()
         #: optional repro.sim.trace.Tracer; emit() is a no-op while None
         self.tracer = None
+        self.fast_path = fastpath_default() if fast_path is None else fast_path
         self._components: List["Component"] = []
         self._sequentials: List[object] = []
         self._events: List[Tuple[int, int, Callable[["Simulator"], None]]] = []
         self._event_seq = itertools.count()
+        self._order_seq = itertools.count()
         self._running = False
         self._stopped = False
+        # activity-driven scheduling state: awake components in
+        # registration order, timed wakes, and the per-cycle dirty set.
+        self._runnable: List[Tuple[int, "Component"]] = []
+        self._wake_heap: List[Tuple[int, int, "Component"]] = []
+        self._dirty: List[object] = []
+        # sequentials that do not participate in dirty tracking (no
+        # ``_dirty_flag`` attribute) are committed every cycle.
+        self._eager_sequentials: List[object] = []
 
     # ------------------------------------------------------------------
     # registration
@@ -66,6 +125,12 @@ class Simulator:
             raise SimError(f"{component!r} is not a Component")
         self._components.append(component)
         component.bind(self)
+        component._order = next(self._order_seq)
+        component._asleep = False
+        component._wake_at = None
+        component._pending_wake = None
+        # orders grow monotonically, so append preserves sorted order
+        self._runnable.append((component._order, component))
         return component
 
     def add_all(self, components: Iterable["Component"]) -> None:
@@ -78,22 +143,127 @@ class Simulator:
             self._components.remove(component)
         except ValueError:
             raise SimError(f"{component.name!r} is not registered") from None
+        if component._asleep:
+            component._asleep = False
+            component._wake_at = None
+        else:
+            try:
+                self._runnable.remove((component._order, component))
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        component._pending_wake = None
 
     def register_sequential(self, element: object) -> None:
-        """Register an object exposing ``_commit()`` to be latched each cycle."""
+        """Register an object exposing ``_commit()`` to be latched each cycle.
+
+        Elements exposing a ``_dirty_flag`` attribute (the channel
+        primitives) are committed only on cycles where they staged a
+        write; anything else is committed every cycle.
+        """
         if not hasattr(element, "_commit"):
             raise SimError(f"{element!r} has no _commit method")
         self._sequentials.append(element)
+        if not hasattr(element, "_dirty_flag"):
+            self._eager_sequentials.append(element)
 
     def unregister_sequential(self, element: object) -> None:
         try:
             self._sequentials.remove(element)
+        except ValueError:
+            return
+        try:
+            self._eager_sequentials.remove(element)
+        except ValueError:
+            pass
+        try:
+            self._dirty.remove(element)
         except ValueError:
             pass
 
     @property
     def components(self) -> Tuple["Component", ...]:
         return tuple(self._components)
+
+    # ------------------------------------------------------------------
+    # sleep / wake scheduling
+    # ------------------------------------------------------------------
+    def wake(self, component: "Component") -> None:
+        """Return a sleeping component to the runnable set (no-op when
+        it is already awake)."""
+        if not component._asleep:
+            return
+        component._asleep = False
+        component._wake_at = None
+        insort(self._runnable, (component._order, component))
+
+    def wake_at(self, component: "Component", cycle: int) -> None:
+        """Guarantee ``component`` is runnable at ``cycle``.
+
+        Used by the channel primitives: a value staged in cycle *t*
+        becomes visible at *t+1*, so subscribers are scheduled for
+        *t+1*.  If the component is currently awake, the request is
+        remembered so that a sleep hint returned *this same cycle*
+        cannot overshoot it — otherwise a consumer could declare
+        quiescence in the very cycle a producer staged data for it and
+        never observe the write.
+        """
+        if component._asleep:
+            if cycle <= self.cycle:
+                self.wake(component)
+            elif component._wake_at is None or cycle < component._wake_at:
+                component._wake_at = cycle
+                heapq.heappush(self._wake_heap,
+                               (cycle, component._order, component))
+        else:
+            pending = component._pending_wake
+            if pending is None or cycle < pending:
+                component._pending_wake = cycle
+
+    def _request_sleep(self, component: "Component", hint: object) -> None:
+        """Apply a quiescence hint returned by ``tick``."""
+        if hint is SLEEP:
+            wake_at: Optional[int] = None
+        elif isinstance(hint, int) and not isinstance(hint, bool):
+            wake_at = hint
+        else:
+            raise SimError(
+                f"component {component.name!r}: invalid quiescence hint "
+                f"{hint!r} (expected None, SLEEP or a wake cycle)"
+            )
+        # a watched channel staged data this cycle: the subscriber must
+        # run when it becomes visible, whatever its own hint says
+        pending = component._pending_wake
+        component._pending_wake = None
+        if pending is not None and (wake_at is None or pending < wake_at):
+            wake_at = pending
+        if wake_at is not None and wake_at <= self.cycle + 1:
+            return  # it would be woken for the very next cycle anyway
+        try:
+            self._runnable.remove((component._order, component))
+        except ValueError:
+            return  # removed from the simulator during this cycle
+        component._asleep = True
+        component._wake_at = wake_at
+        if wake_at is not None:
+            heapq.heappush(self._wake_heap,
+                           (wake_at, component._order, component))
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no component is runnable and nothing awaits commit —
+        the clock may fast-forward to the next event or timed wake."""
+        return (not self._runnable and not self._dirty
+                and not self._eager_sequentials)
+
+    def next_activity(self) -> Optional[int]:
+        """Earliest future cycle with a scheduled event or a timed wake
+        (None when neither exists)."""
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self._wake_heap:
+            candidates.append(self._wake_heap[0][0])
+        return min(candidates) if candidates else None
 
     # ------------------------------------------------------------------
     # event scheduling
@@ -116,6 +286,11 @@ class Simulator:
         """Request the current ``run``/``run_until`` loop to end after this cycle."""
         self._stopped = True
 
+    @property
+    def stopped(self) -> bool:
+        """Whether the last run loop ended because of a :meth:`stop` request."""
+        return self._stopped
+
     def emit(self, source: str, kind: str, **data: object) -> None:
         """Record a trace event when a tracer is attached (else no-op)."""
         if self.tracer is not None:
@@ -130,24 +305,69 @@ class Simulator:
             raise SimError("re-entrant step() — do not step from inside tick()")
         self._running = True
         try:
-            while self._events and self._events[0][0] <= self.cycle:
+            cycle = self.cycle
+            wakes = self._wake_heap
+            while wakes and wakes[0][0] <= cycle:
+                _, _, component = heapq.heappop(wakes)
+                # lazy invalidation: the entry is live only if it still
+                # matches the component's current sleep state
+                if (component._asleep and component._wake_at is not None
+                        and component._wake_at <= cycle):
+                    self.wake(component)
+            while self._events and self._events[0][0] <= cycle:
                 _, _, fn = heapq.heappop(self._events)
                 fn(self)
-            # Snapshot: events and ticks may add/remove components; changes
-            # take effect next cycle, matching reconfiguration semantics.
-            for component in list(self._components):
-                component.tick(self)
-            for element in self._sequentials:
-                element._commit()
+            if self.fast_path:
+                # Snapshot: ticks may add/remove/wake components; changes
+                # take effect next cycle, matching reconfiguration
+                # semantics (removals still tick out this cycle).
+                if self._runnable:
+                    for entry in list(self._runnable):
+                        component = entry[1]
+                        if (component._pending_wake is not None
+                                and component._pending_wake <= cycle):
+                            component._pending_wake = None  # satisfied by this tick
+                        hint = component.tick(self)
+                        if hint is not None:
+                            self._request_sleep(component, hint)
+                for element in self._eager_sequentials:
+                    element._commit()
+                if self._dirty:
+                    dirty, self._dirty = self._dirty, []
+                    for element in dirty:
+                        element._dirty_flag = False
+                        if element._commit():
+                            # e.g. a PulseWire that must self-clear
+                            element._mark_dirty()
+            else:
+                for component in list(self._components):
+                    component.tick(self)
+                if self._dirty:
+                    for element in self._dirty:
+                        element._dirty_flag = False
+                    self._dirty.clear()
+                for element in self._sequentials:
+                    element._commit()
             self.cycle += 1
         finally:
             self._running = False
 
     def run(self, cycles: int) -> None:
-        """Run for ``cycles`` clock cycles (or until :meth:`stop`)."""
+        """Run for ``cycles`` clock cycles (or until :meth:`stop`).
+
+        With the fast path enabled, fully quiescent stretches are
+        skipped in one clock jump to the next scheduled event or timed
+        wake — nothing can change during them, so no cycle is stepped.
+        """
         self._stopped = False
         end = self.cycle + cycles
         while self.cycle < end and not self._stopped:
+            if self.fast_path and self.quiescent:
+                nxt = self.next_activity()
+                target = end if nxt is None else min(nxt, end)
+                if target > self.cycle:
+                    self.cycle = target
+                    continue
             self.step()
 
     def run_for_time(self, seconds: float, clock_hz: float) -> int:
@@ -168,12 +388,21 @@ class Simulator:
         """Run until ``predicate(sim)`` holds; return the cycle it held at.
 
         Raises :class:`SimError` when the cycle bound is exceeded, so a
-        deadlocked model fails loudly.
+        deadlocked model fails loudly.  A :meth:`stop` request instead
+        ends the loop cleanly after the stopping cycle and returns the
+        current cycle — check :attr:`stopped` to distinguish it from the
+        predicate holding.
+
+        The predicate is evaluated at every cycle (it may depend on
+        ``sim.cycle`` itself, as :meth:`drain` does), so the clock is
+        never jumped here; quiescent cycles still cost O(1) each.
         """
         bound = self.max_cycles if max_cycles is None else self.cycle + max_cycles
         self._stopped = False
         while not predicate(self):
-            if self.cycle >= bound or self._stopped:
+            if self._stopped:
+                return self.cycle
+            if self.cycle >= bound:
                 raise SimError(
                     f"{self.name}: run_until exceeded {bound} cycles "
                     f"(now {self.cycle})"

@@ -171,6 +171,25 @@ class StatsRegistry:
     def get_histogram(self, name: str) -> Optional[Histogram]:
         return self._histograms.get(name)
 
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A deep, plain-data snapshot of every probe.
+
+        Counters become ints, histograms their full ordered sample
+        lists, time series their (cycles, values) lists.  Two runs are
+        behaviourally identical iff their snapshots compare equal —
+        this is what the fast-path golden-equivalence tests assert.
+        """
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "histograms": {
+                k: list(h._samples) for k, h in sorted(self._histograms.items())
+            },
+            "series": {
+                k: (list(s._cycles), list(s._values))
+                for k, s in sorted(self._series.items())
+            },
+        }
+
 
 class CounterSnapshot:
     """Windowed counter deltas: snapshot, run, diff.

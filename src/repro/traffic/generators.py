@@ -7,7 +7,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.base import ArchPort, Message
-from repro.sim import Component, Simulator
+from repro.sim import SLEEP, Component, Simulator
 
 
 class TrafficGenerator(Component):
@@ -37,12 +37,24 @@ class TrafficGenerator(Component):
     def latencies(self) -> List[int]:
         return [m.latency for m in self.sent if m.delivered]
 
-    def tick(self, sim: Simulator) -> None:
-        if self.active(sim.cycle):
-            self.generate(sim.cycle)
+    def tick(self, sim: Simulator):
+        cycle = sim.cycle
+        if self.stop is not None and cycle >= self.stop:
+            return SLEEP  # window closed for good
+        if cycle < self.start:
+            return self.start  # doze until the window opens
+        self.generate(cycle)
+        return self.next_activity(cycle)
 
     def generate(self, cycle: int) -> None:
         raise NotImplementedError
+
+    def next_activity(self, cycle: int):
+        """Quiescence hint after generating at ``cycle``: the next cycle
+        this generator could possibly inject.  The default (None) keeps
+        the generator ticking every active cycle; deterministic
+        subclasses override it with their next firing cycle."""
+        return None
 
 
 class RandomTraffic(TrafficGenerator):
@@ -90,6 +102,13 @@ class PeriodicStream(TrafficGenerator):
     def generate(self, cycle: int) -> None:
         if (cycle - self.start) % self.period == self.phase:
             self._inject(self.dst, self.payload_bytes, tag="stream")
+
+    def next_activity(self, cycle: int):
+        gap = (self.phase - (cycle - self.start)) % self.period
+        nxt = cycle + (gap or self.period)
+        if self.stop is not None and nxt >= self.stop:
+            return SLEEP
+        return nxt
 
     # -- real-time accounting -------------------------------------------
     def deadline_misses(self) -> int:
@@ -147,6 +166,15 @@ class BurstyGenerator(TrafficGenerator):
         elif self.rng.random() < self.p_on:
             self._on = True
 
+    def next_activity(self, cycle: int):
+        # RNG draws happen only at slot boundaries, so sleeping between
+        # them consumes the random stream identically to ticking through
+        gap = (self.start - cycle) % self.slot_cycles
+        nxt = cycle + (gap or self.slot_cycles)
+        if self.stop is not None and nxt >= self.stop:
+            return SLEEP
+        return nxt
+
     @property
     def duty_cycle(self) -> float:
         """Long-run ON fraction: p_on / (p_on + p_off)."""
@@ -172,6 +200,11 @@ class TraceReplay(TrafficGenerator):
             _, dst, nbytes = self.trace[self._idx]
             self._inject(dst, nbytes, tag="trace")
             self._idx += 1
+
+    def next_activity(self, cycle: int):
+        if self._idx >= len(self.trace):
+            return SLEEP  # trace exhausted: nothing left to inject
+        return max(self.trace[self._idx][0], cycle + 1)
 
     def exhausted(self) -> bool:
         return self._idx >= len(self.trace)

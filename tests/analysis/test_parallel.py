@@ -1,0 +1,100 @@
+"""Tests for the parallel experiment runner and its result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.analysis import parallel as P
+from repro.analysis.sweeps import SweepGrid, run_sweep
+
+
+def test_config_hash_is_stable_and_kwarg_sensitive():
+    a = P.Job("e1")
+    b = P.Job("e1")
+    c = P.Job("e1", kwargs={"bus_count": 8})
+    d = P.Job("e2")
+    assert P.config_hash(a) == P.config_hash(b)
+    assert P.config_hash(a) != P.config_hash(c)
+    assert P.config_hash(a) != P.config_hash(d)
+
+
+def test_registry_covers_experiments_and_ablations():
+    names = P.registry()
+    for name in ("e1", "e12", "a1", "a7"):
+        assert name in names
+
+
+def test_unknown_job_raises_keyerror():
+    with pytest.raises(KeyError, match="nope"):
+        P._execute(P.Job("nope"))
+
+
+def test_serial_run_caches_result(tmp_path):
+    cache = str(tmp_path / "cache")
+    first = P.run_named(["e1"], max_workers=0, cache_dir=cache)
+    files = os.listdir(cache)
+    assert len(files) == 1 and files[0].startswith("e1-")
+    # second run must be a pure cache hit returning an equal object
+    second = P.run_named(["e1"], max_workers=0, cache_dir=cache)
+    assert repr(first["e1"]) == repr(second["e1"])
+
+
+def test_cache_hit_skips_execution(tmp_path, monkeypatch):
+    cache = str(tmp_path / "cache")
+    job = P.Job("e1")
+    P._cache_store(P._cache_path(cache, job), "sentinel-result")
+    calls = []
+    monkeypatch.setattr(P, "_execute", lambda j: calls.append(j))
+    out = P.run_jobs([job], max_workers=0, cache_dir=cache)
+    assert out == ["sentinel-result"]
+    assert calls == []
+
+
+@pytest.mark.parametrize("garbage", [
+    b"not a pickle",
+    b"garbage\n",   # parses as protocol-0 opcodes -> ValueError
+    b"",
+])
+def test_corrupted_cache_recomputes(tmp_path, garbage):
+    cache = str(tmp_path / "cache")
+    job = P.Job("e1")
+    path = P._cache_path(cache, job)
+    os.makedirs(cache)
+    with open(path, "wb") as fh:
+        fh.write(garbage)
+    result = P.run_jobs([job], max_workers=0, cache_dir=cache)[0]
+    assert result is not None
+    # and the good result replaced the corrupt entry
+    with open(path, "rb") as fh:
+        assert repr(pickle.load(fh)) == repr(result)
+
+
+def test_no_cache_leaves_disk_untouched(tmp_path):
+    cache = str(tmp_path / "cache")
+    P.run_named(["e1"], max_workers=0, cache_dir=cache, use_cache=False)
+    assert not os.path.exists(cache)
+
+
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(P.CACHE_DIR_ENV, str(tmp_path / "envcache"))
+    assert P.default_cache_dir() == str(tmp_path / "envcache")
+    monkeypatch.delenv(P.CACHE_DIR_ENV)
+    assert P.default_cache_dir() == P.DEFAULT_CACHE_DIR
+
+
+def test_parallel_pool_matches_serial(tmp_path):
+    serial = P.run_named(["e1", "a4"], max_workers=0,
+                         cache_dir=str(tmp_path / "s"))
+    pooled = P.run_named(["e1", "a4"], max_workers=2,
+                         cache_dir=str(tmp_path / "p"))
+    assert repr(serial["e1"]) == repr(pooled["e1"])
+    assert repr(serial["a4"]) == repr(pooled["a4"])
+
+
+def test_run_sweep_parallel_matches_serial():
+    grid = SweepGrid(arch=["sharedbus", "staticmesh"], width=[16, 32],
+                     payload_bytes=[64])
+    serial = run_sweep(grid)
+    pooled = P.run_sweep_parallel(grid, max_workers=2)
+    assert pooled == serial

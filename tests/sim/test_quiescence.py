@@ -1,0 +1,317 @@
+"""Unit tests for the activity-driven kernel: sleep/wake scheduling,
+dirty-set commits, fast-forward, and the quiescence-hint protocol."""
+
+import pytest
+
+from repro.sim import FIFO, SLEEP, Component, PulseWire, Simulator, Wire
+from repro.sim.engine import FASTPATH_ENV, SimError, fastpath_default
+
+
+class Recorder(Component):
+    """Ticks forever, recording each cycle it runs (control sample)."""
+
+    def __init__(self, name="rec"):
+        super().__init__(name)
+        self.ticks = []
+
+    def tick(self, sim):
+        self.ticks.append(sim.cycle)
+
+
+class Sleeper(Recorder):
+    """Ticks once, then sleeps until woken."""
+
+    def tick(self, sim):
+        self.ticks.append(sim.cycle)
+        return SLEEP
+
+
+class Periodic(Recorder):
+    def __init__(self, period, name="periodic"):
+        super().__init__(name)
+        self.period = period
+
+    def tick(self, sim):
+        self.ticks.append(sim.cycle)
+        return sim.cycle + self.period
+
+
+# ----------------------------------------------------------------------
+# sleep / wake basics
+# ----------------------------------------------------------------------
+def test_sleep_stops_ticking_and_wake_resumes():
+    sim = Simulator(fast_path=True)
+    s = sim.add(Sleeper())
+    sim.run(5)
+    assert s.ticks == [0]
+    assert s.asleep
+    s.wake()
+    assert not s.asleep
+    sim.run(1)
+    assert s.ticks == [0, 5]
+
+
+def test_timed_wake_fires_on_the_exact_cycle():
+    sim = Simulator(fast_path=True)
+    p = sim.add(Periodic(7))
+    sim.run(30)
+    assert p.ticks == [0, 7, 14, 21, 28]
+
+
+def test_sleeping_component_costs_no_ticks():
+    sim = Simulator(fast_path=True)
+    s = sim.add(Sleeper())
+    r = sim.add(Recorder())
+    sim.run(100)
+    assert s.ticks == [0]
+    assert len(r.ticks) == 100
+
+
+def test_fast_forward_jumps_over_quiescence():
+    sim = Simulator(fast_path=True)
+    p = sim.add(Periodic(1000))
+    sim.run(5000)
+    assert p.ticks == [0, 1000, 2000, 3000, 4000]
+    assert sim.cycle == 5000
+
+
+def test_fast_forward_respects_scheduled_events():
+    sim = Simulator(fast_path=True)
+    sim.add(Sleeper())
+    fired = []
+    sim.at(137, lambda s: fired.append(s.cycle))
+    sim.run(500)
+    assert fired == [137]
+    assert sim.cycle == 500
+
+
+def test_events_do_not_wake_sleepers_implicitly():
+    sim = Simulator(fast_path=True)
+    s = sim.add(Sleeper())
+    sim.at(10, lambda _s: None)
+    sim.run(20)
+    assert s.ticks == [0]
+    # ...but an event may wake one explicitly
+    sim.at(25, lambda _s: s.wake())
+    sim.run(10)
+    assert s.ticks == [0, 25]
+
+
+# ----------------------------------------------------------------------
+# channel-driven wakes
+# ----------------------------------------------------------------------
+class Watcher(Recorder):
+    """Sleeps; wakes when a watched wire is driven, reading its value."""
+
+    def __init__(self, wire):
+        super().__init__("watcher")
+        self.wire = wire
+        self.seen = []
+
+    def tick(self, sim):
+        self.ticks.append(sim.cycle)
+        self.seen.append((sim.cycle, self.wire.value))
+        return SLEEP
+
+
+def test_wire_drive_wakes_subscriber_after_commit():
+    sim = Simulator(fast_path=True)
+    w = Wire(sim, "w", init=0)
+    watcher = sim.add(Watcher(w))
+    watcher.watch(w)
+    sim.at(5, lambda s: w.drive(42))
+    sim.run(10)
+    # watcher ticked at 0 (saw init), then on the cycle the committed
+    # value is visible — never the same cycle it was staged
+    assert watcher.seen == [(0, 0), (6, 42)]
+
+
+def test_drive_overrides_same_cycle_sleep_request():
+    """A consumer that returns SLEEP in the same cycle a producer stages
+    data for it must still wake to observe the committed value."""
+    sim = Simulator(fast_path=True)
+    w = Wire(sim, "w", init=None)
+
+    class Consumer(Component):
+        def __init__(self):
+            super().__init__("consumer")
+            self.seen = []
+
+        def tick(self, sim):
+            self.seen.append((sim.cycle, w.value))
+            return SLEEP
+
+    c = sim.add(Consumer())
+    c.watch(w)
+
+    class Producer(Component):
+        def __init__(self):
+            super().__init__("producer")
+
+        def tick(self, sim):
+            if sim.cycle == 7:
+                w.drive(99)
+                return SLEEP
+            return None
+
+    sim.add(Producer())
+    sim.run(20)
+    assert (8, 99) in c.seen
+
+
+def test_fifo_push_wakes_subscriber():
+    sim = Simulator(fast_path=True)
+    f = FIFO(sim, "f")
+
+    class Popper(Component):
+        def __init__(self):
+            super().__init__("popper")
+            self.got = []
+
+        def tick(self, sim):
+            while f:
+                self.got.append((sim.cycle, f.pop()))
+            return SLEEP
+
+    p = sim.add(Popper())
+    p.watch(f)
+    sim.at(10, lambda s: f.push("x"))
+    sim.run(20)
+    assert p.got == [(11, "x")]
+
+
+def test_pulsewire_self_clears_while_everyone_sleeps():
+    sim = Simulator(fast_path=True)
+    pw = PulseWire(sim, "pulse")
+    sim.add(Sleeper())
+    sim.at(3, lambda s: pw.drive(True))
+    sim.run(3)
+    sim.step()  # commit the pulse
+    assert pw.value is True
+    sim.step()  # pulse must auto-clear even with no runnable components
+    assert pw.value is None
+
+
+# ----------------------------------------------------------------------
+# dirty-set commits
+# ----------------------------------------------------------------------
+def test_undriven_wires_are_not_walked_but_still_commit_when_driven():
+    sim = Simulator(fast_path=True)
+    wires = [Wire(sim, f"w{i}", init=0) for i in range(50)]
+    sim.add(Recorder())
+    sim.run(10)
+    wires[17].drive(5)
+    sim.step()
+    assert wires[17].value == 5
+    assert all(w.value == 0 for w in wires if w is not wires[17])
+
+
+def test_plain_sequential_objects_commit_every_cycle():
+    sim = Simulator(fast_path=True)
+
+    class Latch:
+        def __init__(self):
+            self.commits = 0
+
+        def _commit(self):
+            self.commits += 1
+
+    latch = Latch()
+    sim.register_sequential(latch)
+    sim.add(Recorder())
+    sim.run(10)
+    assert latch.commits == 10
+
+
+# ----------------------------------------------------------------------
+# protocol edges
+# ----------------------------------------------------------------------
+def test_invalid_hint_raises():
+    sim = Simulator(fast_path=True)
+
+    class Bad(Component):
+        def tick(self, sim):
+            return "tomorrow"
+
+    sim.add(Bad("bad"))
+    with pytest.raises(SimError, match="hint"):
+        sim.run(1)
+
+
+def test_bool_hint_rejected():
+    sim = Simulator(fast_path=True)
+
+    class Bad(Component):
+        def tick(self, sim):
+            return True
+
+    sim.add(Bad("bad"))
+    with pytest.raises(SimError):
+        sim.run(1)
+
+
+def test_past_hint_keeps_component_runnable():
+    sim = Simulator(fast_path=True)
+
+    class Eager(Recorder):
+        def tick(self, sim):
+            self.ticks.append(sim.cycle)
+            return sim.cycle  # hint in the past: stay hot
+
+    e = sim.add(Eager())
+    sim.run(5)
+    assert e.ticks == [0, 1, 2, 3, 4]
+
+
+def test_removed_component_does_not_resurrect():
+    sim = Simulator(fast_path=True)
+    s = sim.add(Periodic(5))
+    sim.run(3)
+    sim.remove(s)
+    sim.run(20)
+    assert s.ticks == [0]
+
+
+def test_slow_path_ignores_hints():
+    sim = Simulator(fast_path=False)
+    s = sim.add(Sleeper())
+    sim.run(10)
+    assert s.ticks == list(range(10))
+    assert not s.asleep
+
+
+def test_fastpath_env_toggle(monkeypatch):
+    monkeypatch.setenv(FASTPATH_ENV, "0")
+    assert fastpath_default() is False
+    assert Simulator().fast_path is False
+    monkeypatch.setenv(FASTPATH_ENV, "1")
+    assert fastpath_default() is True
+    monkeypatch.delenv(FASTPATH_ENV)
+    assert fastpath_default() is True
+
+
+# ----------------------------------------------------------------------
+# satellite regressions: run_until stop + FIFO capacity error
+# ----------------------------------------------------------------------
+def test_run_until_returns_cleanly_on_stop():
+    sim = Simulator(fast_path=True)
+    sim.add(Recorder())
+    sim.at(5, lambda s: s.stop())
+    cycle = sim.run_until(lambda s: False, max_cycles=1000)
+    # the stop lands during cycle 5's step; run_until returns right after
+    assert cycle == sim.cycle == 6
+    assert sim.stopped
+
+
+def test_run_until_still_raises_on_bound_exhaustion():
+    sim = Simulator(fast_path=True)
+    sim.add(Recorder())
+    with pytest.raises(SimError, match="exceeded"):
+        sim.run_until(lambda s: False, max_cycles=50)
+    assert not sim.stopped
+
+
+def test_fifo_negative_capacity_names_the_fifo():
+    sim = Simulator()
+    with pytest.raises(SimError, match="'bad_fifo'"):
+        FIFO(sim, "bad_fifo", capacity=-1)
