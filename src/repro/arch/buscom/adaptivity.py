@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.arch.buscom.arch import BusCom
 from repro.arch.buscom.schedule import SlotKind
-from repro.sim import Component, Simulator
+from repro.sim import Component, QuiescenceHint, Simulator
 
 
 class AdaptiveArbiter(Component):
@@ -49,13 +49,16 @@ class AdaptiveArbiter(Component):
         self._samples = 0
 
     # ------------------------------------------------------------------
-    def tick(self, sim: Simulator) -> None:
-        # sample demand continuously; act on epoch boundaries
+    def tick(self, sim: Simulator) -> QuiescenceHint:
+        # sample demand continuously; act on epoch boundaries.  The
+        # demand integral must cover every cycle, so the arbiter never
+        # returns a quiescence hint — but its signature must be able to.
         for module, backlog in self.arch.total_backlog().items():
             self._demand[module] = self._demand.get(module, 0.0) + backlog
         self._samples += 1
         if sim.cycle and sim.cycle % self.epoch_cycles == 0:
             self._adapt(sim)
+        return None
 
     # ------------------------------------------------------------------
     def _static_positions(self) -> List[Tuple[int, int]]:

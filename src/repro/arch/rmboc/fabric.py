@@ -275,7 +275,7 @@ class RMBoC(CommArchitecture, Component):
         self.sim.emit("rmboc", "establish", cid=ch.cid,
                       lanes=dict(ch.lanes))
         self.sim.stats.histogram("rmboc.setup_latency").add(
-            now - ch._requested_cycle  # type: ignore[attr-defined]
+            now - ch.requested_cycle
         )
         self._idle_since[ch.cid] = now
         self.wake()  # the circuit may start serving queued traffic
@@ -304,8 +304,7 @@ class RMBoC(CommArchitecture, Component):
             )
 
     def _drop_pair_entry(self, ch: Channel) -> None:
-        pair = (getattr(ch, "_src_module", None),
-                getattr(ch, "_dst_module", None))
+        pair = (ch.src_module, ch.dst_module)
         chans = self._chan_by_pair.get(pair)
         if chans and ch in chans:
             chans.remove(ch)
@@ -317,8 +316,8 @@ class RMBoC(CommArchitecture, Component):
             self._release(ch, seg)
         self._channels.pop(ch.cid, None)
         self._drop_pair_entry(ch)
-        src_mod = getattr(ch, "_src_module", None)
-        dst_mod = getattr(ch, "_dst_module", None)
+        src_mod = ch.src_module
+        dst_mod = ch.dst_module
         if src_mod is not None and dst_mod is not None:
             # stagger retries by cross-point index: identical backoffs
             # would otherwise retry in lockstep and re-collide forever
@@ -418,10 +417,10 @@ class RMBoC(CommArchitecture, Component):
 
     def _open_channel(self, src_module: str, dst_module: str, now: int) -> None:
         ch = Channel(src_xp=self._module_xp[src_module],
-                     dst_xp=self._module_xp[dst_module])
-        ch._requested_cycle = now  # type: ignore[attr-defined]
-        ch._src_module = src_module  # type: ignore[attr-defined]
-        ch._dst_module = dst_module  # type: ignore[attr-defined]
+                     dst_xp=self._module_xp[dst_module],
+                     requested_cycle=now,
+                     src_module=src_module,
+                     dst_module=dst_module)
         self._channels[ch.cid] = ch
         self._chan_by_pair.setdefault((src_module, dst_module), []).append(ch)
         self._ctrl.append(
@@ -441,7 +440,7 @@ class RMBoC(CommArchitecture, Component):
                 continue
             if cid in busy:
                 continue
-            pair = (getattr(ch, "_src_module"), getattr(ch, "_dst_module"))
+            pair = (ch.src_module, ch.dst_module)
             has_waiting = any(
                 m.dst == pair[1] for m in self._queues.get(pair[0], ())
             )

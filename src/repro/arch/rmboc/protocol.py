@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 _channel_ids = itertools.count()
 
@@ -44,6 +44,9 @@ class Channel:
     state: ChannelState = ChannelState.REQUESTING
     lanes: Dict[int, int] = field(default_factory=dict)
     established_cycle: int = -1
+    requested_cycle: int = -1
+    src_module: Optional[str] = None
+    dst_module: Optional[str] = None
     cid: int = field(default_factory=lambda: next(_channel_ids))
 
     def __post_init__(self) -> None:

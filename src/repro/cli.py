@@ -140,6 +140,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.lint import RULES, Severity, lint_paths
+
+    if args.paths:
+        paths = args.paths
+    else:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    findings = lint_paths(paths)
+    threshold = Severity.parse(args.min_severity)
+    findings = [f for f in findings if f.severity >= threshold]
+
+    if args.format == "json":
+        print(json.dumps({
+            "paths": [os.path.abspath(p) for p in paths],
+            "rules": {rule: {"severity": str(sev), "summary": text}
+                      for rule, (sev, text) in sorted(RULES.items())},
+            "findings": [f.to_dict() for f in findings],
+            "counts": {
+                str(sev): sum(1 for f in findings if f.severity is sev)
+                for sev in Severity
+            },
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+        warnings = sum(1 for f in findings if f.severity is Severity.WARNING)
+        print(f"{len(findings)} finding(s): {errors} error(s), "
+              f"{warnings} warning(s) in {len(paths)} path(s)")
+    if args.strict:
+        return 1 if findings else 0
+    return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core.validation import validate_reproduction
 
@@ -212,6 +251,20 @@ def make_parser() -> argparse.ArgumentParser:
                    help="module mix never changes: consider the static "
                         "baselines too")
     p.set_defaults(func=_cmd_advise)
+
+    p = sub.add_parser("lint",
+                       help="check quiescence-contract rules "
+                            "(QL001-QL005) over component sources")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the "
+                        "installed repro package)")
+    p.add_argument("-f", "--format", choices=["text", "json"],
+                   default="text", help="output format")
+    p.add_argument("--min-severity", choices=["info", "warning", "error"],
+                   default="info", help="hide findings below this level")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on any finding, not just errors")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report",
                        help="markdown report of tables/figures/experiments")

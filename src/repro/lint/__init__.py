@@ -1,0 +1,33 @@
+"""Machine-checked contracts for the quiescence-aware kernel.
+
+Two halves, one contract (see ``docs/linting.md``):
+
+* :mod:`repro.lint.static_rules` — an AST pass over every
+  :class:`~repro.sim.component.Component` subclass, run as
+  ``repro lint`` (rules QL001-QL005);
+* :mod:`repro.lint.runtime` — a runtime sanitizer
+  (``Simulator(sanitize=True)`` / ``REPRO_SIM_SANITIZE=1``) that records
+  per-component channel read/write sets each cycle and raises on
+  violations the static pass cannot see (checks SAN001-SAN003).
+"""
+
+from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.runtime import Sanitizer, SanitizerError
+from repro.lint.static_rules import (
+    RULES,
+    discover_files,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Sanitizer",
+    "SanitizerError",
+    "Severity",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "sort_findings",
+]

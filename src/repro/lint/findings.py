@@ -1,0 +1,59 @@
+"""Finding and severity types shared by the static pass and the CLI."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; comparisons follow int ordering."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation reported by the static pass."""
+
+    rule: str           # e.g. "QL001"
+    severity: Severity
+    path: str           # file the finding is in
+    line: int           # 1-based line number
+    symbol: str         # "Class.method" (or "<module>")
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.severity} "
+                f"[{self.rule}] {self.symbol}: {self.message}")
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable display order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

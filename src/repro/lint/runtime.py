@@ -1,0 +1,284 @@
+"""Runtime sanitizer for the quiescence-aware kernel.
+
+Enable with ``Simulator(sanitize=True)`` or ``REPRO_SIM_SANITIZE=1``.
+The sanitizer instruments every :class:`~repro.sim.channel.Wire`,
+:class:`~repro.sim.channel.PulseWire` and :class:`~repro.sim.channel.FIFO`
+created on a sanitizing simulator (by swapping the instance onto a
+recording subclass) and tracks per-component read/write sets each cycle.
+Three contract violations raise :class:`SanitizerError` with a precise
+diagnostic:
+
+``SAN001`` *missed wake* — a channel some component has read commits a
+    changed value while that component sleeps with no wake scheduled for
+    the visibility cycle.  Under the slow path the component would have
+    re-ticked and observed the change; under the fast path it stays
+    asleep — the classic fast-path divergence.  Fix: ``watch()`` the
+    channel (or return a timed hint covering the change).
+
+``SAN002`` *side-effecting sleeper* — a component staged a channel write
+    in the same tick it reported quiescence.  Its tick was observably
+    not a no-op, so the sleep claim breaks golden equivalence (a
+    slow-path run would re-execute the tick next cycle).
+
+``SAN003`` *multi-consumer FIFO* — two different components popped the
+    same FIFO.  Pops act on committed state immediately (they are not
+    staged), so a FIFO's read port has exactly one owner; a second
+    consumer makes results depend on tick order.
+
+The sanitizer is a pure observer: with no violations, sanitized runs are
+bit-identical to unsanitized ones (asserted by
+``tests/sim/test_sanitizer.py``).  Reads and writes performed outside
+any component tick — scheduled events, test harness code — are exempt
+from SAN002/SAN003 and never enter a read set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.sim.channel import FIFO, PulseWire, Wire
+from repro.sim.engine import SLEEP, SimError, Simulator
+
+#: sentinel for "this staged write always counts as a change" (FIFOs)
+_ALWAYS_CHANGED = object()
+
+
+class SanitizerError(SimError):
+    """A quiescence-contract violation detected at runtime."""
+
+    def __init__(self, rule: str, message: str):
+        super().__init__(f"[{rule}] {message}")
+        self.rule = rule
+
+
+class Sanitizer:
+    """Per-simulator recorder of channel read/write sets and checks."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        #: channel -> components that have read it from inside a tick
+        self._readers: Dict[object, Set[object]] = {}
+        #: channels with writes staged this cycle -> pre-stage committed
+        #: value (``_ALWAYS_CHANGED`` when any stage is observable)
+        self._staged: Dict[object, Any] = {}
+        #: channels the currently ticking component wrote this tick
+        self._tick_writes: List[object] = []
+        #: FIFO -> the component owning its read port (first popper)
+        self._pop_owner: Dict[object, object] = {}
+        #: (rule, channel-name, component-name) counts, for reporting
+        self.violations: Dict[Tuple[str, str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def adopt(self, channel: object) -> None:
+        """Swap ``channel`` onto its recording subclass (called by
+        ``_Subscribable._init_channel`` on sanitizing simulators)."""
+        sanitized = _SANITIZED.get(type(channel))
+        if sanitized is None:
+            return  # user-defined subclass: leave it unobserved
+        if isinstance(channel, Wire):
+            # migrate the plain `value` attribute under the property
+            channel.__dict__["_value"] = channel.__dict__.pop("value", None)
+        channel.__class__ = sanitized
+
+    # ------------------------------------------------------------------
+    # hooks (called by the sanitized channels and the engine)
+    # ------------------------------------------------------------------
+    def on_read(self, channel: object) -> None:
+        component = self.sim._ticking
+        if component is not None:
+            self._readers.setdefault(channel, set()).add(component)
+
+    def on_write(self, channel: object, old: Any = _ALWAYS_CHANGED) -> None:
+        if channel not in self._staged:
+            self._staged[channel] = old
+        if self.sim._ticking is not None:
+            self._tick_writes.append(channel)
+
+    def on_pop(self, fifo: "FIFO") -> None:
+        component = self.sim._ticking
+        if component is None:
+            return
+        owner = self._pop_owner.setdefault(fifo, component)
+        if owner is not component:
+            raise SanitizerError(
+                "SAN003",
+                f"FIFO {fifo.name!r} popped by component "
+                f"{getattr(component, 'name', component)!r} but its read "
+                f"port is owned by {getattr(owner, 'name', owner)!r} "
+                f"(first pop, cycle-order dependent) — a FIFO has exactly "
+                f"one consumer; give each consumer its own FIFO",
+            )
+
+    def on_tick_end(self, component: object, hint: object) -> None:
+        """SAN002: a tick that stages writes must not report quiescence."""
+        writes, self._tick_writes = self._tick_writes, []
+        if not writes:
+            return
+        quiescent = hint is SLEEP or (
+            isinstance(hint, int) and not isinstance(hint, bool)
+            and hint > self.sim.cycle + 1)
+        if quiescent:
+            names = ", ".join(sorted(
+                repr(getattr(c, "name", c)) for c in set(writes)))
+            raise SanitizerError(
+                "SAN002",
+                f"component {getattr(component, 'name', component)!r} "
+                f"staged write(s) on channel(s) {names} in cycle "
+                f"{self.sim.cycle} and reported quiescence "
+                f"({'SLEEP' if hint is SLEEP else f'wake at {hint}'}) in "
+                f"the same tick — a quiescent tick must be an observable "
+                f"no-op; return None this cycle and sleep on the next",
+            )
+
+    def end_cycle(self) -> None:
+        """SAN001: after the commit phase, every changed channel must
+        have woken (or scheduled) each sleeping component that reads it."""
+        if not self._staged:
+            return
+        staged, self._staged = self._staged, {}
+        visible_at = self.sim.cycle + 1
+        for channel, old in staged.items():
+            if old is not _ALWAYS_CHANGED:
+                try:
+                    if old == getattr(channel, "value", _ALWAYS_CHANGED):
+                        continue  # committed value did not change
+                except Exception:
+                    pass  # un-comparable values: treat as changed
+            for reader in self._readers.get(channel, ()):
+                asleep = getattr(reader, "_asleep", False)
+                wake_at = getattr(reader, "_wake_at", None)
+                if asleep and (wake_at is None or wake_at > visible_at):
+                    raise SanitizerError(
+                        "SAN001",
+                        f"channel {getattr(channel, 'name', channel)!r} "
+                        f"committed a change in cycle {self.sim.cycle} but "
+                        f"component {getattr(reader, 'name', reader)!r}, "
+                        f"which reads it, is asleep "
+                        f"{'for good' if wake_at is None else f'until cycle {wake_at}'} "
+                        f"and was not woken — it would observe the change "
+                        f"on the slow path but not on the fast path; "
+                        f"watch() the channel before sleeping",
+                    )
+
+    # ------------------------------------------------------------------
+    def forget(self, component: object) -> None:
+        """Drop a component from all read sets and pop ownership (used
+        when a module is reconfigured out of the simulation)."""
+        for readers in self._readers.values():
+            readers.discard(component)
+        for fifo, owner in list(self._pop_owner.items()):
+            if owner is component:
+                del self._pop_owner[fifo]
+
+
+# ----------------------------------------------------------------------
+# recording channel subclasses
+# ----------------------------------------------------------------------
+class _RecordingWireMixin:
+    """Read/write recording shared by sanitized wires."""
+
+    @property
+    def value(self) -> Any:
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_read(self)
+        return self._value
+
+    @value.setter
+    def value(self, new: Any) -> None:
+        # commit-phase and init-time stores; not a component write
+        self._value = new
+
+    def drive(self, value: Any) -> None:
+        old = self._value
+        super().drive(value)
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_write(self, old)
+
+    def driven(self) -> bool:
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_read(self)
+        return super().driven()
+
+
+class _SanitizedWire(_RecordingWireMixin, Wire):
+    pass
+
+
+class _SanitizedPulseWire(_RecordingWireMixin, PulseWire):
+    pass
+
+
+class _SanitizedFIFO(FIFO):
+    def _on_read(self) -> None:
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_read(self)
+
+    def _on_write(self) -> None:
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_write(self)
+
+    # -- write port ----------------------------------------------------
+    def push(self, item: Any) -> None:
+        super().push(item)
+        self._on_write()
+
+    def try_push(self, item: Any) -> bool:
+        ok = super().try_push(item)
+        if ok:
+            self._on_write()
+        return ok
+
+    def push_all(self, items: Iterable[Any]) -> None:
+        items = list(items)
+        super().push_all(items)
+        if items:
+            self._on_write()
+
+    def can_push(self, n: int = 1) -> bool:
+        self._on_read()
+        return super().can_push(n)
+
+    # -- read port -----------------------------------------------------
+    def __len__(self) -> int:
+        self._on_read()
+        return super().__len__()
+
+    def __bool__(self) -> bool:
+        self._on_read()
+        return super().__bool__()
+
+    def __iter__(self):
+        self._on_read()
+        return super().__iter__()
+
+    def peek(self) -> Optional[Any]:
+        self._on_read()
+        return super().peek()
+
+    def pop(self) -> Any:
+        self._on_read()
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_pop(self)
+        return super().pop()
+
+    def try_pop(self) -> Optional[Any]:
+        self._on_read()
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_pop(self)
+        return super().try_pop()
+
+
+_SANITIZED = {
+    Wire: _SanitizedWire,
+    PulseWire: _SanitizedPulseWire,
+    FIFO: _SanitizedFIFO,
+}

@@ -17,9 +17,21 @@ woken consumer ticks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+)
 
 from repro.sim.engine import SimError, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.component import Component
 
 _UNSET = object()
 
@@ -35,19 +47,25 @@ class _Subscribable:
 
     def _init_channel(self, sim: Simulator) -> None:
         self._sim = sim
-        self._waiters: List[object] = []
+        # wake order is the deterministic subscription order (the list);
+        # the set only backs the O(1) duplicate check in subscribe()
+        self._waiters: List["Component"] = []
+        self._waiter_set: Set["Component"] = set()
         sim.register_sequential(self)
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.adopt(self)
 
-    def subscribe(self, component: object) -> None:
+    def subscribe(self, component: "Component") -> None:
         """Wake ``component`` whenever a write is staged on this channel."""
-        if component not in self._waiters:
+        if component not in self._waiter_set:
+            self._waiter_set.add(component)
             self._waiters.append(component)
 
-    def unsubscribe(self, component: object) -> None:
-        try:
+    def unsubscribe(self, component: "Component") -> None:
+        if component in self._waiter_set:
+            self._waiter_set.discard(component)
             self._waiters.remove(component)
-        except ValueError:
-            pass
 
     def _mark_dirty(self) -> None:
         if not self._dirty_flag:
@@ -138,7 +156,13 @@ class FIFO(_Subscribable):
 
     # -- write port -----------------------------------------------------
     def can_push(self, n: int = 1) -> bool:
-        """Conservative full check: counts both committed and staged items."""
+        """Conservative full check for staging ``n`` more items this
+        cycle: counts both committed and staged items.  Pair an
+        ``n > 1`` check with :meth:`push_all`, which re-validates the
+        whole batch — ``push`` stages exactly one item."""
+        if n < 1:
+            raise SimError(
+                f"FIFO {self.name!r}: can_push(n) needs n >= 1, got {n}")
         if self.capacity == 0:
             return True
         return len(self._queue) + len(self._staged_items) + n <= self.capacity
@@ -155,6 +179,26 @@ class FIFO(_Subscribable):
             self._staged()
             return True
         return False
+
+    def push_all(self, items: Iterable[Any]) -> None:
+        """Stage a whole batch atomically: either capacity admits every
+        item (committed + already staged + batch) or nothing is staged.
+
+        This is the batched counterpart to ``can_push(n)`` — checking
+        ``can_push(n)`` and then calling single-item ``push`` in a loop
+        is also safe (each push re-checks), but ``push_all`` keeps the
+        check and the staging in one step so callers cannot overcommit
+        between them."""
+        batch = list(items)
+        if not batch:
+            return
+        if not self.can_push(len(batch)):
+            raise SimError(
+                f"FIFO {self.name!r} overflow: cannot stage {len(batch)} "
+                f"item(s) on top of {self.occupancy} buffered "
+                f"(capacity {self.capacity})")
+        self._staged_items.extend(batch)
+        self._staged()
 
     # -- read port ------------------------------------------------------
     def __len__(self) -> int:

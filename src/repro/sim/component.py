@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro.sim.engine import SLEEP, SimError, Simulator
 
 #: what ``tick`` may return: None (tick next cycle), SLEEP, or a wake cycle
 QuiescenceHint = Optional[Union[int, type(SLEEP)]]
+
+
+@runtime_checkable
+class Channel(Protocol):
+    """Anything a component may :meth:`Component.watch`: an object that
+    wakes subscribers when a write is staged on it.  The kernel's
+    :class:`~repro.sim.channel.Wire`, :class:`~repro.sim.channel.PulseWire`
+    and :class:`~repro.sim.channel.FIFO` all satisfy this protocol, and
+    type checkers verify subscriptions against it."""
+
+    def subscribe(self, component: "Component") -> None: ...
+
+    def unsubscribe(self, component: "Component") -> None: ...
 
 
 class Component:
@@ -84,11 +97,15 @@ class Component:
         if self._sim is not None:
             self._sim.wake(self)
 
-    def watch(self, channel: object) -> None:
+    def watch(self, channel: Channel) -> None:
         """Subscribe to a channel: any ``Wire.drive``/``FIFO.push`` on it
         wakes this component (the staged value is visible next cycle,
         which is exactly when the woken component ticks)."""
         channel.subscribe(self)
+
+    def unwatch(self, channel: Channel) -> None:
+        """Drop a :meth:`watch` subscription (no-op when not subscribed)."""
+        channel.unsubscribe(self)
 
     # ------------------------------------------------------------------
     def tick(self, sim: Simulator) -> "QuiescenceHint":

@@ -47,11 +47,21 @@ from repro.sim.stats import StatsRegistry
 #: environment switch for the activity-driven fast path ("0" disables)
 FASTPATH_ENV = "REPRO_SIM_FASTPATH"
 
+#: environment switch for the runtime contract sanitizer ("1" enables)
+SANITIZE_ENV = "REPRO_SIM_SANITIZE"
+
 
 def fastpath_default() -> bool:
     """The fast-path setting used when ``Simulator(fast_path=None)``."""
     return os.environ.get(FASTPATH_ENV, "1").lower() not in (
         "0", "false", "off", "no",
+    )
+
+
+def sanitize_default() -> bool:
+    """The sanitizer setting used when ``Simulator(sanitize=None)``."""
+    return os.environ.get(SANITIZE_ENV, "0").lower() in (
+        "1", "true", "on", "yes",
     )
 
 
@@ -87,10 +97,18 @@ class Simulator:
         Enable the activity-driven scheduler (sleep/wake, dirty-set
         commits, clock fast-forward).  ``None`` (the default) reads
         :data:`FASTPATH_ENV` and falls back to enabled.
+    sanitize:
+        Enable the runtime quiescence-contract sanitizer
+        (:class:`repro.lint.runtime.Sanitizer`): channel primitives
+        record per-component read/write sets and structural contract
+        violations raise :class:`repro.lint.runtime.SanitizerError`.
+        ``None`` (the default) reads :data:`SANITIZE_ENV` and falls
+        back to disabled.
     """
 
     def __init__(self, name: str = "sim", max_cycles: int = 10_000_000,
-                 fast_path: Optional[bool] = None):
+                 fast_path: Optional[bool] = None,
+                 sanitize: Optional[bool] = None):
         self.name = name
         self.cycle = 0
         self.max_cycles = max_cycles
@@ -98,6 +116,16 @@ class Simulator:
         #: optional repro.sim.trace.Tracer; emit() is a no-op while None
         self.tracer = None
         self.fast_path = fastpath_default() if fast_path is None else fast_path
+        self.sanitize = sanitize_default() if sanitize is None else sanitize
+        #: the component whose tick is currently executing (None during
+        #: events, commits, and outside step()) — read by the sanitizer
+        self._ticking: Optional["Component"] = None
+        if self.sanitize:
+            from repro.lint.runtime import Sanitizer
+
+            self.sanitizer: Optional["Sanitizer"] = Sanitizer(self)
+        else:
+            self.sanitizer = None
         self._components: List["Component"] = []
         self._sequentials: List[object] = []
         self._events: List[Tuple[int, int, Callable[["Simulator"], None]]] = []
@@ -152,6 +180,8 @@ class Simulator:
             except ValueError:  # pragma: no cover - defensive
                 pass
         component._pending_wake = None
+        if self.sanitizer is not None:
+            self.sanitizer.forget(component)
 
     def register_sequential(self, element: object) -> None:
         """Register an object exposing ``_commit()`` to be latched each cycle.
@@ -317,6 +347,7 @@ class Simulator:
             while self._events and self._events[0][0] <= cycle:
                 _, _, fn = heapq.heappop(self._events)
                 fn(self)
+            sanitizer = self.sanitizer
             if self.fast_path:
                 # Snapshot: ticks may add/remove/wake components; changes
                 # take effect next cycle, matching reconfiguration
@@ -327,7 +358,15 @@ class Simulator:
                         if (component._pending_wake is not None
                                 and component._pending_wake <= cycle):
                             component._pending_wake = None  # satisfied by this tick
-                        hint = component.tick(self)
+                        if sanitizer is None:
+                            hint = component.tick(self)
+                        else:
+                            self._ticking = component
+                            try:
+                                hint = component.tick(self)
+                            finally:
+                                self._ticking = None
+                            sanitizer.on_tick_end(component, hint)
                         if hint is not None:
                             self._request_sleep(component, hint)
                 for element in self._eager_sequentials:
@@ -341,13 +380,23 @@ class Simulator:
                             element._mark_dirty()
             else:
                 for component in list(self._components):
-                    component.tick(self)
+                    if sanitizer is None:
+                        component.tick(self)
+                    else:
+                        self._ticking = component
+                        try:
+                            hint = component.tick(self)
+                        finally:
+                            self._ticking = None
+                        sanitizer.on_tick_end(component, hint)
                 if self._dirty:
                     for element in self._dirty:
                         element._dirty_flag = False
                     self._dirty.clear()
                 for element in self._sequentials:
                     element._commit()
+            if sanitizer is not None:
+                sanitizer.end_cycle()
             self.cycle += 1
         finally:
             self._running = False

@@ -159,3 +159,125 @@ class TestFIFO:
         f.push("b")
         sim.step()
         assert f.pop() == "b"
+
+
+class TestPushAll:
+    """can_push(n)/push_all symmetry: batched staging cannot overcommit."""
+
+    def test_push_all_stages_whole_batch(self, sim):
+        f = FIFO(sim, "f")
+        f.push_all([1, 2, 3])
+        assert f.pending == 3
+        sim.step()
+        assert [f.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_push_all_respects_capacity_atomically(self, sim):
+        f = FIFO(sim, "f", capacity=3)
+        f.push(1)
+        with pytest.raises(SimError, match="overflow"):
+            f.push_all([2, 3, 4])
+        # nothing from the failed batch was staged
+        assert f.pending == 1
+        sim.step()
+        assert len(f) == 1
+
+    def test_can_push_n_matches_push_all(self, sim):
+        f = FIFO(sim, "f", capacity=4)
+        f.push(1)
+        assert f.can_push(3)
+        assert not f.can_push(4)
+        f.push_all([2, 3, 4])  # exactly what can_push(3) promised
+        sim.step()
+        assert len(f) == 4
+
+    def test_push_all_empty_batch_is_a_noop(self, sim):
+        f = FIFO(sim, "f", capacity=1)
+        f.push_all([])
+        assert f.pending == 0
+
+    def test_can_push_rejects_nonpositive_counts(self, sim):
+        f = FIFO(sim, "f", capacity=2)
+        with pytest.raises(SimError, match="n >= 1"):
+            f.can_push(0)
+        with pytest.raises(SimError, match="n >= 1"):
+            f.can_push(-3)
+
+    def test_push_all_wakes_subscribers_once(self, sim):
+        from repro.sim import SLEEP, Component
+
+        f = FIFO(sim, "f")
+
+        class Consumer(Component):
+            def __init__(self):
+                super().__init__("consumer")
+                self.got = []
+
+            def tick(self, sim):
+                while f:
+                    self.got.append((sim.cycle, f.pop()))
+                return SLEEP
+
+        c = sim.add(Consumer())
+        c.watch(f)
+        sim.at(4, lambda s: f.push_all(["a", "b"]))
+        sim.run(10)
+        assert c.got == [(5, "a"), (5, "b")]
+
+
+class TestSubscribeDedup:
+    """subscribe() is O(1) amortized and keeps deterministic wake order."""
+
+    def test_duplicate_subscribe_registers_once(self, sim):
+        from repro.sim import Component
+
+        w = Wire(sim, "w")
+
+        class Dummy(Component):
+            def tick(self, sim):
+                return None
+
+        c = sim.add(Dummy("c"))
+        for _ in range(5):
+            w.subscribe(c)
+        assert w._waiters == [c]
+        assert w._waiter_set == {c}
+
+    def test_unsubscribe_removes_from_both_structures(self, sim):
+        from repro.sim import Component
+
+        w = Wire(sim, "w")
+
+        class Dummy(Component):
+            def tick(self, sim):
+                return None
+
+        a, b = sim.add(Dummy("a")), sim.add(Dummy("b"))
+        w.subscribe(a)
+        w.subscribe(b)
+        w.unsubscribe(a)
+        assert w._waiters == [b]
+        assert w._waiter_set == {b}
+        w.unsubscribe(a)  # repeat unsubscribe is a no-op
+        assert w._waiters == [b]
+
+    def test_wake_order_is_subscription_order(self):
+        from repro.sim import SLEEP, Component
+
+        sim = Simulator(fast_path=True)  # wake scheduling needs the fast path
+        w = Wire(sim, "w")
+        order = []
+
+        class Sleeper(Component):
+            def tick(self, sim):
+                order.append((sim.cycle, self.name))
+                return SLEEP
+
+        comps = [sim.add(Sleeper(n)) for n in ("x", "y", "z")]
+        for c in comps:
+            c.watch(w)
+            c.watch(w)  # duplicate watch must not duplicate wakes
+        sim.run(3)
+        order.clear()
+        sim.at(5, lambda s: w.drive(1))
+        sim.run(5)
+        assert order == [(6, "x"), (6, "y"), (6, "z")]

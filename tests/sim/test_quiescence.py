@@ -128,8 +128,13 @@ def test_wire_drive_wakes_subscriber_after_commit():
 
 def test_drive_overrides_same_cycle_sleep_request():
     """A consumer that returns SLEEP in the same cycle a producer stages
-    data for it must still wake to observe the committed value."""
-    sim = Simulator(fast_path=True)
+    data for it must still wake to observe the committed value.
+
+    The producer's write+SLEEP tick is exactly the pattern the sanitizer
+    rejects (SAN002); it is deliberate here, to prove the kernel stays
+    correct even for components that break the contract, so the
+    sanitizer is explicitly off."""
+    sim = Simulator(fast_path=True, sanitize=False)
     w = Wire(sim, "w", init=None)
 
     class Consumer(Component):

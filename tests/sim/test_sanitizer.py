@@ -1,0 +1,333 @@
+"""Runtime sanitizer tests: each check catches its deliberately buggy
+component with a precise diagnostic, clean models run clean (all six
+architectures), and sanitized runs stay bit-identical to unsanitized
+ones (the sanitizer is a pure observer)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import ARCHITECTURES, BASELINES, build_architecture
+from repro.core.scenario import minimal_scenario
+from repro.lint import SanitizerError
+from repro.sim import FIFO, SLEEP, Component, PulseWire, Simulator, Wire
+from repro.sim.engine import SANITIZE_ENV, sanitize_default
+
+
+def make_sim(**kwargs):
+    kwargs.setdefault("fast_path", True)
+    kwargs.setdefault("sanitize", True)
+    return Simulator(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# SAN001: missed wake (the fast-path divergence bug class)
+# ----------------------------------------------------------------------
+class TestMissedWake:
+    def test_sleeping_reader_without_watch_is_caught(self):
+        sim = make_sim()
+        req = Wire(sim, "req", init=0)
+
+        class Forgetful(Component):
+            """Reads `req` in tick but never watch()es it."""
+
+            def tick(self, sim):
+                if req.value:
+                    pass  # would act on the request here
+                return SLEEP
+
+        sim.add(Forgetful("forgetful"))
+        sim.at(5, lambda s: req.drive(1))
+        with pytest.raises(SanitizerError, match=r"\[SAN001\]") as exc:
+            sim.run(10)
+        msg = str(exc.value)
+        assert "'req'" in msg and "'forgetful'" in msg
+        assert "watch()" in msg
+
+    def test_watching_reader_is_clean(self):
+        sim = make_sim()
+        req = Wire(sim, "req", init=0)
+
+        class Careful(Component):
+            def __init__(self):
+                super().__init__("careful")
+                self.seen = []
+
+            def tick(self, sim):
+                self.seen.append((sim.cycle, req.value))
+                return SLEEP
+
+        c = sim.add(Careful())
+        c.watch(req)
+        sim.at(5, lambda s: req.drive(1))
+        sim.run(10)
+        assert c.seen == [(0, 0), (6, 1)]
+
+    def test_timed_wake_covering_the_commit_is_clean(self):
+        sim = make_sim()
+        w = Wire(sim, "w", init=0)
+
+        class Poller(Component):
+            def tick(self, sim):
+                _ = w.value
+                return sim.cycle + 1  # runnable again when it commits
+
+        sim.add(Poller("poller"))
+        sim.at(3, lambda s: w.drive(9))
+        sim.run(8)  # no raise: the poller never misses a visibility cycle
+
+    def test_redrive_with_unchanged_value_is_not_a_violation(self):
+        sim = make_sim()
+        w = Wire(sim, "w", init=0)
+
+        class Reader(Component):
+            def tick(self, sim):
+                _ = w.value
+                return SLEEP
+
+        sim.add(Reader("reader"))
+        sim.at(5, lambda s: w.drive(0))  # same committed value
+        sim.run(10)  # observationally nothing changed: clean
+
+    def test_fifo_push_to_sleeping_nonwatching_popper_is_caught(self):
+        sim = make_sim()
+        f = FIFO(sim, "jobs")
+
+        class LazyPopper(Component):
+            def tick(self, sim):
+                while f:
+                    f.pop()
+                return SLEEP
+
+        sim.add(LazyPopper("popper"))
+        sim.at(4, lambda s: f.push("job"))
+        with pytest.raises(SanitizerError, match=r"\[SAN001\].*'jobs'"):
+            sim.run(10)
+
+
+# ----------------------------------------------------------------------
+# SAN002: side-effecting sleeper
+# ----------------------------------------------------------------------
+class TestSideEffectingSleeper:
+    def test_write_plus_sleep_in_same_tick_is_caught(self):
+        sim = make_sim()
+        out = Wire(sim, "out")
+
+        class SideEffecting(Component):
+            def tick(self, sim):
+                out.drive(1)
+                return SLEEP
+
+        sim.add(SideEffecting("side"))
+        with pytest.raises(SanitizerError, match=r"\[SAN002\]") as exc:
+            sim.run(3)
+        msg = str(exc.value)
+        assert "'side'" in msg and "'out'" in msg and "no-op" in msg
+
+    def test_write_plus_far_timed_hint_is_caught(self):
+        sim = make_sim()
+        f = FIFO(sim, "f")
+
+        class Batcher(Component):
+            def tick(self, sim):
+                f.push(sim.cycle)
+                return sim.cycle + 100  # quiescence claim after a write
+
+        sim.add(Batcher("batcher"))
+        with pytest.raises(SanitizerError, match=r"\[SAN002\].*batcher"):
+            sim.run(3)
+
+    def test_write_then_stay_hot_is_clean(self):
+        sim = make_sim()
+        out = Wire(sim, "out")
+
+        class Proper(Component):
+            def tick(self, sim):
+                if sim.cycle == 0:
+                    out.drive(1)
+                    return None  # stay hot for the cycle the write lands
+                return SLEEP
+
+        sim.add(Proper("proper"))
+        sim.run(5)
+        assert out.value == 1
+
+    def test_next_cycle_hint_after_write_is_clean(self):
+        # an int hint of cycle+1 is "tick me next cycle": not quiescence
+        sim = make_sim()
+        out = Wire(sim, "out")
+
+        class Streamer(Component):
+            def tick(self, sim):
+                if sim.cycle < 3:
+                    out.drive(sim.cycle)
+                return sim.cycle + 1
+
+        sim.add(Streamer("streamer"))
+        sim.run(5)
+        assert out.value == 2
+
+
+# ----------------------------------------------------------------------
+# SAN003: multi-consumer FIFO pop
+# ----------------------------------------------------------------------
+class TestMultiConsumerFIFO:
+    def test_second_consumer_is_caught(self):
+        sim = make_sim()
+        f = FIFO(sim, "shared")
+
+        class Greedy(Component):
+            def tick(self, sim):
+                if f:
+                    f.pop()
+                return None
+
+        sim.add(Greedy("first"))
+        sim.add(Greedy("second"))
+        sim.at(0, lambda s: f.push_all(["a", "b"]))
+        with pytest.raises(SanitizerError, match=r"\[SAN003\]") as exc:
+            sim.run(5)
+        msg = str(exc.value)
+        assert "'shared'" in msg
+        assert "'first'" in msg and "'second'" in msg
+
+    def test_single_consumer_many_producers_is_clean(self):
+        sim = make_sim()
+        f = FIFO(sim, "mpsc")
+        got = []
+
+        class Producer(Component):
+            def tick(self, sim):
+                if sim.cycle < 3:
+                    f.push((self.name, sim.cycle))
+                return None
+
+        class Consumer(Component):
+            def tick(self, sim):
+                while f:
+                    got.append(f.pop())
+                return None
+
+        sim.add(Producer("p0"))
+        sim.add(Producer("p1"))
+        sim.add(Consumer("c"))
+        sim.run(6)
+        assert len(got) == 6
+
+    def test_pops_from_events_are_exempt(self):
+        # test harnesses and scheduled events may inspect/drain FIFOs
+        sim = make_sim()
+        f = FIFO(sim, "f")
+
+        class Popper(Component):
+            def tick(self, sim):
+                if f:
+                    f.pop()
+                return None
+
+        sim.add(Popper("popper"))
+        sim.at(0, lambda s: f.push_all([1, 2, 3]))
+        sim.at(2, lambda s: f.try_pop())  # event-context pop: no owner
+        sim.run(6)  # no raise
+
+
+# ----------------------------------------------------------------------
+# configuration plumbing
+# ----------------------------------------------------------------------
+class TestConfiguration:
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert sanitize_default() is True
+        assert Simulator().sanitizer is not None
+        monkeypatch.setenv(SANITIZE_ENV, "0")
+        assert sanitize_default() is False
+        assert Simulator().sanitizer is None
+        monkeypatch.delenv(SANITIZE_ENV)
+        assert sanitize_default() is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert Simulator(sanitize=False).sanitizer is None
+        monkeypatch.delenv(SANITIZE_ENV)
+        assert Simulator(sanitize=True).sanitizer is not None
+
+    def test_sanitized_channels_keep_their_api(self):
+        sim = make_sim()
+        w = Wire(sim, "w", init=7)
+        p = PulseWire(sim, "p", default=False)
+        f = FIFO(sim, "f", capacity=2)
+        assert w.value == 7
+        w.drive(1)
+        assert w.driven()
+        p.drive(True)
+        f.push("x")
+        sim.step()
+        assert w.value == 1 and p.value is True and f.peek() == "x"
+        sim.step()
+        assert p.value is False  # pulse still self-clears
+
+    def test_removed_component_is_forgotten(self):
+        sim = make_sim()
+        w = Wire(sim, "w", init=0)
+
+        class Reader(Component):
+            def tick(self, sim):
+                _ = w.value
+                return SLEEP
+
+        r = sim.add(Reader("reader"))
+        sim.run(2)
+        sim.remove(r)  # reconfigured out: its read set must not linger
+        sim.at(5, lambda s: w.drive(1))
+        sim.run(10)  # no raise
+
+
+# ----------------------------------------------------------------------
+# clean runs: all six architectures, zero findings, results unperturbed
+# ----------------------------------------------------------------------
+SCENARIOS = {key: dict(payload_bytes=64, pattern="ring", repeats=2,
+                       gap_cycles=100)
+             for key in ARCHITECTURES}
+SCENARIOS.update({key: dict(payload_bytes=64, pattern="all-pairs",
+                            repeats=1, gap_cycles=50)
+                  for key in BASELINES})
+
+
+def _fingerprint(key, sanitize):
+    sim = Simulator(name=f"{key}-san{int(sanitize)}", fast_path=True,
+                    sanitize=sanitize)
+    arch = build_architecture(key, sim=sim)
+    res = minimal_scenario(arch, **SCENARIOS[key])
+    return {
+        "total_cycles": res.total_cycles,
+        "latencies": tuple(res.latencies),
+        "observed_dmax": res.observed_dmax,
+        "stats": sim.stats.snapshot(),
+    }
+
+
+@pytest.mark.parametrize("key", ARCHITECTURES + BASELINES)
+def test_architecture_runs_clean_under_sanitizer(key):
+    """Zero contract violations across all six architecture models."""
+    _fingerprint(key, sanitize=True)  # any violation raises
+
+
+@pytest.mark.parametrize("key", ARCHITECTURES + BASELINES)
+def test_sanitizer_does_not_perturb_results(key):
+    assert _fingerprint(key, True) == _fingerprint(key, False)
+
+
+def test_generator_traffic_clean_under_sanitizer():
+    from repro.traffic.generators import BurstyGenerator, PeriodicStream
+
+    sim = make_sim(name="gen-sanitized")
+    arch = build_architecture("buscom", sim=sim)
+    modules = list(arch.modules)
+    rng = np.random.default_rng(7)
+    sim.add(PeriodicStream("stream", arch.ports[modules[0]],
+                           dst=modules[1], period=25, payload_bytes=32,
+                           stop=1_000))
+    sim.add(BurstyGenerator("burst", arch.ports[modules[2]],
+                            chooser=lambda: modules[3], rng=rng,
+                            p_on=0.05, p_off=0.2, payload_bytes=32,
+                            slot_cycles=8, stop=1_000))
+    sim.run(1_500)
