@@ -25,7 +25,9 @@ import hashlib
 import json
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -132,34 +134,64 @@ def _execute(job: Job) -> Any:
     return jobs[job.name](**job.kwargs)
 
 
+def _note(progress: bool, msg: str) -> None:
+    """Per-run progress/heartbeat line (stderr, so piped stdout stays
+    machine-readable).  No-op unless ``progress`` is on."""
+    if progress:
+        print(msg, file=sys.stderr, flush=True)
+
+
 def run_jobs(
     jobs: Sequence[Job],
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    progress: bool = False,
 ) -> List[Any]:
     """Run every job, in parallel where possible; results in job order.
 
     ``max_workers=None`` lets the executor pick (CPU count);
     ``max_workers=0`` runs serially in-process.  Cached results are
-    returned without running anything.
+    returned without running anything.  ``progress=True`` prints a
+    one-line heartbeat to stderr as each run starts/finishes (off by
+    default so library callers stay silent).
     """
     cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
-    results: List[Any] = [None] * len(jobs)
+    total = len(jobs)
+    results: List[Any] = [None] * total
     misses: List[int] = []
     for i, job in enumerate(jobs):
         hit = _cache_load(_cache_path(cache_dir, job)) if use_cache else None
         if hit is not None:
             results[i] = hit[1]
+            _note(progress, f"[{i + 1}/{total}] {job.name}: cached")
         else:
             misses.append(i)
 
     if misses:
         if max_workers == 0 or len(misses) == 1:
-            computed = [_execute(jobs[i]) for i in misses]
+            computed = []
+            for i in misses:
+                _note(progress, f"[{i + 1}/{total}] {jobs[i].name}: running")
+                t0 = time.perf_counter()
+                computed.append(_execute(jobs[i]))
+                _note(progress,
+                      f"[{i + 1}/{total}] {jobs[i].name}: done "
+                      f"({time.perf_counter() - t0:.1f}s)")
         else:
+            t0 = time.perf_counter()
+            by_index: Dict[int, Any] = {}
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                computed = list(pool.map(_execute, [jobs[i] for i in misses]))
+                futures = {pool.submit(_execute, jobs[i]): i for i in misses}
+                done = 0
+                for future in as_completed(futures):
+                    i = futures[future]
+                    by_index[i] = future.result()
+                    done += 1
+                    _note(progress,
+                          f"[{done}/{len(misses)}] {jobs[i].name}: done "
+                          f"({time.perf_counter() - t0:.1f}s elapsed)")
+            computed = [by_index[i] for i in misses]
         for i, result in zip(misses, computed):
             results[i] = result
             if use_cache:
@@ -172,12 +204,13 @@ def run_named(
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    progress: bool = False,
 ) -> Dict[str, Any]:
     """Convenience wrapper: run registered harnesses by name with their
     default configuration; returns ``{name: result}`` in input order."""
     jobs = [Job(name) for name in names]
     out = run_jobs(jobs, max_workers=max_workers, cache_dir=cache_dir,
-                   use_cache=use_cache)
+                   use_cache=use_cache, progress=progress)
     return dict(zip(names, out))
 
 
@@ -197,6 +230,7 @@ def run_sweep_parallel(
     grid: "Any",
     max_workers: Optional[int] = None,
     max_cycles: int = 1_000_000,
+    progress: bool = False,
 ) -> List[Any]:
     """Like :func:`repro.analysis.sweeps.run_sweep` but with each grid
     point simulated in its own process.  Points are independent
@@ -207,5 +241,16 @@ def run_sweep_parallel(
     if max_workers == 0 or len(points) <= 1:
         return run_sweep(grid, max_cycles=max_cycles)
     packed = [(p, max_cycles) for p in points]
+    t0 = time.perf_counter()
+    by_index: Dict[int, Any] = {}
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_sweep_single_point, packed))
+        futures = {pool.submit(_sweep_single_point, item): i
+                   for i, item in enumerate(packed)}
+        for future in as_completed(futures):
+            i = futures[future]
+            by_index[i] = future.result()
+            _note(progress,
+                  f"[{len(by_index)}/{len(points)}] sweep point "
+                  f"{points[i]}: done ({time.perf_counter() - t0:.1f}s "
+                  f"elapsed)")
+    return [by_index[i] for i in range(len(points))]

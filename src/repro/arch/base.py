@@ -134,7 +134,10 @@ class ArchPort:
 
     def send(self, dst: str, payload_bytes: int, tag: str = "") -> Message:
         """Inject a message; returns the tracked :class:`Message`."""
-        msg = Message(src=self.module, dst=dst, payload_bytes=payload_bytes, tag=tag)
+        # per-architecture ids: traces of identical runs are identical,
+        # whatever else ran in the process before them
+        msg = Message(src=self.module, dst=dst, payload_bytes=payload_bytes,
+                      tag=tag, mid=next(self.arch._mid_seq))
         msg.created_cycle = self.arch.sim.cycle
         self.arch.log.sent(msg)
         self.arch._submit(msg)
@@ -170,6 +173,7 @@ class CommArchitecture:
         self.width = width
         self.log = MessageLog()
         self.ports: Dict[str, ArchPort] = {}
+        self._mid_seq = itertools.count()
         self._parallelism_hist = sim.stats.histogram("parallelism.concurrent")
 
     @property

@@ -316,9 +316,15 @@ class BusCom(CommArchitecture, Component):
         self.sim.stats.counter("buscom.frame_words").inc(
             self.cfg.header_words + self.cfg.payload_words(frag.bytes_left)
         )
-        self.sim.emit("buscom", "frame", bus=bus.index, slot=bus.slot_idx,
-                      src=frag.msg.src, dst=frag.msg.dst,
-                      bytes=frag.bytes_left)
+        if self.sim.tracing:
+            self.sim.emit("buscom", "frame", bus=bus.index, slot=bus.slot_idx,
+                          src=frag.msg.src, dst=frag.msg.dst,
+                          bytes=frag.bytes_left)
+            # the frame occupies the wire from launch to its last word
+            self.sim.span_event("buscom", "frame", now, bus.frame_done_at,
+                                bus=bus.index, slot=bus.slot_idx,
+                                src=frag.msg.src, dst=frag.msg.dst,
+                                bytes=frag.bytes_left)
         self.sim.stats.counter("buscom.header_words").inc(self.cfg.header_words)
         self.sim.stats.counter("buscom.payload_bytes").inc(frag.bytes_left)
 

@@ -217,10 +217,16 @@ class CoNoChi(CommArchitecture, Component):
             self.grid.set(*wc, wt)
         self._refresh_link_cache()
         self.sim.stats.counter("conochi.reconfig.switch_added").inc()
-        self.sim.emit("conochi", "switch_added", at=coord)
+        if self.sim.tracing:
+            self.sim.emit("conochi", "switch_added", at=coord)
+            # insertion window: tile swapped -> exploiting tables applied
+            self.sim.span_begin("conochi", "switch_insert", key=coord,
+                                at=coord)
 
         def apply(_sim: Simulator) -> None:
             self.control.recompute_tables()
+            if self.sim.tracing:
+                self.sim.span_end("conochi", "switch_insert", key=coord)
 
         self.sim.after(self.cfg.table_update_latency, apply)
 
@@ -254,6 +260,10 @@ class CoNoChi(CommArchitecture, Component):
         self.grid.set(*coord, TileType.SWITCH)
         new_tables[coord] = old_row
         self._refresh_link_cache()
+        if self.sim.tracing:
+            # removal window: re-route decided -> drained and swapped out
+            self.sim.span_begin("conochi", "switch_remove", key=coord,
+                                at=coord)
 
         def try_swap(sim: Simulator) -> None:
             if any(c == coord for _, _, c in self._arrivals):
@@ -264,6 +274,9 @@ class CoNoChi(CommArchitecture, Component):
             self._refresh_link_cache()
             self.control.recompute_tables()
             self.sim.stats.counter("conochi.reconfig.switch_removed").inc()
+            if self.sim.tracing:
+                self.sim.emit("conochi", "switch_removed", at=coord)
+                self.sim.span_end("conochi", "switch_remove", key=coord)
 
         self.sim.after(self.cfg.table_update_latency, try_swap)
 
@@ -379,7 +392,8 @@ class CoNoChi(CommArchitecture, Component):
         stats.counter("conochi.word_wire_tiles").inc(
             pkt.words * (self._link_wires[frozenset((at, nxt))] + 1)
         )
-        self.sim.emit("conochi", "route", mid=pkt.msg.mid, at=at, nxt=nxt)
+        if self.sim.tracing:
+            self.sim.emit("conochi", "route", mid=pkt.msg.mid, at=at, nxt=nxt)
         self._arrivals.append(
             (start + self.link_cycles(at, nxt), pkt, nxt)  # type: ignore[arg-type]
         )

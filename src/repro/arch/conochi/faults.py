@@ -68,7 +68,8 @@ class FaultInjector:
         msg.dropped = True
         self.arch._landed_fragments.pop(msg.mid, None)
         self.arch.sim.stats.counter("conochi.packets.dropped").inc()
-        self.arch.sim.emit("conochi", "drop", mid=msg.mid, at=at, why=why)
+        if self.arch.sim.tracing:
+            self.arch.sim.emit("conochi", "drop", mid=msg.mid, at=at, why=why)
 
     # ------------------------------------------------------------------
     def fail_switch(self, coord: Coord) -> None:
@@ -79,7 +80,11 @@ class FaultInjector:
             raise ValueError(f"switch {coord} already failed")
         self.failed.add(coord)
         self.arch.sim.stats.counter("conochi.faults.injected").inc()
-        self.arch.sim.emit("conochi", "switch_failed", at=coord)
+        if self.arch.sim.tracing:
+            self.arch.sim.emit("conochi", "switch_failed", at=coord)
+            # outage span: failure injected -> reconfigured back in
+            self.arch.sim.span_begin("conochi", "switch_outage", key=coord,
+                                     at=coord)
         self.arch.sim.after(self.detection_latency, self._recover)
 
     def repair_switch(self, coord: Coord) -> None:
@@ -88,7 +93,9 @@ class FaultInjector:
             raise ValueError(f"switch {coord} is not failed")
         self.failed.remove(coord)
         self.arch.sim.stats.counter("conochi.faults.repaired").inc()
-        self.arch.sim.emit("conochi", "switch_repaired", at=coord)
+        if self.arch.sim.tracing:
+            self.arch.sim.emit("conochi", "switch_repaired", at=coord)
+            self.arch.sim.span_end("conochi", "switch_outage", key=coord)
         self.arch.sim.after(self.arch.cfg.table_update_latency,
                             self._recover)
 

@@ -310,12 +310,25 @@ class DyNoC(CommArchitecture, Component):
 
     def _route(self, pkt: _Packet, at: Coord, now: int) -> None:
         if at == pkt.dst_access:
+            if self.sim.tracing and pkt.state.mode is not NORMAL.mode:
+                # packet arrived while still skirting an obstacle
+                self.sim.span_end("dynoc", "detour", key=pkt.msg.mid,
+                                  left_at=at, delivered=True)
             start = self._reserve_port(at, "local", now, pkt.words, pkt.msg.mid)
             self._deliveries.append((start + pkt.words, pkt.msg))
             self.sim.stats.histogram("dynoc.hops").add(pkt.hops)
             return
         nxt, state = sxy_next(at, pkt.dst_access, pkt.state,
                               self.is_active, self._extent)
+        if self.sim.tracing and state.mode is not pkt.state.mode:
+            # S-XY mode change: a surround detour starts or ends here
+            if pkt.state.mode is NORMAL.mode:
+                self.sim.span_begin("dynoc", "detour", key=pkt.msg.mid,
+                                    mid=pkt.msg.mid, entered_at=at,
+                                    mode=state.mode.value)
+            elif state.mode is NORMAL.mode:
+                self.sim.span_end("dynoc", "detour", key=pkt.msg.mid,
+                                  left_at=at, delivered=False)
         pkt.state = state
         pkt.hops += 1
         if pkt.hops > self.cfg.ttl_hops:
@@ -325,8 +338,9 @@ class DyNoC(CommArchitecture, Component):
             )
         start = self._reserve_port(at, nxt, now, pkt.words, pkt.msg.mid)
         self.sim.stats.counter("dynoc.word_hops").inc(pkt.words)
-        self.sim.emit("dynoc", "route", mid=pkt.msg.mid, at=at, nxt=nxt,
-                      mode=pkt.state.mode.value)
+        if self.sim.tracing:
+            self.sim.emit("dynoc", "route", mid=pkt.msg.mid, at=at, nxt=nxt,
+                          mode=pkt.state.mode.value)
         if self.cfg.switching == "saf":
             # store-and-forward: the next router sees the packet only
             # after the whole body crossed the link

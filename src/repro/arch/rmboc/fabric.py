@@ -18,6 +18,7 @@ faithful to hop-by-hop hardware behaviour.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -62,6 +63,8 @@ class RMBoC(CommArchitecture, Component):
         self._chan_by_pair: Dict[Tuple[str, str], List[Channel]] = {}
         self._retry_at: Dict[Tuple[str, str], int] = {}
         self._idle_since: Dict[int, int] = {}     # cid -> cycle it went idle
+        # per-fabric cids keep traces of identical runs identical
+        self._cid_seq = itertools.count()
 
     # ==================================================================
     # CommArchitecture interface
@@ -272,8 +275,11 @@ class RMBoC(CommArchitecture, Component):
         ch.state = ChannelState.ESTABLISHED
         ch.established_cycle = now
         self.sim.stats.counter("rmboc.channels.established").inc()
-        self.sim.emit("rmboc", "establish", cid=ch.cid,
-                      lanes=dict(ch.lanes))
+        if self.sim.tracing:
+            self.sim.emit("rmboc", "establish", cid=ch.cid,
+                          lanes=dict(ch.lanes))
+            self.sim.span_end("rmboc", "setup", key=ch.cid,
+                              status="established")
         self.sim.stats.histogram("rmboc.setup_latency").add(
             now - ch.requested_cycle
         )
@@ -326,7 +332,12 @@ class RMBoC(CommArchitecture, Component):
                 now + self.cfg.retry_backoff + ch.src_xp
             )
         self.sim.stats.counter("rmboc.channels.cancelled").inc()
-        self.sim.emit("rmboc", "cancel", cid=ch.cid)
+        if self.sim.tracing:
+            self.sim.emit("rmboc", "cancel", cid=ch.cid)
+            self.sim.span_end("rmboc", "setup", key=ch.cid,
+                              status="cancelled")
+            self.sim.span_end("rmboc", "circuit", key=ch.cid,
+                              status="cancelled")
 
     def _start_destroy(self, ch: Channel, now: int) -> None:
         ch.state = ChannelState.CLOSED
@@ -349,7 +360,10 @@ class RMBoC(CommArchitecture, Component):
         else:
             self._channels.pop(ch.cid, None)
             self.sim.stats.counter("rmboc.channels.destroyed").inc()
-            self.sim.emit("rmboc", "destroy", cid=ch.cid)
+            if self.sim.tracing:
+                self.sim.emit("rmboc", "destroy", cid=ch.cid)
+                self.sim.span_end("rmboc", "circuit", key=ch.cid,
+                                  status="destroyed")
 
     # -- network interfaces -------------------------------------------------
     def _tick_ni(self, now: int) -> None:
@@ -420,7 +434,8 @@ class RMBoC(CommArchitecture, Component):
                      dst_xp=self._module_xp[dst_module],
                      requested_cycle=now,
                      src_module=src_module,
-                     dst_module=dst_module)
+                     dst_module=dst_module,
+                     cid=next(self._cid_seq))
         self._channels[ch.cid] = ch
         self._chan_by_pair.setdefault((src_module, dst_module), []).append(ch)
         self._ctrl.append(
@@ -428,8 +443,15 @@ class RMBoC(CommArchitecture, Component):
                     ready_at=now + self.cfg.xp_proc_cycles)
         )
         self.sim.stats.counter("rmboc.channels.requested").inc()
-        self.sim.emit("rmboc", "request", cid=ch.cid, src=src_module,
-                      dst=dst_module)
+        if self.sim.tracing:
+            self.sim.emit("rmboc", "request", cid=ch.cid, src=src_module,
+                          dst=dst_module)
+            # circuit lifetime (request -> destroy/cancel) and the setup
+            # handshake (request -> establish/cancel) as spans
+            self.sim.span_begin("rmboc", "circuit", key=ch.cid, cid=ch.cid,
+                                src=src_module, dst=dst_module)
+            self.sim.span_begin("rmboc", "setup", key=ch.cid, cid=ch.cid,
+                                src=src_module, dst=dst_module)
 
     def _retire_idle_channels(self, now: int) -> None:
         busy = {tr.channel.cid for tr in self._transfers}

@@ -72,11 +72,103 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     # the default stays serial in-process (and single runs always are)
     max_workers = args.jobs if args.parallel or args.jobs else 0
     results = run_named(names, max_workers=max_workers,
-                        use_cache=not args.no_cache)
+                        use_cache=not args.no_cache,
+                        progress=len(names) > 1)
     for name in names:
         if len(names) > 1:
             print(f"== {name} ==")
         print(render(results[name]))
+    return 0
+
+
+def _kernel_summary(sims) -> str:
+    """Aggregate kernel self-metrics across simulators for the terminal."""
+    totals: dict = {}
+    for sim in sims:
+        for key, value in sim.kmetrics.as_dict().items():
+            if key == "commit_max":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    lines = [f"{'kernel metric':<28} {'value':>12}"]
+    for key, value in totals.items():
+        lines.append(f"{key:<28} {value:>12}")
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        observe_named,
+        summarize_trace,
+        to_prometheus_text,
+        write_chrome_trace,
+    )
+
+    try:
+        _, session = observe_named(args.which, trace=True,
+                                   profile=args.profile,
+                                   max_events=args.max_events,
+                                   keep=args.keep)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    sims = session.sims
+    if not sims:
+        print(f"experiment {args.which!r} built no simulators",
+              file=sys.stderr)
+        return 1
+    out = args.out or f"trace-{args.which}.json"
+    write_chrome_trace(out, sims)
+    print(f"experiment   : {args.which}")
+    print(f"simulators   : {len(sims)}, {session.total_events()} events, "
+          f"{session.total_spans()} spans")
+    print(f"trace        : {out} (open in https://ui.perfetto.dev)")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus_text(sims))
+        print(f"metrics      : {args.prom} (Prometheus exposition)")
+    print()
+    print(summarize_trace(sims, top=args.top))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        Profiler,
+        observe_named,
+        to_json_snapshot,
+        to_prometheus_text,
+    )
+
+    try:
+        _, session = observe_named(args.which, trace=False, profile=True)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    sims = session.sims
+    if not sims:
+        print(f"experiment {args.which!r} built no simulators",
+              file=sys.stderr)
+        return 1
+    merged = Profiler()
+    for sim in sims:
+        if sim.profiler is not None:
+            merged.merge(sim.profiler)
+    print(f"experiment   : {args.which} ({len(sims)} simulator(s))")
+    print()
+    print(merged.render_top(args.top))
+    print()
+    print(_kernel_summary(sims))
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus_text(sims))
+        print(f"\nmetrics      : {args.prom} (Prometheus exposition)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(to_json_snapshot(sims), fh, indent=2, default=repr)
+        print(f"snapshot     : {args.json} (JSON)")
     return 0
 
 
@@ -212,6 +304,36 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="ignore and don't write the result cache")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("trace",
+                       help="run an experiment with tracing and export a "
+                            "Perfetto/Chrome trace")
+    p.add_argument("which", help="experiment/ablation name (e1..e12, a1..a7)")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="trace output path (default: trace-<which>.json)")
+    p.add_argument("--prom", default=None, metavar="FILE",
+                   help="also write a Prometheus-text metrics snapshot")
+    p.add_argument("--profile", action="store_true",
+                   help="enable the wall-clock profiler too")
+    p.add_argument("--max-events", type=int, default=500_000,
+                   help="tracer capacity per simulator")
+    p.add_argument("--keep", choices=["head", "tail"], default="tail",
+                   help="which side to keep at capacity")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the terminal summary")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("profile",
+                       help="run an experiment with the wall-clock "
+                            "profiler and report the hottest buckets")
+    p.add_argument("which", help="experiment/ablation name (e1..e12, a1..a7)")
+    p.add_argument("--prom", default=None, metavar="FILE",
+                   help="write a Prometheus-text metrics snapshot")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write a JSON stats/kernel/profile snapshot")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the terminal summary")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("scenario", help="run the minimal scenario")
     p.add_argument("-a", "--arch", default="conochi",

@@ -1,0 +1,62 @@
+"""Observability layer: spans, kernel self-metrics, exporters, profiling.
+
+This package unifies the kernel's measurement probes
+(:mod:`repro.sim.stats`), the protocol event/span tracer
+(:mod:`repro.sim.trace`) and the scheduler's own metrics
+(:class:`~repro.sim.engine.KernelMetrics`) behind exporters and a
+capture harness:
+
+* :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON;
+* :mod:`repro.obs.prom` — Prometheus exposition text + JSON snapshots;
+* :mod:`repro.obs.profile` — the opt-in wall-clock profiler
+  (``Simulator(profile=True)`` / ``REPRO_SIM_PROFILE=1``);
+* :mod:`repro.obs.session` — :class:`ObservationSession`, which hooks
+  simulator construction so whole experiment harnesses can be traced
+  or profiled without plumbing (the ``repro trace`` / ``repro
+  profile`` CLI).
+
+Everything the exporters emit except profiler wall time is
+simulation-derived and deterministic; see ``docs/observability.md``.
+"""
+
+from repro.sim.engine import WAKE_REASONS, KernelMetrics
+from repro.sim.stats import Counter, CounterSnapshot, Histogram, \
+    StatsRegistry, TimeSeries
+from repro.sim.trace import SpanEvent, TraceEvent, Tracer
+
+from repro.obs.perfetto import (
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import Profiler
+from repro.obs.prom import (
+    sanitize_metric_name,
+    to_json_snapshot,
+    to_prometheus_text,
+    validate_exposition,
+)
+from repro.obs.session import ObservationSession, observe_named
+
+__all__ = [
+    "Counter",
+    "CounterSnapshot",
+    "Histogram",
+    "KernelMetrics",
+    "ObservationSession",
+    "Profiler",
+    "SpanEvent",
+    "StatsRegistry",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "WAKE_REASONS",
+    "observe_named",
+    "sanitize_metric_name",
+    "summarize_trace",
+    "to_chrome_trace",
+    "to_json_snapshot",
+    "to_prometheus_text",
+    "validate_exposition",
+    "write_chrome_trace",
+]

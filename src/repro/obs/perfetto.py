@@ -1,0 +1,161 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Converts :class:`~repro.sim.trace.Tracer` contents (point events and
+spans) into the Trace Event Format JSON that both ``chrome://tracing``
+and https://ui.perfetto.dev load directly.
+
+Mapping:
+
+* one *process* per simulator (``process_name`` = the simulator name);
+* one *thread* per event source (``rmboc``, ``reconfig``, ...);
+* point events become instant events (``ph: "i"``), spans become
+  complete events (``ph: "X"``);
+* one simulated **cycle** is exported as one **microsecond**, so the
+  Perfetto timeline reads directly in cycles.
+
+Kernel self-metrics and profiler results ride along in ``otherData``
+(Perfetto ignores unknown top-level keys).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Sequence, Union
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce trace-event payloads to JSON-safe structures (tuple dict
+    keys, coordinate tuples, sets...)."""
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else str(k): _jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _tracer_events(tracer: Tracer, pid: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_for(source: str) -> int:
+        if source not in tids:
+            tids[source] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[source], "args": {"name": source},
+            })
+        return tids[source]
+
+    for ev in tracer.events:
+        events.append({
+            "name": ev.kind, "cat": ev.source, "ph": "i", "s": "t",
+            "ts": ev.cycle, "pid": pid, "tid": tid_for(ev.source),
+            "args": _jsonable(ev.data),
+        })
+    for sp in tracer.spans:
+        events.append({
+            "name": sp.kind, "cat": sp.source, "ph": "X",
+            "ts": sp.begin, "dur": sp.duration,
+            "pid": pid, "tid": tid_for(sp.source),
+            "args": _jsonable(sp.data),
+        })
+    return events
+
+
+def to_chrome_trace(
+    sims: Union[Simulator, Sequence[Simulator]],
+) -> Dict[str, Any]:
+    """Build the Trace Event Format dict for one or more simulators.
+
+    Simulators without a tracer contribute only their process metadata
+    and kernel metrics, so a profile-only run still exports cleanly.
+    """
+    if isinstance(sims, Simulator):
+        sims = [sims]
+    trace_events: List[Dict[str, Any]] = []
+    other: Dict[str, Any] = {"simulators": []}
+    for pid, sim in enumerate(sims, start=1):
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid,
+            "args": {"name": sim.name},
+        })
+        meta: Dict[str, Any] = {
+            "pid": pid,
+            "name": sim.name,
+            "final_cycle": sim.cycle,
+            "fast_path": sim.fast_path,
+            "kernel": sim.kmetrics.as_dict(),
+            "tick_counts": _jsonable(sim.tick_counts()),
+        }
+        tracer = sim.tracer
+        if tracer is not None:
+            trace_events.extend(_tracer_events(tracer, pid))
+            meta["dropped_events"] = tracer.dropped
+            meta["dropped_spans"] = tracer.dropped_spans
+            meta["open_spans"] = _jsonable(tracer.open_spans())
+        if sim.profiler is not None:
+            meta["profile"] = sim.profiler.as_dict()
+        other["simulators"].append(meta)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path_or_file: Union[str, IO[str]],
+    sims: Union[Simulator, Sequence[Simulator]],
+) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path_or_file`` as JSON."""
+    doc = to_chrome_trace(sims)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, path_or_file)
+
+
+def summarize_trace(
+    sims: Union[Simulator, Sequence[Simulator]], top: int = 10,
+) -> str:
+    """Terminal top-N summary: span kinds by total cycles, then event
+    kinds by count, aggregated across simulators."""
+    if isinstance(sims, Simulator):
+        sims = [sims]
+    span_cycles: Dict[str, int] = {}
+    span_counts: Dict[str, int] = {}
+    event_counts: Dict[str, int] = {}
+    for sim in sims:
+        tracer = sim.tracer
+        if tracer is None:
+            continue
+        for sp in tracer.spans:
+            name = f"{sp.source}.{sp.kind}"
+            span_cycles[name] = span_cycles.get(name, 0) + sp.duration
+            span_counts[name] = span_counts.get(name, 0) + 1
+        for ev in tracer.events:
+            name = f"{ev.source}.{ev.kind}"
+            event_counts[name] = event_counts.get(name, 0) + 1
+    lines: List[str] = []
+    if span_cycles:
+        lines.append(f"{'span':<28} {'count':>8} {'cycles':>12} {'mean':>10}")
+        ranked = sorted(span_cycles.items(), key=lambda kv: -kv[1])[:top]
+        for name, cycles in ranked:
+            n = span_counts[name]
+            lines.append(f"{name:<28} {n:>8} {cycles:>12} {cycles / n:>10.1f}")
+    if event_counts:
+        if lines:
+            lines.append("")
+        lines.append(f"{'event':<28} {'count':>8}")
+        for name, n in sorted(event_counts.items(), key=lambda kv: -kv[1])[:top]:
+            lines.append(f"{name:<28} {n:>8}")
+    return "\n".join(lines) if lines else "(no trace data recorded)"

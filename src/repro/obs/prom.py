@@ -1,0 +1,193 @@
+"""Prometheus-text and JSON snapshot export for stats and kernel metrics.
+
+:func:`to_prometheus_text` renders a :class:`~repro.sim.stats.StatsRegistry`
+plus the kernel self-metrics (and, when enabled, the wall-clock
+profiler) in the Prometheus exposition format, so a snapshot can be
+scraped, diffed with ``promtool``, or pushed to a gateway.
+
+:func:`to_json_snapshot` is the machine-readable counterpart.  In both
+forms, everything except the ``profile`` section is simulation-derived
+and bit-identical between fast-path and reference runs of the same
+model *except* the ``kernel`` section, which describes the scheduler
+itself (see :class:`~repro.sim.engine.KernelMetrics`); wall-clock
+profiling time appears only under ``profile`` and is never part of
+``StatsRegistry.snapshot()``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?\s+\S+(\s+\d+)?$"
+)
+
+#: histogram quantiles exported as Prometheus summary quantile samples
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry probe name onto the Prometheus name grammar."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not _NAME_OK.match(out):
+        out = f"_{out}"
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+class _Writer:
+    def __init__(self, namespace: str):
+        self.ns = namespace
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def sample(self, name: str, value: float, mtype: str = "gauge",
+               help_text: str = "", labels: Optional[Dict[str, str]] = None
+               ) -> None:
+        full = f"{self.ns}_{sanitize_metric_name(name)}"
+        if full not in self._typed:
+            if help_text:
+                self.lines.append(f"# HELP {full} {help_text}")
+            self.lines.append(f"# TYPE {full} {mtype}")
+            self._typed.add(full)
+        if labels:
+            rendered = ",".join(
+                f'{sanitize_metric_name(k)}="{_escape_label(str(v))}"'
+                for k, v in labels.items()
+            )
+            self.lines.append(f"{full}{{{rendered}}} {_fmt(value)}")
+        else:
+            self.lines.append(f"{full} {_fmt(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def to_prometheus_text(
+    sims: Union[Simulator, Sequence[Simulator]],
+    namespace: str = "repro",
+) -> str:
+    """Render counters, histogram summaries, time-series tails, kernel
+    self-metrics and profiler buckets for one or more simulators.
+
+    Multiple simulators are distinguished by a ``sim`` label.
+    """
+    if isinstance(sims, Simulator):
+        sims = [sims]
+    w = _Writer(namespace)
+    many = len(sims) > 1
+    for sim in sims:
+        base = {"sim": sim.name} if many else {}
+        snap = sim.stats.snapshot()
+        for name, value in snap["counters"].items():
+            w.sample(f"{name}_total", value, "counter",
+                     f"model counter {name}", base or None)
+        for name, samples in snap["histograms"].items():
+            hist = sim.stats.get_histogram(name)
+            w.sample(f"{name}_count", hist.count, "gauge",
+                     f"histogram {name} sample count", base or None)
+            w.sample(f"{name}_sum", float(sum(samples)), "gauge",
+                     f"histogram {name} sample sum", base or None)
+            for q in QUANTILES:
+                labels = dict(base)
+                labels["quantile"] = str(q)
+                w.sample(name, hist.percentile(q * 100), "gauge",
+                         f"histogram {name} quantiles", labels)
+        for name, (cycles, values) in snap["series"].items():
+            if values:
+                labels = dict(base)
+                labels["cycle"] = str(cycles[-1])
+                w.sample(f"{name}_last", values[-1], "gauge",
+                         f"time series {name} last sample", labels)
+        w.sample("sim_final_cycle", sim.cycle, "gauge",
+                 "simulated cycles elapsed", base or None)
+        for key, value in sim.kmetrics.as_dict().items():
+            w.sample(f"kernel_{key}", value, "counter",
+                     f"kernel scheduler metric {key}", base or None)
+        for name, ticks in sorted(sim.tick_counts().items()):
+            labels = dict(base)
+            labels["component"] = name
+            w.sample("kernel_component_ticks", ticks, "counter",
+                     "per-component tick count", labels)
+        if sim.profiler is not None:
+            for bucket in sorted(sim.profiler.seconds):
+                labels = dict(base)
+                labels["bucket"] = bucket
+                w.sample("profile_seconds", sim.profiler.seconds[bucket],
+                         "counter", "host seconds by bucket (wall clock; "
+                         "host-dependent)", labels)
+                w.sample("profile_calls_total", sim.profiler.calls[bucket],
+                         "counter", "profiled calls by bucket", labels)
+    return w.text()
+
+
+def to_json_snapshot(
+    sims: Union[Simulator, Sequence[Simulator]],
+) -> Dict[str, Any]:
+    """Machine-readable snapshot: model stats, kernel self-metrics,
+    tick counts and (when profiling) wall-clock buckets per simulator."""
+    if isinstance(sims, Simulator):
+        sims = [sims]
+    out: Dict[str, Any] = {"simulators": []}
+    for sim in sims:
+        entry: Dict[str, Any] = {
+            "name": sim.name,
+            "final_cycle": sim.cycle,
+            "fast_path": sim.fast_path,
+            "stats": sim.stats.snapshot(),
+            "kernel": sim.kmetrics.as_dict(),
+            "tick_counts": sim.tick_counts(),
+        }
+        if sim.profiler is not None:
+            entry["profile"] = sim.profiler.as_dict()
+        out["simulators"].append(entry)
+    return out
+
+
+def validate_exposition(text: str) -> int:
+    """Minimal Prometheus exposition-format check; returns the sample
+    count.  Raises :class:`ValueError` with the offending line on the
+    first violation.  (Not a full parser — a guard for CI artifacts.)
+    """
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        if not _SAMPLE.match(line):
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        if "{" in line:
+            fields = line.rsplit("}", 1)[1].split()
+        else:
+            fields = line.split()[1:]
+        value = fields[0]
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: unparseable value {value!r}"
+                ) from None
+        samples += 1
+    if samples == 0:
+        raise ValueError("no samples found in exposition text")
+    return samples

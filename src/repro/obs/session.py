@@ -1,0 +1,112 @@
+"""Observation sessions: trace/profile simulators you didn't build.
+
+The experiment harnesses construct their simulators internally — often
+several per experiment — so there is no parameter to thread a tracer
+through.  :class:`ObservationSession` instead installs a construction
+hook (:func:`repro.sim.engine.set_new_sim_hook`): every
+:class:`~repro.sim.Simulator` built while the session is active gets a
+tracer attached and/or the profiler enabled, and is collected for
+export afterwards::
+
+    with ObservationSession(trace=True, profile=True) as obs:
+        result = registry()["e1"]()
+    write_chrome_trace("trace-e1.json", obs.sims)
+
+This is what the ``repro trace`` / ``repro profile`` CLI subcommands
+use.  Sessions nest by chaining to the previously installed hook;
+exiting restores it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import Simulator, set_new_sim_hook
+from repro.sim.trace import Tracer
+
+
+class ObservationSession:
+    """Attach observability to every Simulator constructed in scope.
+
+    Parameters
+    ----------
+    trace:
+        Attach a fresh :class:`Tracer` to each new simulator.
+    profile:
+        Enable the wall-clock profiler on each new simulator.
+    max_events / keep:
+        Tracer capacity policy; the default keeps the *tail* so the end
+        of long runs stays observable.
+    """
+
+    def __init__(self, trace: bool = True, profile: bool = False,
+                 max_events: int = 500_000, keep: str = "tail"):
+        self.trace = trace
+        self.profile = profile
+        self.max_events = max_events
+        self.keep = keep
+        #: every simulator constructed while the session was active
+        self.sims: List[Simulator] = []
+        self._prev = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _on_new_sim(self, sim: Simulator) -> None:
+        if self.trace and sim.tracer is None:
+            sim.tracer = Tracer(max_events=self.max_events, keep=self.keep)
+        if self.profile and sim.profiler is None:
+            from repro.obs.profile import Profiler
+
+            sim.profile = True
+            sim.profiler = Profiler()
+        self.sims.append(sim)
+        if self._prev is not None:
+            self._prev(sim)
+
+    def __enter__(self) -> "ObservationSession":
+        if self._active:
+            raise RuntimeError("ObservationSession is not re-entrant")
+        self._active = True
+        self._prev = set_new_sim_hook(self._on_new_sim)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_new_sim_hook(self._prev)
+        self._prev = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    @property
+    def traced_sims(self) -> List[Simulator]:
+        """Observed simulators that have a tracer attached."""
+        return [s for s in self.sims if s.tracer is not None]
+
+    def total_events(self) -> int:
+        return sum(len(s.tracer) for s in self.traced_sims)
+
+    def total_spans(self) -> int:
+        return sum(len(s.tracer.spans) for s in self.traced_sims)
+
+
+def observe_named(name: str, trace: bool = True, profile: bool = False,
+                  max_events: int = 500_000, keep: str = "tail",
+                  ) -> "tuple[object, ObservationSession]":
+    """Run a registered experiment/ablation harness under observation.
+
+    Always runs serially in-process with the result cache bypassed —
+    a cached result would have nothing to observe.  Returns
+    ``(result, session)``.
+    """
+    from repro.analysis.parallel import registry
+
+    harnesses = registry()
+    if name not in harnesses:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: "
+            f"{', '.join(sorted(harnesses))}"
+        )
+    session = ObservationSession(trace=trace, profile=profile,
+                                 max_events=max_events, keep=keep)
+    with session:
+        result = harnesses[name]()
+    return result, session

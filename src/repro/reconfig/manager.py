@@ -117,9 +117,13 @@ class ReconfigurationManager:
             requested_cycle=self.sim.cycle,
         )
         self.records.append(record)
+        rid = len(self.records) - 1
+        if self.sim.tracing:
+            self.sim.span_begin("reconfig", "swap", key=rid,
+                               out=module_out, into=module_in.name)
 
         def start() -> None:
-            self._begin(record, module_in, dict(attach_kwargs), on_done)
+            self._begin(record, rid, module_in, dict(attach_kwargs), on_done)
 
         if self._busy:
             self._pending.append(start)
@@ -142,21 +146,31 @@ class ReconfigurationManager:
             requested_cycle=self.sim.cycle,
         )
         self.records.append(record)
+        rid = len(self.records) - 1
+        if self.sim.tracing:
+            self.sim.span_begin("reconfig", "install", key=rid,
+                                into=module_in.name)
 
         def start() -> None:
             self._busy = True
             record.freeze_cycle = self.sim.cycle
             record.detach_cycle = self.sim.cycle
             record.reconfig_cycles = self.reconfig_cycles(region)
-            self.sim.emit("reconfig", "rewrite_start", out="",
-                          into=module_in.name,
-                          cycles=record.reconfig_cycles)
+            if self.sim.tracing:
+                self.sim.emit("reconfig", "rewrite_start", out="",
+                              into=module_in.name,
+                              cycles=record.reconfig_cycles)
+                self.sim.span_begin("reconfig", "rewrite", key=rid,
+                                    into=module_in.name)
             self.sim.stats.counter("reconfig.installs").inc()
 
             def finish(sim: Simulator) -> None:
                 self.arch.attach(module_in.name, **attach_kwargs)
                 self._unfreeze_new(record)
-                sim.emit("reconfig", "attached", module=module_in.name)
+                if sim.tracing:
+                    sim.emit("reconfig", "attached", module=module_in.name)
+                    sim.span_end("reconfig", "rewrite", key=rid)
+                    sim.span_end("reconfig", "install", key=rid)
                 record.attach_cycle = sim.cycle
                 self._busy = False
                 if on_done is not None:
@@ -189,13 +203,24 @@ class ReconfigurationManager:
             requested_cycle=self.sim.cycle,
         )
         self.records.append(record)
+        rid = len(self.records) - 1
+        if self.sim.tracing:
+            self.sim.span_begin("reconfig", "remove", key=rid,
+                                out=module_out)
 
         def start() -> None:
             self._busy = True
             deadline = self.sim.cycle + self.quiesce_timeout
+            if self.sim.tracing:
+                self.sim.span_begin("reconfig", "quiesce", key=rid,
+                                    out=module_out)
 
             def poll(sim: Simulator) -> None:
                 if self.module_quiescent(module_out):
+                    if sim.tracing:
+                        sim.span_end("reconfig", "quiesce", key=rid)
+                        sim.span_begin("reconfig", "rewrite", key=rid,
+                                       out=module_out)
                     self._freeze(module_out)
                     record.freeze_cycle = sim.cycle
                     record.detach_cycle = sim.cycle
@@ -205,6 +230,9 @@ class ReconfigurationManager:
 
                     def finish(s2: Simulator) -> None:
                         record.attach_cycle = s2.cycle
+                        if s2.tracing:
+                            s2.span_end("reconfig", "rewrite", key=rid)
+                            s2.span_end("reconfig", "remove", key=rid)
                         self._busy = False
                         if on_done is not None:
                             on_done(record)
@@ -231,17 +259,22 @@ class ReconfigurationManager:
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
-    def _begin(self, record: SwapRecord, spec: ModuleSpec,
+    def _begin(self, record: SwapRecord, rid: int, spec: ModuleSpec,
                attach_kwargs: Dict[str, object],
                on_done: Optional[Callable[[SwapRecord], None]]) -> None:
         self._busy = True
         placement_kwargs = self._capture_placement(record.module_out)
         placement_kwargs.update(attach_kwargs)
         deadline = self.sim.cycle + self.quiesce_timeout
+        if self.sim.tracing:
+            self.sim.span_begin("reconfig", "quiesce", key=rid,
+                                out=record.module_out)
 
         def poll_quiesce(sim: Simulator) -> None:
             if self.module_quiescent(record.module_out):
-                self._rewrite(record, spec, placement_kwargs, on_done)
+                if sim.tracing:
+                    sim.span_end("reconfig", "quiesce", key=rid)
+                self._rewrite(record, rid, spec, placement_kwargs, on_done)
             elif sim.cycle >= deadline:
                 raise SimError(
                     f"swap of {record.module_out!r}: traffic did not "
@@ -252,7 +285,7 @@ class ReconfigurationManager:
 
         self.sim.after(0, poll_quiesce)
 
-    def _rewrite(self, record: SwapRecord, spec: ModuleSpec,
+    def _rewrite(self, record: SwapRecord, rid: int, spec: ModuleSpec,
                  placement_kwargs: Dict[str, object],
                  on_done: Optional[Callable[[SwapRecord], None]]) -> None:
         arch = self.arch
@@ -263,14 +296,21 @@ class ReconfigurationManager:
         record.detach_cycle = self.sim.cycle
         arch.detach(record.module_out)
         record.reconfig_cycles = self.reconfig_cycles(record.region)
-        self.sim.emit("reconfig", "rewrite_start", out=record.module_out,
-                      into=record.module_in, cycles=record.reconfig_cycles)
+        if self.sim.tracing:
+            self.sim.emit("reconfig", "rewrite_start", out=record.module_out,
+                          into=record.module_in,
+                          cycles=record.reconfig_cycles)
+            self.sim.span_begin("reconfig", "rewrite", key=rid,
+                                out=record.module_out, into=record.module_in)
         self.sim.stats.counter("reconfig.swaps").inc()
         self.sim.stats.counter("reconfig.cycles").inc(record.reconfig_cycles)
 
         def finish(sim: Simulator) -> None:
             arch.attach(spec.name, **placement_kwargs)
-            sim.emit("reconfig", "attached", module=spec.name)
+            if sim.tracing:
+                sim.emit("reconfig", "attached", module=spec.name)
+                sim.span_end("reconfig", "rewrite", key=rid)
+                sim.span_end("reconfig", "swap", key=rid)
             self._unfreeze_new(record)
             record.attach_cycle = sim.cycle
             self._busy = False

@@ -23,22 +23,31 @@ while idle, and only channels with staged writes are committed.  See
 
 from repro.sim.channel import FIFO, PulseWire, Wire
 from repro.sim.component import Channel, Component, QuiescenceHint
-from repro.sim.engine import SLEEP, SimError, Simulator
+from repro.sim.engine import SLEEP, KernelMetrics, SimError, Simulator
 from repro.sim.rng import make_rng, spawn_rngs
-from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.stats import (
+    Counter,
+    CounterSnapshot,
+    Histogram,
+    StatsRegistry,
+    TimeSeries,
+)
+from repro.sim.trace import SpanEvent, TraceEvent, Tracer
 
 __all__ = [
     "Channel",
     "Component",
     "Counter",
+    "CounterSnapshot",
     "FIFO",
     "Histogram",
+    "KernelMetrics",
     "PulseWire",
     "QuiescenceHint",
     "SLEEP",
     "SimError",
     "Simulator",
+    "SpanEvent",
     "StatsRegistry",
     "TimeSeries",
     "TraceEvent",

@@ -57,6 +57,13 @@ class Component:
     runs (the golden-equivalence guarantee).
     """
 
+    # the kernel-owned fields live in slots: the scheduler touches them
+    # every tick, and slot access skips the instance dict. Subclasses
+    # (which declare no __slots__) still get a __dict__ of their own.
+    __slots__ = ("name", "_sim", "_order", "_asleep", "_wake_at",
+                 "_wake_reason", "_pending_wake", "_ticks", "_tick_base",
+                 "__weakref__")
+
     def __init__(self, name: str):
         self.name = name
         self._sim: Optional[Simulator] = None
@@ -64,7 +71,10 @@ class Component:
         self._order: int = -1
         self._asleep: bool = False
         self._wake_at: Optional[int] = None
+        self._wake_reason: int = 0
         self._pending_wake: Optional[int] = None
+        self._ticks: int = 0
+        self._tick_base: int = 0
 
     # ------------------------------------------------------------------
     def bind(self, sim: Simulator) -> None:

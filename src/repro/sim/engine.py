@@ -40,7 +40,10 @@ import heapq
 import itertools
 import os
 from bisect import insort
-from typing import Callable, Iterable, List, Optional, Tuple
+from heapq import heappop, heappush
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.sim.stats import StatsRegistry
 
@@ -49,6 +52,9 @@ FASTPATH_ENV = "REPRO_SIM_FASTPATH"
 
 #: environment switch for the runtime contract sanitizer ("1" enables)
 SANITIZE_ENV = "REPRO_SIM_SANITIZE"
+
+#: environment switch for the wall-clock profiler ("1" enables)
+PROFILE_ENV = "REPRO_SIM_PROFILE"
 
 
 def fastpath_default() -> bool:
@@ -63,6 +69,95 @@ def sanitize_default() -> bool:
     return os.environ.get(SANITIZE_ENV, "0").lower() in (
         "1", "true", "on", "yes",
     )
+
+
+def profile_default() -> bool:
+    """The profiler setting used when ``Simulator(profile=None)``."""
+    return os.environ.get(PROFILE_ENV, "0").lower() in (
+        "1", "true", "on", "yes",
+    )
+
+
+#: hook called with every newly constructed Simulator (or None).
+#: Installed by :class:`repro.obs.session.ObservationSession` so the
+#: ``repro trace`` / ``repro profile`` CLI can observe simulators built
+#: deep inside experiment harnesses without threading parameters through.
+_NEW_SIM_HOOK: Optional[Callable[["Simulator"], None]] = None
+
+
+def set_new_sim_hook(
+    hook: Optional[Callable[["Simulator"], None]],
+) -> Optional[Callable[["Simulator"], None]]:
+    """Install ``hook`` (None to clear); returns the previous hook."""
+    global _NEW_SIM_HOOK
+    prev = _NEW_SIM_HOOK
+    _NEW_SIM_HOOK = hook
+    return prev
+
+
+#: indices into :attr:`KernelMetrics.wakes` (see docs/kernel.md)
+WAKE_TIMED, WAKE_CHANNEL, WAKE_EXPLICIT, WAKE_PENDING = range(4)
+
+WAKE_REASONS = ("timed", "channel", "explicit", "pending")
+
+
+class KernelMetrics:
+    """Scheduler self-metrics: what the activity-driven kernel did.
+
+    These describe the *kernel that ran* — wakes, sleeps, fast-forward
+    jumps, dirty-set commit sizes, tick counts — so they legitimately
+    differ between ``fast_path=True`` and ``fast_path=False`` runs of
+    the same model.  They are therefore kept out of
+    :meth:`StatsRegistry.snapshot` (the golden-equivalence comparator)
+    and exported separately (see :mod:`repro.obs`).
+
+    ``cycles_stepped`` and ``ticks_total`` are *derived* totals: to keep
+    the hot tick loop free of per-cycle accounting they are recomputed
+    from the clock and the per-component tick counters whenever the
+    metrics are read through :attr:`Simulator.kmetrics`.
+    """
+
+    __slots__ = ("wakes", "sleeps", "ff_jumps", "ff_cycles_skipped",
+                 "commit_batches", "commit_elements", "commit_max",
+                 "cycles_stepped", "ticks_total", "retired_ticks")
+
+    def __init__(self) -> None:
+        # wake transitions (asleep -> runnable) by reason index
+        self.wakes = [0, 0, 0, 0]
+        self.sleeps = 0
+        self.ff_jumps = 0
+        self.ff_cycles_skipped = 0
+        self.commit_batches = 0
+        self.commit_elements = 0
+        self.commit_max = 0
+        self.cycles_stepped = 0
+        self.ticks_total = 0
+        # tick counts harvested from components removed mid-run
+        self.retired_ticks: Dict[str, int] = {}
+
+    @property
+    def wakes_total(self) -> int:
+        return sum(self.wakes)
+
+    def wakes_by_reason(self) -> Dict[str, int]:
+        return dict(zip(WAKE_REASONS, self.wakes))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data form for exporters (stable key order)."""
+        out: Dict[str, object] = {
+            "cycles_stepped": self.cycles_stepped,
+            "ticks_total": self.ticks_total,
+            "sleeps": self.sleeps,
+            "wakes_total": self.wakes_total,
+            "ff_jumps": self.ff_jumps,
+            "ff_cycles_skipped": self.ff_cycles_skipped,
+            "commit_batches": self.commit_batches,
+            "commit_elements": self.commit_elements,
+            "commit_max": self.commit_max,
+        }
+        for reason, count in zip(WAKE_REASONS, self.wakes):
+            out[f"wakes_{reason}"] = count
+        return out
 
 
 class _SleepForever:
@@ -104,28 +199,52 @@ class Simulator:
         violations raise :class:`repro.lint.runtime.SanitizerError`.
         ``None`` (the default) reads :data:`SANITIZE_ENV` and falls
         back to disabled.
+    profile:
+        Enable the opt-in wall-clock profiler
+        (:class:`repro.obs.profile.Profiler`): each component tick,
+        the event callbacks and the commit phase are timed with
+        ``perf_counter`` and attributed by name.  Wall-time results are
+        host-dependent and are never part of
+        :meth:`StatsRegistry.snapshot`.  ``None`` (the default) reads
+        :data:`PROFILE_ENV` and falls back to disabled, where the cost
+        is a single ``is None`` test per step.
     """
 
     def __init__(self, name: str = "sim", max_cycles: int = 10_000_000,
                  fast_path: Optional[bool] = None,
-                 sanitize: Optional[bool] = None):
+                 sanitize: Optional[bool] = None,
+                 profile: Optional[bool] = None):
         self.name = name
         self.cycle = 0
         self.max_cycles = max_cycles
         self.stats = StatsRegistry()
+        #: scheduler self-metrics (never part of stats.snapshot())
+        self._kmetrics = KernelMetrics()
         #: optional repro.sim.trace.Tracer; emit() is a no-op while None
-        self.tracer = None
+        self._tracer = None
+        #: cheap guard for hot emit/span sites (kept in sync with tracer)
+        self.tracing = False
         self.fast_path = fastpath_default() if fast_path is None else fast_path
         self.sanitize = sanitize_default() if sanitize is None else sanitize
+        self.profile = profile_default() if profile is None else profile
+        if self.profile:
+            from repro.obs.profile import Profiler
+
+            self._profiler: Optional["Profiler"] = Profiler()
+        else:
+            self._profiler = None
         #: the component whose tick is currently executing (None during
         #: events, commits, and outside step()) — read by the sanitizer
         self._ticking: Optional["Component"] = None
         if self.sanitize:
             from repro.lint.runtime import Sanitizer
 
-            self.sanitizer: Optional["Sanitizer"] = Sanitizer(self)
+            self._sanitizer: Optional["Sanitizer"] = Sanitizer(self)
         else:
-            self.sanitizer = None
+            self._sanitizer = None
+        # True while neither sanitizer nor profiler is attached: step()
+        # then takes a tick loop with no per-tick instrumentation checks
+        self._plain = self._profiler is None and self._sanitizer is None
         self._components: List["Component"] = []
         self._sequentials: List[object] = []
         self._events: List[Tuple[int, int, Callable[["Simulator"], None]]] = []
@@ -141,6 +260,60 @@ class Simulator:
         # sequentials that do not participate in dirty tracking (no
         # ``_dirty_flag`` attribute) are committed every cycle.
         self._eager_sequentials: List[object] = []
+        # slow-path cycle counter: with the fast path off every
+        # registered component ticks every cycle, so per-component tick
+        # counts are derived as ``_slow_ticks - _tick_base`` instead of
+        # paying a per-tick increment in the slow loop.
+        self._slow_ticks = 0
+        if _NEW_SIM_HOOK is not None:
+            _NEW_SIM_HOOK(self)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`repro.sim.trace.Tracer` (or None)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self.tracing = tracer is not None
+
+    @property
+    def profiler(self):
+        """The attached :class:`repro.obs.profile.Profiler` (or None)."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        self._profiler = profiler
+        self._plain = profiler is None and self._sanitizer is None
+
+    @property
+    def sanitizer(self):
+        """The attached :class:`repro.lint.runtime.Sanitizer` (or None)."""
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, sanitizer) -> None:
+        self._sanitizer = sanitizer
+        self._plain = sanitizer is None and self._profiler is None
+
+    @property
+    def kmetrics(self) -> KernelMetrics:
+        """Scheduler self-metrics (see :class:`KernelMetrics`).
+
+        The derived totals — ``cycles_stepped`` (every cycle advance is
+        either a stepped cycle or part of a fast-forward jump) and
+        ``ticks_total`` (retired plus live per-component tick counts) —
+        are synced here on access so the hot loop never maintains them.
+        """
+        m = self._kmetrics
+        m.cycles_stepped = self.cycle - m.ff_cycles_skipped
+        m.ticks_total = sum(self.tick_counts().values())
+        return m
 
     # ------------------------------------------------------------------
     # registration
@@ -156,7 +329,10 @@ class Simulator:
         component._order = next(self._order_seq)
         component._asleep = False
         component._wake_at = None
+        component._wake_reason = WAKE_TIMED
         component._pending_wake = None
+        component._ticks = 0
+        component._tick_base = self._slow_ticks
         # orders grow monotonically, so append preserves sorted order
         self._runnable.append((component._order, component))
         return component
@@ -180,8 +356,16 @@ class Simulator:
             except ValueError:  # pragma: no cover - defensive
                 pass
         component._pending_wake = None
-        if self.sanitizer is not None:
-            self.sanitizer.forget(component)
+        # keep the removed component's tick count observable
+        total = (component._ticks
+                 + self._slow_ticks - component._tick_base)
+        if total:
+            retired = self._kmetrics.retired_ticks
+            retired[component.name] = (
+                retired.get(component.name, 0) + total
+            )
+        if self._sanitizer is not None:
+            self._sanitizer.forget(component)
 
     def register_sequential(self, element: object) -> None:
         """Register an object exposing ``_commit()`` to be latched each cycle.
@@ -220,10 +404,14 @@ class Simulator:
     def wake(self, component: "Component") -> None:
         """Return a sleeping component to the runnable set (no-op when
         it is already awake)."""
+        self._wake(component, WAKE_EXPLICIT)
+
+    def _wake(self, component: "Component", reason: int) -> None:
         if not component._asleep:
             return
         component._asleep = False
         component._wake_at = None
+        self._kmetrics.wakes[reason] += 1
         insort(self._runnable, (component._order, component))
 
     def wake_at(self, component: "Component", cycle: int) -> None:
@@ -239,11 +427,12 @@ class Simulator:
         """
         if component._asleep:
             if cycle <= self.cycle:
-                self.wake(component)
+                self._wake(component, WAKE_CHANNEL)
             elif component._wake_at is None or cycle < component._wake_at:
                 component._wake_at = cycle
-                heapq.heappush(self._wake_heap,
-                               (cycle, component._order, component))
+                component._wake_reason = WAKE_CHANNEL
+                heappush(self._wake_heap,
+                         (cycle, component._order, component))
         else:
             pending = component._pending_wake
             if pending is None or cycle < pending:
@@ -251,8 +440,10 @@ class Simulator:
 
     def _request_sleep(self, component: "Component", hint: object) -> None:
         """Apply a quiescence hint returned by ``tick``."""
-        if hint is SLEEP:
-            wake_at: Optional[int] = None
+        if type(hint) is int:  # exact match first: the hot case
+            wake_at: Optional[int] = hint
+        elif hint is SLEEP:
+            wake_at = None
         elif isinstance(hint, int) and not isinstance(hint, bool):
             wake_at = hint
         else:
@@ -262,11 +453,16 @@ class Simulator:
             )
         # a watched channel staged data this cycle: the subscriber must
         # run when it becomes visible, whatever its own hint says
+        reason = WAKE_TIMED
         pending = component._pending_wake
-        component._pending_wake = None
-        if pending is not None and (wake_at is None or pending < wake_at):
-            wake_at = pending
+        if pending is not None:
+            component._pending_wake = None
+            if wake_at is None or pending < wake_at:
+                wake_at = pending
+                reason = WAKE_PENDING
         if wake_at is not None and wake_at <= self.cycle + 1:
+            if reason == WAKE_PENDING:
+                self._kmetrics.wakes[WAKE_PENDING] += 1
             return  # it would be woken for the very next cycle anyway
         try:
             self._runnable.remove((component._order, component))
@@ -274,9 +470,11 @@ class Simulator:
             return  # removed from the simulator during this cycle
         component._asleep = True
         component._wake_at = wake_at
+        self._kmetrics.sleeps += 1
         if wake_at is not None:
-            heapq.heappush(self._wake_heap,
-                           (wake_at, component._order, component))
+            component._wake_reason = reason
+            heappush(self._wake_heap,
+                     (wake_at, component._order, component))
 
     @property
     def quiescent(self) -> bool:
@@ -322,13 +520,87 @@ class Simulator:
         return self._stopped
 
     def emit(self, source: str, kind: str, **data: object) -> None:
-        """Record a trace event when a tracer is attached (else no-op)."""
-        if self.tracer is not None:
-            self.tracer.record(self.cycle, source, kind, data)
+        """Record a trace event when a tracer is attached (else no-op).
+
+        Hot emit sites additionally guard on :attr:`tracing` so the
+        keyword-argument dict is never built while tracing is off::
+
+            if sim.tracing:
+                sim.emit("dynoc", "route", mid=..., at=...)
+        """
+        if self._tracer is not None:
+            self._tracer.record(self.cycle, source, kind, data)
+
+    # ------------------------------------------------------------------
+    # spans (duration events; see repro.sim.trace and repro.obs)
+    # ------------------------------------------------------------------
+    def span_begin(self, source: str, kind: str, key: Hashable = None,
+                   **data: object) -> None:
+        """Open a span at the current cycle; close it with
+        :meth:`span_end` using the same (source, kind, key)."""
+        if self._tracer is not None:
+            self._tracer.begin_span(self.cycle, source, kind, key, data)
+
+    def span_end(self, source: str, kind: str, key: Hashable = None,
+                 **data: object) -> None:
+        """Close an open span at the current cycle (no-op without a
+        matching :meth:`span_begin`; the tracer counts the mismatch)."""
+        if self._tracer is not None:
+            self._tracer.end_span(self.cycle, source, kind, key, data)
+
+    def span_event(self, source: str, kind: str, begin: int, end: int,
+                   **data: object) -> None:
+        """Record a span whose begin/end cycles are already known."""
+        if self._tracer is not None:
+            self._tracer.add_span(begin, end, source, kind, data)
+
+    @contextmanager
+    def span(self, source: str, kind: str, **data: object):
+        """Context manager form: the span covers the cycles the body
+        advanced the clock over (e.g. wrapping a ``run`` call)."""
+        if self._tracer is None:
+            yield
+            return
+        begin = self.cycle
+        try:
+            yield
+        finally:
+            self._tracer.add_span(begin, self.cycle, source, kind, data)
+
+    # ------------------------------------------------------------------
+    # kernel self-metrics helpers
+    # ------------------------------------------------------------------
+    def tick_counts(self) -> Dict[str, int]:
+        """Per-component tick counts (registered plus removed ones)."""
+        out = dict(self._kmetrics.retired_ticks)
+        slow = self._slow_ticks
+        for component in self._components:
+            out[component.name] = (out.get(component.name, 0)
+                                   + component._ticks
+                                   + slow - component._tick_base)
+        return out
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _tick_instrumented(self, component: "Component", sanitizer,
+                           profiler) -> object:
+        """Tick one component under the sanitizer and/or profiler."""
+        if profiler is not None:
+            t0 = perf_counter()
+        if sanitizer is None:
+            hint = component.tick(self)
+        else:
+            self._ticking = component
+            try:
+                hint = component.tick(self)
+            finally:
+                self._ticking = None
+            sanitizer.on_tick_end(component, hint)
+        if profiler is not None:
+            profiler.add(component.name, perf_counter() - t0)
+        return hint
+
     def step(self) -> None:
         """Advance the simulation by exactly one clock cycle."""
         if self._running:
@@ -338,68 +610,126 @@ class Simulator:
             cycle = self.cycle
             wakes = self._wake_heap
             while wakes and wakes[0][0] <= cycle:
-                _, _, component = heapq.heappop(wakes)
+                _, _, component = heappop(wakes)
                 # lazy invalidation: the entry is live only if it still
                 # matches the component's current sleep state
                 if (component._asleep and component._wake_at is not None
                         and component._wake_at <= cycle):
-                    self.wake(component)
-            while self._events and self._events[0][0] <= cycle:
-                _, _, fn = heapq.heappop(self._events)
-                fn(self)
-            sanitizer = self.sanitizer
-            if self.fast_path:
-                # Snapshot: ticks may add/remove/wake components; changes
-                # take effect next cycle, matching reconfiguration
-                # semantics (removals still tick out this cycle).
-                if self._runnable:
-                    for entry in list(self._runnable):
-                        component = entry[1]
-                        if (component._pending_wake is not None
-                                and component._pending_wake <= cycle):
-                            component._pending_wake = None  # satisfied by this tick
-                        if sanitizer is None:
+                    component._asleep = False
+                    component._wake_at = None
+                    self._kmetrics.wakes[component._wake_reason] += 1
+                    insort(self._runnable, (component._order, component))
+            if self._plain:
+                events = self._events
+                while events and events[0][0] <= cycle:
+                    _, _, fn = heappop(events)
+                    fn(self)
+                if self.fast_path:
+                    # Snapshot: ticks may add/remove/wake components;
+                    # changes take effect next cycle, matching
+                    # reconfiguration semantics (removals still tick out
+                    # this cycle).
+                    if self._runnable:
+                        request_sleep = self._request_sleep
+                        for _, component in list(self._runnable):
+                            component._ticks += 1
+                            if (component._pending_wake is not None
+                                    and component._pending_wake <= cycle):
+                                component._pending_wake = None  # satisfied
                             hint = component.tick(self)
-                        else:
-                            self._ticking = component
-                            try:
-                                hint = component.tick(self)
-                            finally:
-                                self._ticking = None
-                            sanitizer.on_tick_end(component, hint)
-                        if hint is not None:
-                            self._request_sleep(component, hint)
-                for element in self._eager_sequentials:
-                    element._commit()
-                if self._dirty:
-                    dirty, self._dirty = self._dirty, []
-                    for element in dirty:
-                        element._dirty_flag = False
-                        if element._commit():
-                            # e.g. a PulseWire that must self-clear
-                            element._mark_dirty()
-            else:
-                for component in list(self._components):
-                    if sanitizer is None:
+                            if hint is not None:
+                                request_sleep(component, hint)
+                    for element in self._eager_sequentials:
+                        element._commit()
+                    if self._dirty:
+                        self._commit_dirty()
+                else:
+                    # _slow_ticks is bumped before the snapshot: a
+                    # component added by an event callback ticks this
+                    # cycle (it is in the snapshot), one added from a
+                    # tick does not.
+                    self._slow_ticks += 1
+                    for component in list(self._components):
                         component.tick(self)
-                    else:
-                        self._ticking = component
-                        try:
-                            hint = component.tick(self)
-                        finally:
-                            self._ticking = None
-                        sanitizer.on_tick_end(component, hint)
-                if self._dirty:
-                    for element in self._dirty:
-                        element._dirty_flag = False
-                    self._dirty.clear()
-                for element in self._sequentials:
-                    element._commit()
-            if sanitizer is not None:
-                sanitizer.end_cycle()
+                    if self._dirty:
+                        for element in self._dirty:
+                            element._dirty_flag = False
+                        self._dirty.clear()
+                    for element in self._sequentials:
+                        element._commit()
+            else:
+                self._step_instrumented(cycle)
             self.cycle += 1
         finally:
             self._running = False
+
+    def _commit_dirty(self) -> None:
+        """Commit and clear the dirty set (fast path, per-batch metrics)."""
+        dirty, self._dirty = self._dirty, []
+        metrics = self._kmetrics
+        n = len(dirty)
+        metrics.commit_batches += 1
+        metrics.commit_elements += n
+        if n > metrics.commit_max:
+            metrics.commit_max = n
+        for element in dirty:
+            element._dirty_flag = False
+            if element._commit():
+                # e.g. a PulseWire that must self-clear
+                element._mark_dirty()
+
+    def _step_instrumented(self, cycle: int) -> None:
+        """The events/tick/commit phases with sanitizer and/or profiler
+        attached — split out so the plain hot path carries none of the
+        instrumentation checks."""
+        sanitizer = self._sanitizer
+        profiler = self._profiler
+        events = self._events
+        if profiler is None:
+            while events and events[0][0] <= cycle:
+                _, _, fn = heappop(events)
+                fn(self)
+        else:
+            while events and events[0][0] <= cycle:
+                _, _, fn = heappop(events)
+                t0 = perf_counter()
+                fn(self)
+                profiler.add("kernel.events", perf_counter() - t0)
+        if self.fast_path:
+            if self._runnable:
+                for _, component in list(self._runnable):
+                    component._ticks += 1
+                    if (component._pending_wake is not None
+                            and component._pending_wake <= cycle):
+                        component._pending_wake = None  # satisfied
+                    hint = self._tick_instrumented(component, sanitizer,
+                                                   profiler)
+                    if hint is not None:
+                        self._request_sleep(component, hint)
+            if profiler is not None:
+                t0 = perf_counter()
+            for element in self._eager_sequentials:
+                element._commit()
+            if self._dirty:
+                self._commit_dirty()
+            if profiler is not None:
+                profiler.add("kernel.commit", perf_counter() - t0)
+        else:
+            self._slow_ticks += 1
+            for component in list(self._components):
+                self._tick_instrumented(component, sanitizer, profiler)
+            if profiler is not None:
+                t0 = perf_counter()
+            if self._dirty:
+                for element in self._dirty:
+                    element._dirty_flag = False
+                self._dirty.clear()
+            for element in self._sequentials:
+                element._commit()
+            if profiler is not None:
+                profiler.add("kernel.commit", perf_counter() - t0)
+        if sanitizer is not None:
+            sanitizer.end_cycle()
 
     def run(self, cycles: int) -> None:
         """Run for ``cycles`` clock cycles (or until :meth:`stop`).
@@ -410,14 +740,34 @@ class Simulator:
         """
         self._stopped = False
         end = self.cycle + cycles
+        fast = self.fast_path
+        step = self.step
         while self.cycle < end and not self._stopped:
-            if self.fast_path and self.quiescent:
-                nxt = self.next_activity()
+            # inline `self.quiescent` — a property call per cycle is
+            # measurable at this loop's frequency
+            if (fast and not self._runnable and not self._dirty
+                    and not self._eager_sequentials):
+                # inline `self.next_activity()`: one jump per quiescent
+                # stretch makes the call overhead visible in idle-heavy
+                # workloads
+                events = self._events
+                heap = self._wake_heap
+                if events:
+                    nxt = events[0][0]
+                    if heap and heap[0][0] < nxt:
+                        nxt = heap[0][0]
+                elif heap:
+                    nxt = heap[0][0]
+                else:
+                    nxt = None
                 target = end if nxt is None else min(nxt, end)
                 if target > self.cycle:
+                    metrics = self._kmetrics
+                    metrics.ff_jumps += 1
+                    metrics.ff_cycles_skipped += target - self.cycle
                     self.cycle = target
                     continue
-            self.step()
+            step()
 
     def run_for_time(self, seconds: float, clock_hz: float) -> int:
         """Run the number of cycles covering ``seconds`` of wall time at

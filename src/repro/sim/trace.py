@@ -1,23 +1,59 @@
-"""Event tracing: an opt-in protocol/transaction log.
+"""Event tracing: an opt-in protocol/transaction log with spans.
 
 Attach a :class:`Tracer` to a simulator and every instrumented model
-point (`sim.emit(...)`) records a timestamped event — circuit requests,
-TDMA frame launches, route decisions, reconfiguration phases. Tracing
-is off by default and costs one attribute test per emit when disabled.
+point (``sim.emit(...)``) records a timestamped event — circuit
+requests, TDMA frame launches, route decisions, reconfiguration
+phases.  *Spans* add duration to the picture: ``sim.span(...)`` (a
+context manager) and the ``sim.span_begin`` / ``sim.span_end`` pair
+record begin/end cycles for things that take time — an RMBoC circuit
+lifetime, a TDMA frame on the wire, a DyNoC surround-routing detour, a
+reconfiguration phase.
+
+Tracing is off by default.  With no tracer attached, ``sim.emit`` costs
+one attribute test, and the hot emit sites additionally guard on the
+``sim.tracing`` flag so not even the keyword-argument dict is built.
+
+Capacity is bounded by ``max_events``.  ``keep`` selects which side of
+a too-long run survives:
+
+* ``"head"`` — keep the *first* ``max_events`` events and drop the
+  newest (the historical behaviour);
+* ``"tail"`` — a ring buffer: evict the oldest so the *end* of the run
+  — usually the interesting part — stays observable.
+
+``dropped`` counts evictions accurately in both modes.  Events and
+spans are bounded independently (each by ``max_events``).
 
 Typical use::
 
-    sim.tracer = Tracer(max_events=10_000)
+    sim.tracer = Tracer(max_events=10_000, keep="tail")
     ...run...
     for ev in sim.tracer.query(kind="establish"):
         print(ev)
+    for sp in sim.tracer.query_spans(kind="circuit"):
+        print(sp.duration, sp.data)
     print(sim.tracer.render_timeline(kinds={"request", "establish"}))
+
+Exporters for Chrome trace-event / Perfetto JSON and Prometheus text
+live in :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 
 @dataclass(frozen=True)
@@ -32,23 +68,100 @@ class TraceEvent:
         return f"[{self.cycle:>8}] {self.source}.{self.kind} {payload}"
 
 
-class Tracer:
-    """Bounded in-memory event store with simple querying."""
+@dataclass(frozen=True)
+class SpanEvent:
+    """A duration event: something that began and ended on the sim clock."""
 
-    def __init__(self, max_events: int = 100_000):
+    begin: int
+    end: int
+    source: str
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Cycles covered (end - begin; 0 for a same-cycle span)."""
+        return self.end - self.begin
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return (f"[{self.begin:>8}..{self.end:>8}] "
+                f"{self.source}.{self.kind} {payload}")
+
+
+class Tracer:
+    """Bounded in-memory event/span store with simple querying."""
+
+    def __init__(self, max_events: int = 100_000, keep: str = "head"):
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
+        if keep not in ("head", "tail"):
+            raise ValueError(f"keep must be 'head' or 'tail', got {keep!r}")
         self.max_events = max_events
-        self._events: List[TraceEvent] = []
+        self.keep = keep
+        self._events: Deque[TraceEvent] = deque()
+        self._spans: Deque[SpanEvent] = deque()
+        # open spans by (source, kind, key): (begin cycle, begin data)
+        self._open: Dict[Tuple[str, str, Hashable],
+                         Tuple[int, Dict[str, Any]]] = {}
         self.dropped = 0
+        self.dropped_spans = 0
+        #: span_end calls that matched no open span (wiring bugs show here)
+        self.unmatched_span_ends = 0
 
+    # ------------------------------------------------------------------
+    # point events
     # ------------------------------------------------------------------
     def record(self, cycle: int, source: str, kind: str,
                data: Dict[str, Any]) -> None:
         if len(self._events) >= self.max_events:
             self.dropped += 1
-            return
+            if self.keep == "head":
+                return
+            self._events.popleft()
         self._events.append(TraceEvent(cycle, source, kind, data))
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin_span(self, cycle: int, source: str, kind: str,
+                   key: Hashable = None,
+                   data: Optional[Dict[str, Any]] = None) -> None:
+        """Open a span; ``key`` distinguishes concurrent spans of the
+        same (source, kind).  Re-beginning an open span restarts it."""
+        self._open[(source, kind, key)] = (cycle, dict(data or {}))
+
+    def end_span(self, cycle: int, source: str, kind: str,
+                 key: Hashable = None,
+                 data: Optional[Dict[str, Any]] = None) -> None:
+        """Close an open span and record it (end data wins on key
+        clashes).  Ends with no matching begin are counted and dropped."""
+        opened = self._open.pop((source, kind, key), None)
+        if opened is None:
+            self.unmatched_span_ends += 1
+            return
+        begin, merged = opened
+        if data:
+            merged.update(data)
+        self.add_span(begin, cycle, source, kind, merged)
+
+    def add_span(self, begin: int, end: int, source: str, kind: str,
+                 data: Optional[Dict[str, Any]] = None) -> None:
+        """Record a span whose begin/end are already known (e.g. a TDMA
+        frame whose duration is computed at launch)."""
+        if len(self._spans) >= self.max_events:
+            self.dropped_spans += 1
+            if self.keep == "head":
+                return
+            self._spans.popleft()
+        self._spans.append(SpanEvent(begin, end, source, kind,
+                                     dict(data or {})))
+
+    def open_spans(self) -> List[Tuple[str, str, Hashable, int]]:
+        """Still-open spans as (source, kind, key, begin_cycle) — useful
+        when a run ends mid-protocol."""
+        return [(s, k, key, begin)
+                for (s, k, key), (begin, _) in self._open.items()]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -60,6 +173,10 @@ class Tracer:
     @property
     def events(self) -> List[TraceEvent]:
         return list(self._events)
+
+    @property
+    def spans(self) -> List[SpanEvent]:
+        return list(self._spans)
 
     def query(self, source: Optional[str] = None,
               kind: Optional[str] = None,
@@ -82,12 +199,40 @@ class Tracer:
             out.append(ev)
         return out
 
+    def query_spans(self, source: Optional[str] = None,
+                    kind: Optional[str] = None,
+                    since: int = 0,
+                    until: Optional[int] = None,
+                    **data_filters: Any) -> List[SpanEvent]:
+        """Spans matching all given criteria (cycle window on ``begin``)."""
+        out = []
+        for sp in self._spans:
+            if source is not None and sp.source != source:
+                continue
+            if kind is not None and sp.kind != kind:
+                continue
+            if sp.begin < since:
+                continue
+            if until is not None and sp.begin >= until:
+                continue
+            if any(sp.data.get(k) != v for k, v in data_filters.items()):
+                continue
+            out.append(sp)
+        return out
+
     def kinds(self) -> Set[str]:
         return {ev.kind for ev in self._events}
 
+    def span_kinds(self) -> Set[str]:
+        return {sp.kind for sp in self._spans}
+
     def clear(self) -> None:
         self._events.clear()
+        self._spans.clear()
+        self._open.clear()
         self.dropped = 0
+        self.dropped_spans = 0
+        self.unmatched_span_ends = 0
 
     # ------------------------------------------------------------------
     def render_timeline(self, kinds: Optional[Iterable[str]] = None,
@@ -103,5 +248,8 @@ class Tracer:
                 lines.append(f"... (truncated at {limit} lines)")
                 break
         if self.dropped:
-            lines.append(f"... ({self.dropped} events dropped at capacity)")
+            side = "newest" if self.keep == "head" else "oldest"
+            lines.append(
+                f"... ({self.dropped} {side} events dropped at capacity)"
+            )
         return "\n".join(lines)

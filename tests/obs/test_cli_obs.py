@@ -1,0 +1,53 @@
+"""CLI observability subcommands: repro trace / repro profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_exposition
+
+
+class TestTraceCommand:
+    def test_writes_loadable_perfetto_json(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(["trace", "e1", "-o", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert {"traceEvents", "displayTimeUnit", "otherData"} == set(doc)
+        text = capsys.readouterr().out
+        assert "perfetto" in text
+        assert "span" in text or "event" in text
+
+    def test_prom_and_profile_options(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        rc = main(["trace", "e1", "-o", str(out), "--prom", str(prom),
+                   "--profile"])
+        assert rc == 0
+        assert validate_exposition(prom.read_text()) > 0
+        assert "profile_seconds" in prom.read_text()
+        doc = json.loads(out.read_text())
+        assert "profile" in doc["otherData"]["simulators"][0]
+
+    def test_unknown_experiment_fails(self, tmp_path, capsys):
+        rc = main(["trace", "zz", "-o", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_renders_buckets_and_kernel_metrics(self, tmp_path, capsys):
+        rc = main(["profile", "e1", "--json", str(tmp_path / "p.json"),
+                   "--prom", str(tmp_path / "p.prom")])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "bucket" in text and "share" in text
+        assert "cycles_stepped" in text
+        snap = json.loads((tmp_path / "p.json").read_text())
+        assert all("profile" in e for e in snap["simulators"])
+        assert validate_exposition((tmp_path / "p.prom").read_text()) > 0
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["profile", "zz"]) == 2

@@ -1,0 +1,134 @@
+"""Chrome trace-event / Perfetto export tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.obs import summarize_trace, to_chrome_trace, write_chrome_trace
+from repro.obs.perfetto import _jsonable
+from repro.sim import Simulator, Tracer
+
+
+def _traced_sim():
+    sim = Simulator(name="unit")
+    sim.tracer = Tracer()
+    sim.emit("src", "ping", n=1, at=(2, 3))
+    sim.run(10)
+    sim.span_event("src", "work", 2, 8, tag="t")
+    return sim
+
+
+class TestJsonable:
+    def test_tuple_dict_keys_become_strings(self):
+        assert _jsonable({(1, 2): "x"}) == {"(1, 2)": "x"}
+
+    def test_tuples_and_sets_become_lists(self):
+        assert _jsonable((1, 2)) == [1, 2]
+        assert _jsonable({3}) == [3]
+
+    def test_scalars_pass_through(self):
+        for v in ("s", 3, 1.5, True, None):
+            assert _jsonable(v) == v
+
+    def test_fallback_is_str(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert _jsonable(Odd()) == "<odd>"
+
+
+class TestToChromeTrace:
+    def test_structure(self):
+        doc = to_chrome_trace(_traced_sim())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = {ev["ph"] for ev in doc["traceEvents"]}
+        assert phases == {"M", "i", "X"}
+
+    def test_process_and_thread_metadata(self):
+        doc = to_chrome_trace(_traced_sim())
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        names = {(ev["name"], ev["args"]["name"]) for ev in meta}
+        assert ("process_name", "unit") in names
+        assert ("thread_name", "src") in names
+
+    def test_instant_and_span_events(self):
+        doc = to_chrome_trace(_traced_sim())
+        (inst,) = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+        assert inst["name"] == "ping" and inst["ts"] == 0
+        assert inst["args"] == {"n": 1, "at": [2, 3]}
+        (span,) = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert span["ts"] == 2 and span["dur"] == 6
+
+    def test_kernel_metrics_in_other_data(self):
+        doc = to_chrome_trace(_traced_sim())
+        (entry,) = doc["otherData"]["simulators"]
+        assert entry["final_cycle"] == 10
+        kernel = entry["kernel"]
+        assert kernel["cycles_stepped"] + kernel["ff_cycles_skipped"] == 10
+
+    def test_untraced_sim_still_exports(self):
+        sim = Simulator(name="bare")
+        sim.run(5)
+        doc = to_chrome_trace(sim)
+        assert doc["otherData"]["simulators"][0]["final_cycle"] == 5
+        assert all(ev["ph"] == "M" for ev in doc["traceEvents"])
+
+    def test_multi_sim_distinct_pids(self):
+        a, b = _traced_sim(), _traced_sim()
+        doc = to_chrome_trace([a, b])
+        pids = {ev["pid"] for ev in doc["traceEvents"]}
+        assert pids == {1, 2}
+
+    def test_json_serializable(self):
+        json.dumps(to_chrome_trace(_traced_sim()))
+
+
+class TestWriteChromeTrace:
+    def test_to_path(self, tmp_path):
+        out = tmp_path / "t.json"
+        write_chrome_trace(str(out), _traced_sim())
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_to_file_object(self):
+        buf = io.StringIO()
+        write_chrome_trace(buf, _traced_sim())
+        assert json.loads(buf.getvalue())["traceEvents"]
+
+
+class TestSummarizeTrace:
+    def test_spans_and_events_ranked(self):
+        text = summarize_trace(_traced_sim())
+        assert "src.work" in text
+        assert "src.ping" in text
+
+    def test_empty_tracer_message(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+        assert summarize_trace(sim) == "(no trace data recorded)"
+
+
+class TestArchitectureRoundTrip:
+    @pytest.mark.parametrize("key", ("rmboc", "buscom", "dynoc", "conochi"))
+    def test_each_arch_exports_loadable_json(self, key):
+        sim = Simulator(name=key)
+        sim.tracer = Tracer()
+        arch = build_architecture(key, sim=sim)
+        mods = list(arch.modules)
+        arch.ports[mods[0]].send(mods[1], 64)
+        arch.run_to_completion()
+        doc = json.loads(json.dumps(to_chrome_trace(sim)))
+        assert any(ev["ph"] == "i" for ev in doc["traceEvents"])
+
+    def test_rmboc_circuit_spans_exported(self):
+        sim = Simulator(name="rmboc")
+        sim.tracer = Tracer()
+        arch = build_architecture("rmboc", sim=sim)
+        arch.ports["m0"].send("m1", 64)
+        arch.run_to_completion()
+        doc = to_chrome_trace(sim)
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert {"circuit", "setup"} <= {ev["name"] for ev in spans}

@@ -1,0 +1,110 @@
+"""Prometheus exposition / JSON snapshot export tests."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.obs import (
+    sanitize_metric_name,
+    to_json_snapshot,
+    to_prometheus_text,
+    validate_exposition,
+)
+from repro.sim import Simulator
+
+
+def _measured_sim(profile=False):
+    sim = Simulator(name="unit", profile=profile)
+    sim.stats.counter("model.msgs").inc(3)
+    sim.stats.histogram("model.latency").extend([1, 2, 3, 4])
+    sim.stats.series("model.load").record(0, 0.5)
+    sim.run(10)
+    return sim
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("rmboc.channels.requested") == \
+            "rmboc_channels_requested"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives")[0] == "_"
+
+    def test_valid_name_unchanged(self):
+        assert sanitize_metric_name("kernel_sleeps") == "kernel_sleeps"
+
+
+class TestToPrometheusText:
+    def test_validates_and_has_expected_families(self):
+        text = to_prometheus_text(_measured_sim())
+        assert validate_exposition(text) > 10
+        assert "repro_model_msgs_total 3" in text
+        assert "repro_model_latency_count 4" in text
+        assert 'quantile="0.95"' in text
+        assert "repro_sim_final_cycle 10" in text
+        assert "repro_kernel_cycles_stepped" in text
+
+    def test_series_tail_with_cycle_label(self):
+        text = to_prometheus_text(_measured_sim())
+        assert 'repro_model_load_last{cycle="0"} 0.5' in text
+
+    def test_profile_only_when_enabled(self):
+        assert "profile_seconds" not in to_prometheus_text(_measured_sim())
+        sim = _measured_sim(profile=True)
+        sim.step()
+        text = to_prometheus_text(sim)
+        assert "repro_profile_seconds" in text
+        validate_exposition(text)
+
+    def test_multi_sim_label(self):
+        a, b = _measured_sim(), _measured_sim()
+        b.name = "other"
+        text = to_prometheus_text([a, b])
+        assert 'sim="unit"' in text and 'sim="other"' in text
+        validate_exposition(text)
+
+    def test_namespace_override(self):
+        text = to_prometheus_text(_measured_sim(), namespace="x")
+        assert text.startswith("# HELP x_") or text.startswith("# TYPE x_")
+
+
+class TestValidateExposition:
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError, match="not a valid sample"):
+            validate_exposition("this is } not a metric\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="unparseable value"):
+            validate_exposition("ok_name not_a_number\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no samples"):
+            validate_exposition("# HELP x y\n")
+
+    def test_accepts_special_values(self):
+        assert validate_exposition("a NaN\nb +Inf\nc{d=\"e\"} 1\n") == 3
+
+
+class TestToJsonSnapshot:
+    def test_sections(self):
+        snap = to_json_snapshot(_measured_sim())
+        (entry,) = snap["simulators"]
+        assert set(entry) >= {"name", "final_cycle", "fast_path", "stats",
+                              "kernel", "tick_counts"}
+        assert "profile" not in entry
+
+    def test_profile_section_when_enabled(self):
+        sim = _measured_sim(profile=True)
+        sim.step()
+        (entry,) = to_json_snapshot(sim)["simulators"]
+        assert "profile" in entry
+
+
+class TestArchitectureExport:
+    @pytest.mark.parametrize("key", ("rmboc", "buscom", "dynoc", "conochi"))
+    def test_each_arch_exposition_validates(self, key):
+        sim = Simulator(name=key)
+        arch = build_architecture(key, sim=sim)
+        mods = list(arch.modules)
+        arch.ports[mods[0]].send(mods[1], 64)
+        arch.run_to_completion()
+        assert validate_exposition(to_prometheus_text(sim)) > 0

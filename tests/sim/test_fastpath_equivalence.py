@@ -14,15 +14,32 @@ import pytest
 
 from repro.arch import build_architecture
 from repro.core.scenario import minimal_scenario
-from repro.sim import Simulator
+from repro.sim import Simulator, Tracer
 from repro.traffic.generators import PeriodicStream, RandomTraffic
 
 ARCHS = ("rmboc", "buscom", "dynoc", "conochi")
 
 
+def _trace_fingerprint(tracer):
+    """Comparable form of everything a tracer recorded: events and
+    spans are simulation-derived, so they must be bit-identical too."""
+    return {
+        "events": tuple((e.cycle, e.source, e.kind,
+                         repr(sorted(e.data.items())))
+                        for e in tracer.events),
+        "spans": tuple((sp.begin, sp.end, sp.source, sp.kind,
+                        repr(sorted(sp.data.items())))
+                       for sp in tracer.spans),
+        "open": repr(sorted(map(repr, tracer.open_spans()))),
+        "dropped": (tracer.dropped, tracer.dropped_spans,
+                    tracer.unmatched_span_ends),
+    }
+
+
 def _scenario_fingerprint(key, fast, **kwargs):
     sim = Simulator(name=f"{key}-{'fast' if fast else 'slow'}",
                     fast_path=fast)
+    sim.tracer = Tracer(max_events=1_000_000)
     arch = build_architecture(key, sim=sim)
     res = minimal_scenario(arch, **kwargs)
     return {
@@ -32,6 +49,7 @@ def _scenario_fingerprint(key, fast, **kwargs):
         "observed_dmax": res.observed_dmax,
         "stats": sim.stats.snapshot(),
         "final_cycle": sim.cycle,
+        "trace": _trace_fingerprint(sim.tracer),
     }
 
 

@@ -1,0 +1,209 @@
+"""Kernel self-metrics: wake reasons, fast-forward, commits, tick counts.
+
+These are scheduler *introspection* numbers (``sim.kmetrics``), kept
+deliberately outside ``StatsRegistry.snapshot()`` — the fast and slow
+paths schedule differently by design, so kernel metrics may differ
+between them while every model-visible statistic stays bit-identical.
+"""
+
+import pytest
+
+from repro.sim import SLEEP, Component, KernelMetrics, Simulator, Wire
+from repro.sim.engine import WAKE_REASONS
+
+
+class Sleeper(Component):
+    """Returns a fixed quiescence hint every tick."""
+
+    def __init__(self, name="sleeper", hint=SLEEP):
+        super().__init__(name)
+        self.hint = hint
+
+    def tick(self, sim):
+        return self.hint
+
+
+class Napper(Component):
+    """Sleeps ``period`` cycles at a time (timed wakes)."""
+
+    def __init__(self, name="napper", period=5):
+        super().__init__(name)
+        self.period = period
+
+    def tick(self, sim):
+        return sim.cycle + self.period
+
+
+class SelfWaker(Component):
+    """Requests a channel-style wake for next cycle while awake, then
+    sleeps — exercising the pending-wake clamp."""
+
+    def tick(self, sim):
+        sim.wake_at(self, sim.cycle + 1)
+        return SLEEP
+
+
+class Driver(Component):
+    """Drives a wire for the first ``n`` cycles, then sleeps."""
+
+    def __init__(self, wire, n, name="driver"):
+        super().__init__(name)
+        self.wire = wire
+        self.n = n
+
+    def tick(self, sim):
+        if self.n > 0:
+            self.n -= 1
+            self.wire.drive(sim.cycle)
+            return None
+        return SLEEP
+
+
+class TestWakeReasons:
+    def test_timed_wakes(self):
+        sim = Simulator(fast_path=True)
+        sim.add(Napper(period=5))
+        sim.run(21)
+        # sleeps at 0,5,10,15,20; wakes at 5,10,15,20
+        assert sim.kmetrics.wakes_by_reason()["timed"] == 4
+        assert sim.kmetrics.sleeps == 5
+
+    def test_explicit_wake(self):
+        sim = Simulator(fast_path=True)
+        c = sim.add(Sleeper())
+        sim.run(3)
+        assert c._asleep
+        sim.wake(c)
+        assert sim.kmetrics.wakes_by_reason()["explicit"] == 1
+        sim.wake(c)  # already awake: not double-counted
+        assert sim.kmetrics.wakes_by_reason()["explicit"] == 1
+
+    def test_channel_wake_immediate_and_scheduled(self):
+        sim = Simulator(fast_path=True)
+        c = sim.add(Sleeper())
+        sim.run(3)
+        sim.wake_at(c, sim.cycle)  # due now: immediate wake
+        assert sim.kmetrics.wakes_by_reason()["channel"] == 1
+        sim.run(2)
+        assert c._asleep
+        sim.wake_at(c, sim.cycle + 3)  # future: via the wake heap
+        sim.run(5)
+        assert sim.kmetrics.wakes_by_reason()["channel"] == 2
+
+    def test_channel_wake_via_watched_wire(self):
+        sim = Simulator(fast_path=True)
+        wire = Wire(sim, "w")
+        consumer = sim.add(Sleeper(name="consumer"))
+        wire.subscribe(consumer)
+        driver = Driver(wire, n=0, name="idle")
+        sim.add(driver)
+        sim.run(3)
+        assert consumer._asleep
+        driver.n = 1  # wake the producer side manually
+        sim.wake(driver)
+        sim.run(3)
+        assert sim.kmetrics.wakes_by_reason()["channel"] >= 1
+
+    def test_pending_wake_clamp_counted(self):
+        sim = Simulator(fast_path=True)
+        sim.add(SelfWaker("sw"))
+        sim.run(4)
+        # every tick the sleep hint is clamped by the pending wake
+        assert sim.kmetrics.wakes_by_reason()["pending"] == 4
+        assert sim.kmetrics.sleeps == 0
+
+    def test_reason_names_stable(self):
+        assert WAKE_REASONS == ("timed", "channel", "explicit", "pending")
+        m = KernelMetrics()
+        assert set(m.wakes_by_reason()) == set(WAKE_REASONS)
+
+
+class TestFastForward:
+    def test_jumps_and_skipped_cycles_accounted(self):
+        sim = Simulator(fast_path=True)
+        sim.add(Sleeper())
+        fired = []
+        sim.at(50, lambda s: fired.append(s.cycle))
+        sim.run(100)
+        assert fired == [50]
+        m = sim.kmetrics
+        assert m.ff_jumps == 2  # 1->50 and 51->100
+        assert m.ff_cycles_skipped + m.cycles_stepped == 100
+
+    def test_slow_path_never_jumps(self):
+        sim = Simulator(fast_path=False)
+        sim.add(Sleeper())
+        sim.run(100)
+        assert sim.kmetrics.ff_jumps == 0
+        assert sim.kmetrics.cycles_stepped == 100
+
+
+class TestCommitMetrics:
+    def test_dirty_commit_batches(self):
+        sim = Simulator(fast_path=True)
+        wire = Wire(sim, "w")
+        sim.add(Driver(wire, n=3))
+        sim.run(6)
+        m = sim.kmetrics
+        assert m.commit_batches == 3
+        assert m.commit_elements == 3
+        assert m.commit_max == 1
+
+    def test_slow_path_commits_not_batched(self):
+        sim = Simulator(fast_path=False)
+        wire = Wire(sim, "w")
+        sim.add(Driver(wire, n=3))
+        sim.run(6)
+        assert sim.kmetrics.commit_batches == 0
+
+
+class TestTickCounts:
+    def test_live_components_counted(self):
+        sim = Simulator(fast_path=True)
+        sim.add(Sleeper("a"))
+        sim.add(Napper("b", period=3))
+        sim.run(10)
+        counts = sim.tick_counts()
+        assert counts["a"] == 1  # slept immediately
+        assert counts["b"] > 1
+        assert sim.kmetrics.ticks_total == sum(counts.values())
+
+    def test_removed_component_ticks_retired(self):
+        sim = Simulator(fast_path=True)
+        n = Napper("n", period=2)
+        sim.add(n)
+        sim.run(5)
+        before = sim.tick_counts()["n"]
+        sim.remove(n)
+        assert sim.kmetrics.retired_ticks["n"] == before
+        assert sim.tick_counts()["n"] == before
+
+    def test_retired_ticks_merge_with_same_name(self):
+        sim = Simulator(fast_path=False)
+        a = sim.add(Sleeper("x"))
+        sim.run(2)
+        sim.remove(a)
+        sim.add(Sleeper("x"))
+        sim.run(3)
+        assert sim.tick_counts()["x"] == 2 + 3
+
+
+class TestIsolationFromSnapshot:
+    def test_kernel_metrics_not_in_stats_snapshot(self):
+        sim = Simulator(fast_path=True)
+        sim.add(Napper(period=3))
+        sim.stats.counter("model.x").inc()
+        sim.run(20)
+        snap = sim.stats.snapshot()
+        assert set(snap) == {"counters", "histograms", "series"}
+        assert all("kernel" not in name for name in snap["counters"])
+
+    def test_as_dict_keys(self):
+        m = KernelMetrics()
+        d = m.as_dict()
+        for key in ("cycles_stepped", "ticks_total", "sleeps",
+                    "wakes_total", "ff_jumps", "ff_cycles_skipped",
+                    "commit_batches", "commit_elements", "commit_max"):
+            assert key in d
+        for reason in WAKE_REASONS:
+            assert f"wakes_{reason}" in d

@@ -153,3 +153,23 @@ class TestCounterSnapshot:
         reg.counter("a").inc(2)
         snap.rebase()
         assert snap.delta() == {}
+
+    def test_new_counter_after_baseline_included(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        reg.counter("a").inc()
+        snap = CounterSnapshot(reg)
+        reg.counter("b").inc(7)
+        assert snap.delta() == {"b": 7}
+
+    def test_rebase_picks_up_new_counters(self):
+        from repro.sim.stats import CounterSnapshot
+
+        reg = StatsRegistry()
+        snap = CounterSnapshot(reg)
+        reg.counter("a").inc(2)
+        reg.counter("b").inc(3)
+        snap.rebase()
+        reg.counter("a").inc(1)
+        assert snap.delta() == {"a": 1}

@@ -58,6 +58,173 @@ class TestTracerCore:
         with pytest.raises(ValueError):
             Tracer(max_events=0)
 
+    def test_invalid_keep_raises(self):
+        with pytest.raises(ValueError):
+            Tracer(keep="middle")
+
+    def test_query_data_filter_missing_key_excludes(self):
+        t = Tracer()
+        t.record(0, "s", "k", {"cid": 1})
+        t.record(1, "s", "k", {})  # no 'cid' at all
+        assert len(t.query(cid=1)) == 1
+        assert t.query(cid=2) == []
+
+
+class TestCapacityPolicy:
+    def test_keep_head_drops_newest(self):
+        t = Tracer(max_events=3, keep="head")
+        for i in range(10):
+            t.record(i, "s", "k", {})
+        assert [ev.cycle for ev in t.events] == [0, 1, 2]
+        assert t.dropped == 7
+
+    def test_keep_tail_is_a_ring_buffer(self):
+        t = Tracer(max_events=3, keep="tail")
+        for i in range(10):
+            t.record(i, "s", "k", {})
+        assert [ev.cycle for ev in t.events] == [7, 8, 9]
+        assert t.dropped == 7
+
+    def test_span_capacity_follows_keep(self):
+        head = Tracer(max_events=2, keep="head")
+        tail = Tracer(max_events=2, keep="tail")
+        for t in (head, tail):
+            for i in range(5):
+                t.add_span(i, i + 1, "s", "k")
+            assert t.dropped_spans == 3
+        assert [sp.begin for sp in head.spans] == [0, 1]
+        assert [sp.begin for sp in tail.spans] == [3, 4]
+
+
+class TestSpans:
+    def test_begin_end_records_duration(self):
+        t = Tracer()
+        t.begin_span(10, "rmboc", "circuit", key=1, data={"src": "m0"})
+        t.end_span(45, "rmboc", "circuit", key=1, data={"status": "ok"})
+        (sp,) = t.spans
+        assert (sp.begin, sp.end, sp.duration) == (10, 45, 35)
+        assert sp.data == {"src": "m0", "status": "ok"}
+
+    def test_end_data_wins_on_clash(self):
+        t = Tracer()
+        t.begin_span(0, "s", "k", data={"v": "begin"})
+        t.end_span(1, "s", "k", data={"v": "end"})
+        assert t.spans[0].data["v"] == "end"
+
+    def test_keys_distinguish_concurrent_spans(self):
+        t = Tracer()
+        t.begin_span(0, "s", "k", key=1)
+        t.begin_span(2, "s", "k", key=2)
+        t.end_span(5, "s", "k", key=2)
+        t.end_span(9, "s", "k", key=1)
+        assert sorted((sp.begin, sp.end) for sp in t.spans) == \
+            [(0, 9), (2, 5)]
+
+    def test_unmatched_end_counted_not_recorded(self):
+        t = Tracer()
+        t.end_span(3, "s", "k")
+        assert t.spans == []
+        assert t.unmatched_span_ends == 1
+
+    def test_rebegin_restarts(self):
+        t = Tracer()
+        t.begin_span(0, "s", "k")
+        t.begin_span(5, "s", "k")
+        t.end_span(7, "s", "k")
+        assert [(sp.begin, sp.end) for sp in t.spans] == [(5, 7)]
+
+    def test_open_spans_visible(self):
+        t = Tracer()
+        t.begin_span(4, "s", "k", key="x")
+        assert t.open_spans() == [("s", "k", "x", 4)]
+        t.clear()
+        assert t.open_spans() == []
+
+    def test_query_spans_filters(self):
+        t = Tracer()
+        t.add_span(0, 10, "a", "x", {"cid": 1})
+        t.add_span(5, 6, "a", "y", {"cid": 2})
+        t.add_span(20, 30, "b", "x", {})
+        assert len(t.query_spans(source="a")) == 2
+        assert len(t.query_spans(kind="x")) == 2
+        assert len(t.query_spans(since=5, until=20)) == 1
+        assert len(t.query_spans(cid=1)) == 1
+        assert t.query_spans(cid=3) == []
+        assert t.span_kinds() == {"x", "y"}
+
+
+class TestSimSpanAPI:
+    def test_span_context_manager(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+        with sim.span("test", "work", tag="t"):
+            sim.run(25)
+        (sp,) = sim.tracer.spans
+        assert (sp.begin, sp.end) == (0, 25)
+        assert sp.data == {"tag": "t"}
+
+    def test_span_begin_end_methods(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+        sim.span_begin("test", "phase", key=7, a=1)
+        sim.run(3)
+        sim.span_end("test", "phase", key=7, b=2)
+        (sp,) = sim.tracer.spans
+        assert (sp.begin, sp.end) == (0, 3)
+        assert sp.data == {"a": 1, "b": 2}
+
+    def test_span_event_known_duration(self):
+        sim = Simulator()
+        sim.tracer = Tracer()
+        sim.span_event("test", "frame", 10, 20, slot=3)
+        assert sim.tracer.spans[0].duration == 10
+
+    def test_span_apis_noop_without_tracer(self):
+        sim = Simulator()
+        sim.span_begin("test", "x")
+        sim.span_end("test", "x")
+        sim.span_event("test", "x", 0, 1)
+        with sim.span("test", "x"):
+            pass
+        assert sim.tracer is None and not sim.tracing
+
+    def test_tracing_flag_tracks_tracer(self):
+        sim = Simulator()
+        assert sim.tracing is False
+        sim.tracer = Tracer()
+        assert sim.tracing is True
+        sim.tracer = None
+        assert sim.tracing is False
+
+
+class TestRenderTimeline:
+    def test_truncates_at_limit(self):
+        t = Tracer()
+        for i in range(10):
+            t.record(i, "s", "k", {})
+        text = t.render_timeline(limit=4)
+        assert "... (truncated at 4 lines)" in text
+        assert text.count("s.k") == 4
+
+    def test_dropped_footer_head(self):
+        t = Tracer(max_events=2, keep="head")
+        for i in range(5):
+            t.record(i, "s", "k", {})
+        assert "(3 newest events dropped at capacity)" in t.render_timeline()
+
+    def test_dropped_footer_tail(self):
+        t = Tracer(max_events=2, keep="tail")
+        for i in range(5):
+            t.record(i, "s", "k", {})
+        assert "(3 oldest events dropped at capacity)" in t.render_timeline()
+
+    def test_kinds_filter(self):
+        t = Tracer()
+        t.record(0, "s", "a", {})
+        t.record(1, "s", "b", {})
+        text = t.render_timeline(kinds={"a"})
+        assert "s.a" in text and "s.b" not in text
+
 
 class TestArchitectureInstrumentation:
     def test_rmboc_channel_lifecycle_events(self):
