@@ -65,6 +65,43 @@ def test_perf_idle_heavy_slowpath(benchmark):
     assert benchmark(_run_idle_heavy, False) == 20_000
 
 
+def _run_idle_heavy_telemetry(fast_path):
+    """The idle-heavy workload with telemetry collectors attached.
+
+    No instrumentation site fires here (plain components, no fabric),
+    so any delta against ``_run_idle_heavy`` is pure attachment
+    overhead leaking into the kernel loop — which must not happen."""
+    from repro.obs import FlowTelemetry
+
+    sim = Simulator(fast_path=fast_path)
+    FlowTelemetry().attach(sim)
+    comps = [sim.add(_MostlyIdle(i)) for i in range(64)]
+    sim.run(20_000)
+    assert all(c.count >= 20_000 // c.period for c in comps)
+    return sim.cycle
+
+
+def test_perf_idle_heavy_telemetry_attached(benchmark):
+    """Tracked alongside idle_heavy_fastpath: the two must coincide."""
+    assert benchmark(_run_idle_heavy_telemetry, True) == 20_000
+
+
+def test_telemetry_off_overhead_within_noise():
+    """Guard: attaching telemetry must not perturb the idle-heavy fast
+    path (its hot loop never consults the collector).  Paired min-of-5
+    timing with a generous noise margin keeps this CI-stable."""
+    import timeit
+
+    plain = min(timeit.repeat(lambda: _run_idle_heavy(True),
+                              number=1, repeat=5))
+    attached = min(timeit.repeat(lambda: _run_idle_heavy_telemetry(True),
+                                 number=1, repeat=5))
+    assert attached <= plain * 1.5 + 0.01, (
+        f"telemetry attachment slowed the idle-heavy fast path: "
+        f"{attached:.4f}s vs {plain:.4f}s"
+    )
+
+
 def test_perf_fifo_throughput(benchmark):
     def run():
         sim = Simulator()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fabric congestion monitoring demo: a DyNoC detour storm.
+
+A 9x7 DyNoC carries a steady stream between two fixed endpoints. At
+runtime a 3x5 module is placed squarely across the path, so S-XY must
+detour every packet around it — the detour-rate SLO rule (`detour-storm`
+in `default_rules()`) sees the counter burn and fires. The printout
+shows the telemetry the alert was computed from and the fired-alert
+timeline, exactly what `repro watch` renders live.
+
+Run:  python examples/congestion_monitor.py
+"""
+
+from repro import build_architecture
+from repro.fabric.geometry import Rect
+from repro.obs import AlertEngine, FlowTelemetry, default_rules
+from repro.traffic.generators import PeriodicStream
+
+
+def main() -> None:
+    arch = build_architecture("dynoc", num_modules=0, mesh=(9, 7))
+    sim = arch.sim
+    tel = FlowTelemetry().attach(sim)
+    # lower the storm threshold a touch so a short demo run trips it
+    tel.engine = AlertEngine(rules=default_rules(detours=12))
+
+    arch.attach("src", rect=Rect(0, 3, 1, 1))
+    arch.attach("dst", rect=Rect(8, 3, 1, 1))
+    stream = PeriodicStream("stream", arch.ports["src"], "dst",
+                            period=40, payload_bytes=64, stop=8_000)
+    sim.add(stream)
+
+    print("phase 0: clear mesh — direct X-Y route")
+    sim.run(4_000)
+    tel.evaluate_now(sim.cycle)
+    print(f"  detours so far: {tel.counters.get('dynoc.detour', 0)}, "
+          f"alerts: {len(tel.engine.alerts)}")
+
+    print("\nphase 1: a 3x5 module lands across the route")
+    arch.attach("wall", rect=Rect(4, 1, 3, 5))
+    sim.run(4_000)
+    sim.run_until(lambda s: stream.all_delivered() and arch.idle(),
+                  max_cycles=100_000)
+    tel.evaluate_now(sim.cycle)
+
+    print(f"  detours total: {tel.counters.get('dynoc.detour', 0)}")
+    for (src, dst), flow in sorted(tel.flows.items()):
+        lat = flow.latency
+        print(f"  flow {src}->{dst}: {flow.messages} msgs, "
+              f"p50 {lat.percentile(50):.0f}, p99 {lat.percentile(99):.0f}, "
+              f"max {lat.max:.0f} cycles")
+
+    print("\nfired alerts:")
+    for alert in tel.engine.alerts:
+        print(f"  ! cycle {alert.cycle:>6}  [{alert.severity}] "
+              f"{alert.rule}: {alert.message}")
+
+    fired = {a.rule for a in tel.engine.alerts}
+    assert "detour-storm" in fired, "expected the detour storm to fire"
+    assert stream.all_delivered()
+    print("\nthe storm was detected while every frame still arrived.")
+
+
+if __name__ == "__main__":
+    main()

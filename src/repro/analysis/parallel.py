@@ -134,10 +134,14 @@ def _execute(job: Job) -> Any:
     return jobs[job.name](**job.kwargs)
 
 
-def _note(progress: bool, msg: str) -> None:
-    """Per-run progress/heartbeat line (stderr, so piped stdout stays
-    machine-readable).  No-op unless ``progress`` is on."""
-    if progress:
+def _note(progress: Any, msg: str) -> None:
+    """Per-run progress/heartbeat line.  ``progress`` is either a bool
+    (True prints to stderr, so piped stdout stays machine-readable) or
+    a callable receiving each message — which is how ``repro watch``
+    hooks run/done events out of the runner."""
+    if callable(progress):
+        progress(msg)
+    elif progress:
         print(msg, file=sys.stderr, flush=True)
 
 
@@ -146,7 +150,7 @@ def run_jobs(
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
-    progress: bool = False,
+    progress: Any = False,
 ) -> List[Any]:
     """Run every job, in parallel where possible; results in job order.
 
@@ -154,7 +158,8 @@ def run_jobs(
     ``max_workers=0`` runs serially in-process.  Cached results are
     returned without running anything.  ``progress=True`` prints a
     one-line heartbeat to stderr as each run starts/finishes (off by
-    default so library callers stay silent).
+    default so library callers stay silent); a callable receives each
+    heartbeat message instead of printing it.
     """
     cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
     total = len(jobs)
@@ -204,7 +209,7 @@ def run_named(
     max_workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
-    progress: bool = False,
+    progress: Any = False,
 ) -> Dict[str, Any]:
     """Convenience wrapper: run registered harnesses by name with their
     default configuration; returns ``{name: result}`` in input order."""
@@ -230,7 +235,7 @@ def run_sweep_parallel(
     grid: "Any",
     max_workers: Optional[int] = None,
     max_cycles: int = 1_000_000,
-    progress: bool = False,
+    progress: Any = False,
 ) -> List[Any]:
     """Like :func:`repro.analysis.sweeps.run_sweep` but with each grid
     point simulated in its own process.  Points are independent

@@ -174,7 +174,13 @@ class CommArchitecture:
         self.log = MessageLog()
         self.ports: Dict[str, ArchPort] = {}
         self._mid_seq = itertools.count()
-        self._parallelism_hist = sim.stats.histogram("parallelism.concurrent")
+        # one sample per active cycle: the biggest sample store in long
+        # traffic runs, and only ever read via max/mean/count — so the
+        # bounded bucketed mode loses nothing (exact min/max/mean) while
+        # keeping memory O(1) in run length
+        self._parallelism_hist = sim.stats.histogram(
+            "parallelism.concurrent", mode="bucketed"
+        )
 
     @property
     def sim(self) -> Simulator:
@@ -216,13 +222,19 @@ class CommArchitecture:
 
     # -- delivery helper ---------------------------------------------------
     def _deliver(self, msg: Message) -> None:
-        msg.delivered_cycle = self.sim.cycle
+        sim = self.sim
+        msg.delivered_cycle = sim.cycle
         port = self.ports.get(msg.dst)
         if port is not None:
             port.received.append(msg)
-        self.sim.stats.counter("delivered.messages").inc()
-        self.sim.stats.counter("delivered.bytes").inc(msg.payload_bytes)
-        self.sim.stats.histogram("latency.message").add(msg.latency)
+        sim.stats.counter("delivered.messages").inc()
+        sim.stats.counter("delivered.bytes").inc(msg.payload_bytes)
+        sim.stats.histogram("latency.message").add(msg.latency)
+        # every architecture delivers through here, so one guarded site
+        # gives per-flow latency/jitter telemetry across all six fabrics
+        if sim.telemetering:
+            sim.telemetry.record_flow(sim.cycle, msg.src, msg.dst,
+                                      msg.latency, msg.payload_bytes)
 
     def _note_parallelism(self, concurrent_transfers: int) -> None:
         """Record the number of independent transfers active this cycle."""

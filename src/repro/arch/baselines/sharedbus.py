@@ -113,6 +113,14 @@ class SharedBus(CommArchitecture, Component):
 
     def tick(self, sim: Simulator):
         now = sim.cycle
+        if sim.telemetering:
+            tel = sim.telemetry
+            if self._current is not None:
+                tel.link_busy(now, "sharedbus.bus")
+            tel.queue_depth(
+                now, "sharedbus.arbiter",
+                sum(len(q) for q in self._queues.values()),
+            )
         if self._current is not None:
             self._note_parallelism(1)
             if now >= self._done_at:
@@ -138,6 +146,10 @@ class SharedBus(CommArchitecture, Component):
                 self._current = msg
                 self._done_at = now + duration - 1
                 self.sim.stats.counter("sharedbus.grants").inc()
+                if sim.telemetering:
+                    sim.telemetry.backpressure(
+                        now, "sharedbus.bus", now - msg.created_cycle
+                    )
                 return None
         if any(self._queues.values()):
             return None  # queued traffic waiting on a detached destination

@@ -183,6 +183,11 @@ class BusCom(CommArchitecture, Component):
         if self._last_ticked < now - 1:
             self._account_idle(now - 1)
         self._last_ticked = now
+        if sim.telemetering:
+            tel = sim.telemetry
+            for module, q in self._queues.items():
+                tel.queue_depth(now, f"buscom.ni.{module}",
+                                len(q) + len(self._bulk[module]))
         active = 0
         for bus in self._buses:
             bus.total_cycles += 1
@@ -288,6 +293,10 @@ class BusCom(CommArchitecture, Component):
             )
             cap = min(self.cfg.max_dynamic_payload, budget_payload_bytes)
             if granted is None or cap < 1:
+                if (granted is not None and self.sim.telemetering):
+                    # TDMA slot overrun: a sender held a grant but the
+                    # dynamic-segment budget could not fit even one byte
+                    self.sim.telemetry.count(now, "buscom.slot_overrun")
                 bus.slot_remaining = self.cfg.empty_dynamic_slot_cycles
                 bus.dyn_budget = max(
                     0, bus.dyn_budget - bus.slot_remaining
@@ -312,6 +321,12 @@ class BusCom(CommArchitecture, Component):
             - 1
         )
         bus.frames_sent += 1
+        if self.sim.telemetering:
+            # the frame occupies this bus from launch to its last word
+            self.sim.telemetry.link_busy(
+                now, f"buscom.bus{bus.index}",
+                bus.frame_done_at - now + 1,
+            )
         self.sim.stats.counter("buscom.frames").inc()
         self.sim.stats.counter("buscom.frame_words").inc(
             self.cfg.header_words + self.cfg.payload_words(frag.bytes_left)

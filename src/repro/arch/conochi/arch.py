@@ -333,6 +333,10 @@ class CoNoChi(CommArchitecture, Component):
         self._note_parallelism(
             len({m for s, e, m in self._transmissions if s <= now < e})
         )
+        if sim.telemetering:
+            # packets awaiting switch routing = the fabric's input queue
+            sim.telemetry.queue_depth(now, "conochi.fabric",
+                                      len(self._arrivals))
         due_deliveries = [d for d in self._deliveries if d[0] <= now]
         for item in due_deliveries:
             self._deliveries.remove(item)
@@ -368,6 +372,11 @@ class CoNoChi(CommArchitecture, Component):
         start = max(earliest, self._port_free.get(key, 0))
         # contention observability: cycles spent waiting for the port
         self.sim.stats.histogram("conochi.port_wait").add(start - earliest)
+        if self.sim.telemetering:
+            tel = self.sim.telemetry
+            name = f"conochi.port.{key[0]}->{key[1]}"
+            tel.link_busy(now, name, words)
+            tel.backpressure(now, name, start - earliest)
         self._port_free[key] = start + words
         if key[1] != "local":
             # inter-switch links only (see DyNoC._reserve_port)

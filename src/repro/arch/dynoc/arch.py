@@ -264,6 +264,10 @@ class DyNoC(CommArchitecture, Component):
     def tick(self, sim: Simulator):
         now = sim.cycle
         self._tick_parallelism(now)
+        if sim.telemetering:
+            # headers awaiting routing = the fabric's input queue
+            sim.telemetry.queue_depth(now, "dynoc.fabric",
+                                      len(self._arrivals))
         due_deliveries = [d for d in self._deliveries if d[0] <= now]
         for item in due_deliveries:
             self._deliveries.remove(item)
@@ -301,6 +305,15 @@ class DyNoC(CommArchitecture, Component):
         start = max(earliest, self._port_free.get(key, 0))
         # contention observability: cycles spent waiting for the port
         self.sim.stats.histogram("dynoc.port_wait").add(start - earliest)
+        if self.sim.telemetering:
+            tel = self.sim.telemetry
+            if target == "local":
+                name = f"dynoc.ej.{router[0]},{router[1]}"
+            else:
+                name = (f"dynoc.link.{router[0]},{router[1]}->"
+                        f"{target[0]},{target[1]}")
+            tel.link_busy(now, name, words)
+            tel.backpressure(now, name, start - earliest)
         self._port_free[key] = start + words
         if target != "local":
             # the parallelism probe counts inter-router links only — the
@@ -320,13 +333,18 @@ class DyNoC(CommArchitecture, Component):
             return
         nxt, state = sxy_next(at, pkt.dst_access, pkt.state,
                               self.is_active, self._extent)
-        if self.sim.tracing and state.mode is not pkt.state.mode:
+        if ((self.sim.tracing or self.sim.telemetering)
+                and state.mode is not pkt.state.mode):
             # S-XY mode change: a surround detour starts or ends here
             if pkt.state.mode is NORMAL.mode:
-                self.sim.span_begin("dynoc", "detour", key=pkt.msg.mid,
-                                    mid=pkt.msg.mid, entered_at=at,
-                                    mode=state.mode.value)
-            elif state.mode is NORMAL.mode:
+                if self.sim.tracing:
+                    self.sim.span_begin("dynoc", "detour", key=pkt.msg.mid,
+                                        mid=pkt.msg.mid, entered_at=at,
+                                        mode=state.mode.value)
+                if self.sim.telemetering:
+                    # detour-storm observability: entries per window
+                    self.sim.telemetry.count(now, "dynoc.detour")
+            elif state.mode is NORMAL.mode and self.sim.tracing:
                 self.sim.span_end("dynoc", "detour", key=pkt.msg.mid,
                                   left_at=at, delivered=False)
         pkt.state = state

@@ -211,6 +211,12 @@ class RMBoC(CommArchitecture, Component):
             stats = self.sim.stats
             stats.counter("rmboc.word_segments").inc(words * dist)
             stats.counter("rmboc.word_crosspoints").inc(words * (dist + 1))
+            if self.sim.telemetering:
+                # lane occupancy: the transfer held each reserved
+                # (segment, bus) lane for its full word count
+                tel = self.sim.telemetry
+                for seg, bus in tr.channel.lanes.items():
+                    tel.link_busy(now, f"rmboc.lane.s{seg}b{bus}", words)
             self._deliver(tr.msg)
             self._idle_since[tr.channel.cid] = now
 
@@ -261,6 +267,13 @@ class RMBoC(CommArchitecture, Component):
         bus = self._free_lane(seg)
         if bus is None:
             stats.counter("rmboc.cancel.blocked").inc()
+            if self.sim.telemetering:
+                # all lanes of this segment taken: the sender backs off
+                # for at least the retry interval before trying again
+                tel = self.sim.telemetry
+                tel.count(now, "rmboc.blocked")
+                tel.backpressure(now, f"rmboc.seg{seg}",
+                                 self.cfg.retry_backoff)
             self._start_cancel(ch, xp, now)
             return
         self._reserve(ch, seg, bus)
@@ -383,6 +396,9 @@ class RMBoC(CommArchitecture, Component):
 
     def _ni_for(self, module: str, now: int) -> None:
         queue = self._queues[module]
+        if self.sim.telemetering and queue:
+            self.sim.telemetry.queue_depth(now, f"rmboc.ni.{module}",
+                                           len(queue))
         if not queue:
             return
         xp = self._module_xp[module]

@@ -172,6 +172,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import watch_experiment
+
+    try:
+        _, doc = watch_experiment(
+            args.which,
+            interval=args.interval,
+            once=args.once,
+            json_out=args.json,
+            max_rows=args.rows,
+            clear=not args.no_clear,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if not doc["simulators"]:
+        print(f"experiment {args.which!r} built no simulators",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.arch import build_architecture
     from repro.core.scenario import minimal_scenario
@@ -334,6 +356,24 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10,
                    help="rows in the terminal summary")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("watch",
+                       help="run an experiment with fabric telemetry and "
+                            "a live flow/link/alert dashboard")
+    p.add_argument("which", help="experiment/ablation name (e1..e12, a1..a7)")
+    p.add_argument("--once", action="store_true",
+                   help="run to completion and emit one final snapshot "
+                        "(CI mode)")
+    p.add_argument("--json", action="store_true",
+                   help="emit snapshot documents instead of the rendered "
+                        "dashboard")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                   help="refresh period for the live dashboard")
+    p.add_argument("--rows", type=int, default=8,
+                   help="rows per dashboard table")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append refreshes instead of clearing the screen")
+    p.set_defaults(func=_cmd_watch)
 
     p = sub.add_parser("scenario", help="run the minimal scenario")
     p.add_argument("-a", "--arch", default="conochi",

@@ -13,7 +13,13 @@ capture harness:
 * :mod:`repro.obs.session` — :class:`ObservationSession`, which hooks
   simulator construction so whole experiment harnesses can be traced
   or profiled without plumbing (the ``repro trace`` / ``repro
-  profile`` CLI).
+  profile`` CLI);
+* :mod:`repro.obs.flows` — per-flow/per-link fabric telemetry with
+  bounded memory (:class:`FlowTelemetry`);
+* :mod:`repro.obs.alerts` — declarative SLO rules over telemetry
+  (:class:`AlertEngine`), emitted into traces and Prometheus;
+* :mod:`repro.obs.watch` — the live ``repro watch`` dashboard and its
+  CI snapshot schema.
 
 Everything the exporters emit except profiler wall time is
 simulation-derived and deterministic; see ``docs/observability.md``.
@@ -21,9 +27,16 @@ simulation-derived and deterministic; see ``docs/observability.md``.
 
 from repro.sim.engine import WAKE_REASONS, KernelMetrics
 from repro.sim.stats import Counter, CounterSnapshot, Histogram, \
-    StatsRegistry, TimeSeries
+    StatsRegistry, StreamingHistogram, TimeSeries
 from repro.sim.trace import SpanEvent, TraceEvent, Tracer
 
+from repro.obs.alerts import Alert, AlertEngine, AlertRule, default_rules
+from repro.obs.flows import (
+    FlowStats,
+    FlowTelemetry,
+    LinkStats,
+    merge_snapshots,
+)
 from repro.obs.perfetto import (
     summarize_trace,
     to_chrome_trace,
@@ -37,26 +50,47 @@ from repro.obs.prom import (
     validate_exposition,
 )
 from repro.obs.session import ObservationSession, observe_named
+from repro.obs.watch import (
+    SNAPSHOT_SCHEMA,
+    collect_snapshot,
+    render_dashboard,
+    validate_snapshot,
+    watch_experiment,
+)
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "CounterSnapshot",
+    "FlowStats",
+    "FlowTelemetry",
     "Histogram",
     "KernelMetrics",
+    "LinkStats",
     "ObservationSession",
     "Profiler",
+    "SNAPSHOT_SCHEMA",
     "SpanEvent",
     "StatsRegistry",
+    "StreamingHistogram",
     "TimeSeries",
     "TraceEvent",
     "Tracer",
     "WAKE_REASONS",
+    "collect_snapshot",
+    "default_rules",
+    "merge_snapshots",
     "observe_named",
+    "render_dashboard",
     "sanitize_metric_name",
     "summarize_trace",
     "to_chrome_trace",
     "to_json_snapshot",
     "to_prometheus_text",
     "validate_exposition",
+    "validate_snapshot",
+    "watch_experiment",
     "write_chrome_trace",
 ]

@@ -1,0 +1,340 @@
+"""Declarative SLO rules over fabric telemetry.
+
+An :class:`AlertRule` names a metric selector over a
+:class:`~repro.obs.flows.FlowTelemetry` snapshot and one of three
+evaluation kinds:
+
+``threshold``
+    Fire when the metric first exceeds ``threshold`` (edge-triggered:
+    one alert per excursion above the threshold).
+``sustained``
+    Fire when the metric stays above ``threshold`` for at least
+    ``for_cycles`` consecutive evaluation cycles (one alert per
+    sustained episode).
+``burn_rate``
+    For ``counter:<name>`` metrics: fire when the counter grew by more
+    than ``threshold`` within the trailing ``window`` cycles (one
+    alert per storm).
+
+Metric selectors:
+
+=====================  ==================================================
+``flow_p99_latency``   max over flows of latency p99 (cycles)
+``flow_p50_latency``   max over flows of latency p50 (cycles)
+``flow_jitter_p99``    max over flows of jitter p99 (cycles)
+``link_utilization``   max over links of recent-window utilization [0,1]
+``queue_depth``        max over links of the queue-depth watermark
+``backpressure_p99``   max over links of sender-wait p99 (cycles)
+``quiesce_max``        longest reconfiguration quiesce seen (cycles)
+``counter:<name>``     a telemetry counter's running total
+=====================  ==================================================
+
+Rules are evaluated lazily from the telemetry record paths (see
+:meth:`FlowTelemetry._maybe_eval`), so a quiescent fabric costs
+nothing and the kernel's fast-forward is preserved.  Fired alerts are
+kept on the engine, emitted as span events (source ``"alerts"``) into
+an attached tracer — so they land on the Perfetto timeline — and
+exported as ``repro_alert_*`` series by :mod:`repro.obs.prom`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+KINDS = ("threshold", "sustained", "burn_rate")
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO rule (see module docstring for semantics)."""
+
+    name: str
+    metric: str
+    threshold: float
+    kind: str = "threshold"
+    #: sustained: how long the breach must hold before firing
+    for_cycles: int = 0
+    #: burn_rate: trailing window the counter delta is measured over
+    window: int = 1024
+    severity: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {KINDS})"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {self.name!r}: unknown severity {self.severity!r}"
+            )
+        if self.kind == "sustained" and self.for_cycles <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: sustained rules need for_cycles > 0"
+            )
+        if self.kind == "burn_rate":
+            if not self.metric.startswith("counter:"):
+                raise ValueError(
+                    f"rule {self.name!r}: burn_rate rules need a "
+                    f"'counter:<name>' metric, got {self.metric!r}"
+                )
+            if self.window <= 0:
+                raise ValueError(
+                    f"rule {self.name!r}: burn_rate rules need window > 0"
+                )
+
+
+@dataclass
+class Alert:
+    """One fired rule instance."""
+
+    rule: str
+    metric: str
+    cycle: int
+    value: float
+    threshold: float
+    severity: str
+    kind: str
+    #: cycle the breach began (== cycle for plain threshold rules)
+    since: int = -1
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "cycle": self.cycle,
+            "since": self.since,
+            "value": self.value,
+            "threshold": self.threshold,
+            "severity": self.severity,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+def default_rules(
+    flow_p99_cycles: float = 2_000,
+    flow_p99_for: int = 2_048,
+    link_utilization: float = 0.95,
+    link_utilization_for: int = 2_048,
+    slot_overruns: float = 8,
+    detours: float = 16,
+    storm_window: int = 1_024,
+    quiesce_budget_cycles: float = 10_000,
+) -> List[AlertRule]:
+    """The canonical rule set the watch dashboard ships with.
+
+    Covers the five phenomena the ISSUE calls out: flow-latency SLO
+    breaches, link saturation, TDMA slot overruns (BUS-COM), DyNoC
+    detour storms, and reconfiguration quiesce overruns.
+    """
+    return [
+        AlertRule("flow-latency-p99", "flow_p99_latency",
+                  flow_p99_cycles, kind="sustained",
+                  for_cycles=flow_p99_for, severity="critical",
+                  description="p99 flow latency above SLO, sustained"),
+        AlertRule("link-saturation", "link_utilization",
+                  link_utilization, kind="sustained",
+                  for_cycles=link_utilization_for,
+                  description="link utilization above 95%, sustained"),
+        AlertRule("tdma-slot-overrun", "counter:buscom.slot_overrun",
+                  slot_overruns, kind="burn_rate", window=storm_window,
+                  description="BUS-COM dynamic slots starved while "
+                              "traffic queued"),
+        AlertRule("detour-storm", "counter:dynoc.detour",
+                  detours, kind="burn_rate", window=storm_window,
+                  description="DyNoC routers entering detour mode "
+                              "faster than the obstacle churn explains"),
+        AlertRule("quiesce-budget", "quiesce_max",
+                  quiesce_budget_cycles, severity="critical",
+                  description="a reconfiguration quiesce exceeded its "
+                              "cycle budget"),
+    ]
+
+
+class AlertEngine:
+    """Evaluates :class:`AlertRule`\\ s against telemetry snapshots."""
+
+    def __init__(self, rules: Optional[Iterable[AlertRule]] = None,
+                 max_alerts: int = 1_000):
+        self.rules: List[AlertRule] = list(
+            default_rules() if rules is None else rules
+        )
+        seen = set()
+        for rule in self.rules:
+            if rule.name in seen:
+                raise ValueError(f"duplicate rule name {rule.name!r}")
+            seen.add(rule.name)
+        self.max_alerts = max_alerts
+        self.alerts: List[Alert] = []
+        self.dropped = 0
+        self.evaluations = 0
+        #: rule name -> cycle the current breach episode began
+        self._breach_since: Dict[str, int] = {}
+        #: rule names that already fired during the current episode
+        self._fired_episode: set = set()
+        #: rule name -> (cycle, counter value) ring for burn rates
+        self._rate_state: Dict[str, Deque[Tuple[int, float]]] = {}
+        self.fired_counts: Dict[str, int] = {}
+        self.last_fired: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _metric_value(self, rule: AlertRule, tel,
+                      now: int) -> Optional[float]:
+        metric = rule.metric
+        if metric.startswith("counter:"):
+            return float(tel.counters.get(metric[len("counter:"):], 0))
+        if metric == "flow_p99_latency":
+            vals = [f.latency.percentile(99) for f in tel.flows.values()
+                    if f.latency.count]
+            return max(vals) if vals else None
+        if metric == "flow_p50_latency":
+            vals = [f.latency.percentile(50) for f in tel.flows.values()
+                    if f.latency.count]
+            return max(vals) if vals else None
+        if metric == "flow_jitter_p99":
+            vals = [f.jitter.percentile(99) for f in tel.flows.values()
+                    if f.jitter.count]
+            return max(vals) if vals else None
+        if metric == "link_utilization":
+            vals = [ls.utilization(now) for ls in tel.links.values()]
+            return max(vals) if vals else None
+        if metric == "queue_depth":
+            vals = [ls.queue_watermark for ls in tel.links.values()]
+            return float(max(vals)) if vals else None
+        if metric == "backpressure_p99":
+            vals = [ls.wait.percentile(99) for ls in tel.links.values()
+                    if ls.wait.count]
+            return max(vals) if vals else None
+        if metric == "quiesce_max":
+            return tel.quiesce.max if tel.quiesce.count else None
+        raise ValueError(f"rule {rule.name!r}: unknown metric {metric!r}")
+
+    # ------------------------------------------------------------------
+    def evaluate(self, tel, now: int) -> List[Alert]:
+        """Evaluate every rule; returns alerts fired by this call."""
+        self.evaluations += 1
+        fired: List[Alert] = []
+        for rule in self.rules:
+            value = self._metric_value(rule, tel, now)
+            if value is None:
+                continue
+            if rule.kind == "burn_rate":
+                alert = self._eval_burn_rate(rule, value, now)
+            elif rule.kind == "sustained":
+                alert = self._eval_sustained(rule, value, now)
+            else:
+                alert = self._eval_threshold(rule, value, now)
+            if alert is not None:
+                fired.append(alert)
+                self._record(alert, tel)
+        return fired
+
+    def _eval_threshold(self, rule: AlertRule, value: float,
+                        now: int) -> Optional[Alert]:
+        if value <= rule.threshold:
+            self._breach_since.pop(rule.name, None)
+            self._fired_episode.discard(rule.name)
+            return None
+        since = self._breach_since.setdefault(rule.name, now)
+        if rule.name in self._fired_episode:
+            return None
+        self._fired_episode.add(rule.name)
+        return self._alert(rule, value, now, since)
+
+    def _eval_sustained(self, rule: AlertRule, value: float,
+                        now: int) -> Optional[Alert]:
+        if value <= rule.threshold:
+            self._breach_since.pop(rule.name, None)
+            self._fired_episode.discard(rule.name)
+            return None
+        since = self._breach_since.setdefault(rule.name, now)
+        if now - since < rule.for_cycles:
+            return None
+        if rule.name in self._fired_episode:
+            return None
+        self._fired_episode.add(rule.name)
+        return self._alert(rule, value, now, since)
+
+    def _eval_burn_rate(self, rule: AlertRule, total: float,
+                        now: int) -> Optional[Alert]:
+        ring = self._rate_state.get(rule.name)
+        if ring is None:
+            ring = self._rate_state[rule.name] = deque()
+        ring.append((now, total))
+        horizon = now - rule.window
+        while len(ring) > 1 and ring[1][0] <= horizon:
+            ring.popleft()
+        base_cycle, base_value = ring[0]
+        delta = total - base_value
+        if delta <= rule.threshold:
+            self._breach_since.pop(rule.name, None)
+            self._fired_episode.discard(rule.name)
+            return None
+        since = self._breach_since.setdefault(rule.name, base_cycle)
+        if rule.name in self._fired_episode:
+            return None
+        self._fired_episode.add(rule.name)
+        return self._alert(rule, delta, now, since)
+
+    # ------------------------------------------------------------------
+    def _alert(self, rule: AlertRule, value: float, now: int,
+               since: int) -> Alert:
+        what = (f"{rule.metric} grew {value:g} in {rule.window} cycles"
+                if rule.kind == "burn_rate"
+                else f"{rule.metric} = {value:g}")
+        msg = (f"{what} > {rule.threshold:g}"
+               + (f" since cycle {since}" if since != now else ""))
+        return Alert(rule=rule.name, metric=rule.metric, cycle=now,
+                     value=float(value), threshold=rule.threshold,
+                     severity=rule.severity, kind=rule.kind,
+                     since=since, message=msg)
+
+    def _record(self, alert: Alert, tel) -> None:
+        if len(self.alerts) >= self.max_alerts:
+            self.dropped += 1
+        else:
+            self.alerts.append(alert)
+        self.fired_counts[alert.rule] = (
+            self.fired_counts.get(alert.rule, 0) + 1
+        )
+        self.last_fired[alert.rule] = alert.cycle
+        sim = getattr(tel, "sim", None)
+        if sim is not None and sim.tracer is not None:
+            sim.span_event(
+                "alerts", alert.rule,
+                begin=alert.since if alert.since >= 0 else alert.cycle,
+                end=alert.cycle, value=alert.value,
+                threshold=alert.threshold, severity=alert.severity,
+                metric=alert.metric,
+            )
+
+    # ------------------------------------------------------------------
+    def active(self, now: int) -> List[str]:
+        """Rules currently in a fired, un-cleared breach episode."""
+        return sorted(self._fired_episode)
+
+    def snapshot(self, now: int) -> Dict[str, Any]:
+        return {
+            "rules": [
+                {"name": r.name, "metric": r.metric, "kind": r.kind,
+                 "threshold": r.threshold, "severity": r.severity,
+                 "fired": self.fired_counts.get(r.name, 0),
+                 "last_fired": self.last_fired.get(r.name, -1),
+                 "active": r.name in self._fired_episode}
+                for r in self.rules
+            ],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "dropped": self.dropped,
+            "evaluations": self.evaluations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"AlertEngine(rules={len(self.rules)}, "
+                f"fired={len(self.alerts)})")

@@ -103,6 +103,10 @@ def to_chrome_trace(
             meta["open_spans"] = _jsonable(tracer.open_spans())
         if sim.profiler is not None:
             meta["profile"] = sim.profiler.as_dict()
+        if sim.telemetry is not None:
+            # flow/link/alert snapshot rides along with the timeline;
+            # fired alerts are also span events on the "alerts" thread
+            meta["telemetry"] = _jsonable(sim.telemetry.snapshot(sim.cycle))
         other["simulators"].append(meta)
     return {
         "traceEvents": trace_events,

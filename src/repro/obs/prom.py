@@ -24,9 +24,14 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
-_SAMPLE = re.compile(
-    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})?\s+\S+(\s+\d+)?$"
-)
+_SAMPLE_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+# One label pair: name="value" where the value may contain anything
+# except a raw ", \ or newline — those must appear escaped (\", \\, \n).
+# Unlike a naive [^{}]* body match this accepts { } inside quoted
+# values and *rejects* unescaped quotes/backslashes.
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+_LABELS = re.compile(r"\{(?:%s(?:,%s)*,?)?\}" % (_LABEL_PAIR, _LABEL_PAIR))
+_VALUE_TS = re.compile(r"^[ \t]+(\S+)(?:[ \t]+(-?\d+))?[ \t]*$")
 
 #: histogram quantiles exported as Prometheus summary quantile samples
 QUANTILES = (0.5, 0.95, 0.99)
@@ -102,11 +107,14 @@ def to_prometheus_text(
         for name, value in snap["counters"].items():
             w.sample(f"{name}_total", value, "counter",
                      f"model counter {name}", base or None)
-        for name, samples in snap["histograms"].items():
+        for name in snap["histograms"]:
             hist = sim.stats.get_histogram(name)
             w.sample(f"{name}_count", hist.count, "gauge",
                      f"histogram {name} sample count", base or None)
-            w.sample(f"{name}_sum", float(sum(samples)), "gauge",
+            # hist.total is exact in both storage modes; the snapshot
+            # value is a state dict for bucketed histograms, so it is
+            # not summable directly
+            w.sample(f"{name}_sum", hist.total, "gauge",
                      f"histogram {name} sample sum", base or None)
             for q in QUANTILES:
                 labels = dict(base)
@@ -138,7 +146,76 @@ def to_prometheus_text(
                          "host-dependent)", labels)
                 w.sample("profile_calls_total", sim.profiler.calls[bucket],
                          "counter", "profiled calls by bucket", labels)
+        if sim.telemetry is not None:
+            _telemetry_samples(w, sim.telemetry, sim.cycle, base)
     return w.text()
+
+
+def _telemetry_samples(w: _Writer, tel: Any, now: int,
+                       base: Dict[str, str]) -> None:
+    """Per-flow, per-link and alert series from a FlowTelemetry."""
+    for key in sorted(tel.flows):
+        flow = tel.flows[key]
+        fl = dict(base)
+        fl["src"], fl["dst"] = flow.src, flow.dst
+        w.sample("flow_messages_total", flow.messages, "counter",
+                 "delivered messages per flow", fl)
+        w.sample("flow_bytes_total", flow.bytes, "counter",
+                 "delivered payload bytes per flow", fl)
+        for q in QUANTILES:
+            ql = dict(fl)
+            ql["quantile"] = str(q)
+            w.sample("flow_latency_cycles", flow.latency.percentile(q * 100),
+                     "gauge", "per-flow delivery latency quantiles", ql)
+            if flow.jitter.count:
+                w.sample("flow_jitter_cycles",
+                         flow.jitter.percentile(q * 100), "gauge",
+                         "per-flow latency jitter quantiles", ql)
+    for name in sorted(tel.links):
+        link = tel.links[name]
+        ll = dict(base)
+        ll["link"] = name
+        w.sample("link_utilization", link.utilization(now), "gauge",
+                 "recent-window link utilization [0,1]", ll)
+        w.sample("link_busy_cycles_total", link.busy_cycles, "counter",
+                 "total busy cycles per link", ll)
+        w.sample("link_queue_watermark", link.queue_watermark, "gauge",
+                 "peak queue depth observed per link", ll)
+        if link.stalls:
+            w.sample("link_stalls_total", link.stalls, "counter",
+                     "sender stalls per link", ll)
+            w.sample("link_backpressure_p99_cycles",
+                     link.wait.percentile(99), "gauge",
+                     "p99 sender wait per link", ll)
+    for key in sorted(tel.counters):
+        cl = dict(base)
+        cl["event"] = key
+        w.sample("fabric_events_total", tel.counters[key], "counter",
+                 "fabric telemetry event counters", cl)
+    if tel.quiesce.count:
+        w.sample("quiesce_cycles_max", tel.quiesce.max, "gauge",
+                 "longest reconfiguration quiesce", base or None)
+        w.sample("quiesce_count", tel.quiesce.count, "gauge",
+                 "reconfiguration quiesces observed", base or None)
+    engine = tel.engine
+    if engine is not None:
+        active = set(engine.active(now))
+        for rule in engine.rules:
+            rl = dict(base)
+            rl["rule"] = rule.name
+            rl["severity"] = rule.severity
+            w.sample("alert_fired_total",
+                     engine.fired_counts.get(rule.name, 0), "counter",
+                     "alerts fired per rule", rl)
+            w.sample("alert_active", int(rule.name in active), "gauge",
+                     "1 while the rule's breach episode is uncleared", rl)
+            w.sample("alert_last_cycle",
+                     engine.last_fired.get(rule.name, -1), "gauge",
+                     "cycle the rule last fired (-1: never)", rl)
+        w.sample("alert_evaluations_total", engine.evaluations, "counter",
+                 "rule-set evaluation passes", base or None)
+        w.sample("alert_dropped_total", engine.dropped, "counter",
+                 "alerts dropped past the retention cap", base or None)
 
 
 def to_json_snapshot(
@@ -168,18 +245,34 @@ def validate_exposition(text: str) -> int:
     """Minimal Prometheus exposition-format check; returns the sample
     count.  Raises :class:`ValueError` with the offending line on the
     first violation.  (Not a full parser — a guard for CI artifacts.)
+
+    Label values are checked against the escaping rules: ``"``, ``\\``
+    and newline must appear as ``\\"``, ``\\\\`` and ``\\n``.  Braces
+    *inside* a quoted label value are legal and accepted — a prior
+    version used a single ``\\{[^{}]*\\}`` body match, which both
+    rejected valid values containing ``}`` and waved through unescaped
+    quotes.
     """
     samples = 0
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip() or line.startswith("#"):
             continue
-        if not _SAMPLE.match(line):
+        m = _SAMPLE_NAME.match(line)
+        if not m:
             raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
-        if "{" in line:
-            fields = line.rsplit("}", 1)[1].split()
-        else:
-            fields = line.split()[1:]
-        value = fields[0]
+        rest = line[m.end():]
+        if rest.startswith("{"):
+            lm = _LABELS.match(rest)
+            if not lm:
+                raise ValueError(
+                    f"line {lineno}: malformed or unescaped labels: "
+                    f"{line!r}"
+                )
+            rest = rest[lm.end():]
+        vm = _VALUE_TS.match(rest)
+        if not vm:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        value = vm.group(1)
         if value not in ("NaN", "+Inf", "-Inf"):
             try:
                 float(value)

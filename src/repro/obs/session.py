@@ -34,15 +34,25 @@ class ObservationSession:
         Attach a fresh :class:`Tracer` to each new simulator.
     profile:
         Enable the wall-clock profiler on each new simulator.
+    telemetry:
+        Attach a :class:`~repro.obs.flows.FlowTelemetry` (with an
+        :class:`~repro.obs.alerts.AlertEngine` evaluating ``rules``)
+        to each new simulator — the ``repro watch`` data source.
+    rules:
+        Alert rules for the telemetry engine (default: the canonical
+        :func:`~repro.obs.alerts.default_rules` set).
     max_events / keep:
         Tracer capacity policy; the default keeps the *tail* so the end
         of long runs stays observable.
     """
 
     def __init__(self, trace: bool = True, profile: bool = False,
+                 telemetry: bool = False, rules=None,
                  max_events: int = 500_000, keep: str = "tail"):
         self.trace = trace
         self.profile = profile
+        self.telemetry = telemetry
+        self.rules = rules
         self.max_events = max_events
         self.keep = keep
         #: every simulator constructed while the session was active
@@ -59,6 +69,15 @@ class ObservationSession:
 
             sim.profile = True
             sim.profiler = Profiler()
+        if self.telemetry and sim.telemetry is None:
+            from repro.obs.alerts import AlertEngine
+            from repro.obs.flows import FlowTelemetry
+
+            tel = FlowTelemetry()
+            # a private engine per simulator: breach episodes and burn
+            # rates are per-fabric state (the rule list is shared)
+            tel.engine = AlertEngine(self.rules)
+            tel.attach(sim)
         self.sims.append(sim)
         if self._prev is not None:
             self._prev(sim)
@@ -87,8 +106,20 @@ class ObservationSession:
     def total_spans(self) -> int:
         return sum(len(s.tracer.spans) for s in self.traced_sims)
 
+    @property
+    def telemetry_sims(self) -> List[Simulator]:
+        """Observed simulators that carry a telemetry collector."""
+        return [s for s in self.sims if s.telemetry is not None]
+
+    def flush_alerts(self) -> None:
+        """Force a final rule evaluation on every observed simulator
+        (so sub-eval_interval runs still surface their alerts)."""
+        for sim in self.telemetry_sims:
+            sim.telemetry.evaluate_now(sim.cycle)
+
 
 def observe_named(name: str, trace: bool = True, profile: bool = False,
+                  telemetry: bool = False, rules=None,
                   max_events: int = 500_000, keep: str = "tail",
                   ) -> "tuple[object, ObservationSession]":
     """Run a registered experiment/ablation harness under observation.
@@ -106,7 +137,10 @@ def observe_named(name: str, trace: bool = True, profile: bool = False,
             f"{', '.join(sorted(harnesses))}"
         )
     session = ObservationSession(trace=trace, profile=profile,
+                                 telemetry=telemetry, rules=rules,
                                  max_events=max_events, keep=keep)
     with session:
         result = harnesses[name]()
+    if telemetry:
+        session.flush_alerts()
     return result, session

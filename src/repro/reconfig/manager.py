@@ -210,13 +210,18 @@ class ReconfigurationManager:
 
         def start() -> None:
             self._busy = True
-            deadline = self.sim.cycle + self.quiesce_timeout
+            quiesce_from = self.sim.cycle
+            deadline = quiesce_from + self.quiesce_timeout
             if self.sim.tracing:
                 self.sim.span_begin("reconfig", "quiesce", key=rid,
                                     out=module_out)
 
             def poll(sim: Simulator) -> None:
                 if self.module_quiescent(module_out):
+                    if sim.telemetering:
+                        sim.telemetry.record_quiesce(
+                            sim.cycle, sim.cycle - quiesce_from
+                        )
                     if sim.tracing:
                         sim.span_end("reconfig", "quiesce", key=rid)
                         sim.span_begin("reconfig", "rewrite", key=rid,
@@ -265,13 +270,18 @@ class ReconfigurationManager:
         self._busy = True
         placement_kwargs = self._capture_placement(record.module_out)
         placement_kwargs.update(attach_kwargs)
-        deadline = self.sim.cycle + self.quiesce_timeout
+        quiesce_from = self.sim.cycle
+        deadline = quiesce_from + self.quiesce_timeout
         if self.sim.tracing:
             self.sim.span_begin("reconfig", "quiesce", key=rid,
                                 out=record.module_out)
 
         def poll_quiesce(sim: Simulator) -> None:
             if self.module_quiescent(record.module_out):
+                if sim.telemetering:
+                    sim.telemetry.record_quiesce(
+                        sim.cycle, sim.cycle - quiesce_from
+                    )
                 if sim.tracing:
                     sim.span_end("reconfig", "quiesce", key=rid)
                 self._rewrite(record, rid, spec, placement_kwargs, on_done)

@@ -30,6 +30,7 @@ from repro.sim.stats import (
     CounterSnapshot,
     Histogram,
     StatsRegistry,
+    StreamingHistogram,
     TimeSeries,
 )
 from repro.sim.trace import SpanEvent, TraceEvent, Tracer
@@ -49,6 +50,7 @@ __all__ = [
     "Simulator",
     "SpanEvent",
     "StatsRegistry",
+    "StreamingHistogram",
     "TimeSeries",
     "TraceEvent",
     "Tracer",

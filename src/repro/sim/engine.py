@@ -224,6 +224,12 @@ class Simulator:
         self._tracer = None
         #: cheap guard for hot emit/span sites (kept in sync with tracer)
         self.tracing = False
+        #: optional repro.obs.flows.FlowTelemetry collector
+        self._telemetry = None
+        #: cheap guard for hot telemetry sites (synced with telemetry),
+        #: mirroring ``tracing``: instrumented fabrics test this single
+        #: bool so the telemetry-off hot path is unchanged
+        self.telemetering = False
         self.fast_path = fastpath_default() if fast_path is None else fast_path
         self.sanitize = sanitize_default() if sanitize is None else sanitize
         self.profile = profile_default() if profile is None else profile
@@ -280,6 +286,27 @@ class Simulator:
     def tracer(self, tracer) -> None:
         self._tracer = tracer
         self.tracing = tracer is not None
+
+    @property
+    def telemetry(self):
+        """The attached :class:`repro.obs.flows.FlowTelemetry` (or None).
+
+        Fabric instrumentation guards on :attr:`telemetering` exactly
+        like trace sites guard on :attr:`tracing`::
+
+            if sim.telemetering:
+                sim.telemetry.record_flow(sim.cycle, src, dst, latency)
+
+        Telemetry observes model state but never writes to
+        :attr:`stats`, so a telemetry-on run stays bit-identical to a
+        telemetry-off run in :meth:`StatsRegistry.snapshot`.
+        """
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry) -> None:
+        self._telemetry = telemetry
+        self.telemetering = telemetry is not None
 
     @property
     def profiler(self):

@@ -34,5 +34,6 @@ def test_example_inventory():
         "trace_comparison.py",
         "job_marketplace.py",
         "conochi_fault_tolerance.py",
+        "congestion_monitor.py",
     }
     assert expected <= set(EXAMPLES)

@@ -1,0 +1,132 @@
+"""Unit tests for the per-flow/per-link telemetry collector."""
+
+import pytest
+
+from repro.obs import FlowTelemetry, merge_snapshots
+from repro.obs.flows import FlowStats, LinkStats
+from repro.sim import Simulator
+
+
+class TestFlowStats:
+    def test_record_tracks_volume_and_latency(self):
+        f = FlowStats("a", "b")
+        f.record(10, payload_bytes=64)
+        f.record(14, payload_bytes=64)
+        assert f.messages == 2
+        assert f.bytes == 128
+        assert f.latency.count == 2
+        assert f.latency.max == 14
+
+    def test_jitter_needs_two_deliveries(self):
+        f = FlowStats("a", "b")
+        f.record(10)
+        assert f.jitter.count == 0
+        f.record(16)
+        assert f.jitter.count == 1
+        assert f.jitter.max == 6
+
+    def test_as_dict_shape(self):
+        f = FlowStats("a", "b")
+        f.record(5, payload_bytes=8)
+        d = f.as_dict()
+        assert d["src"] == "a" and d["dst"] == "b"
+        assert d["latency"]["count"] == 1
+        assert "p99" in d["latency"] and "p99" in d["jitter"]
+
+
+class TestLinkStats:
+    def test_utilization_within_window(self):
+        ln = LinkStats("l", window=100)
+        for cycle in range(0, 50):
+            ln.note_busy(cycle)
+        assert ln.utilization(50) == 1.0
+        assert ln.busy_cycles == 50
+
+    def test_windows_close_into_bounded_series(self):
+        ln = LinkStats("l", window=10, series_len=4)
+        for cycle in range(0, 200, 2):  # 50% duty over 20 windows
+            ln.note_busy(cycle)
+        assert len(ln.series) == 4  # ring bounded
+        starts = [s for s, _ in ln.series]
+        assert starts == sorted(starts)
+        for _, util in ln.series:
+            assert util == pytest.approx(0.5)
+
+    def test_queue_watermark_latches_peak(self):
+        ln = LinkStats("l")
+        ln.note_queue_depth(3)
+        ln.note_queue_depth(9)
+        ln.note_queue_depth(1)
+        assert ln.queue_depth == 1
+        assert ln.queue_watermark == 9
+
+    def test_zero_wait_not_a_stall(self):
+        ln = LinkStats("l")
+        ln.note_wait(5, 0)
+        assert ln.stalls == 0
+        ln.note_wait(6, 4)
+        assert ln.stalls == 1
+        assert ln.wait.max == 4
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            LinkStats("l", window=0)
+
+
+class TestFlowTelemetry:
+    def test_attach_sets_simulator_flags(self):
+        sim = Simulator(name="t")
+        assert sim.telemetry is None and not sim.telemetering
+        tel = FlowTelemetry().attach(sim)
+        assert sim.telemetry is tel and sim.telemetering
+        sim.telemetry = None
+        assert not sim.telemetering
+
+    def test_flows_and_links_created_on_demand(self):
+        tel = FlowTelemetry()
+        tel.record_flow(10, "a", "b", 5)
+        tel.link_busy(10, "x", 2)
+        tel.backpressure(11, "x", 3)
+        tel.queue_depth(12, "y", 7)
+        tel.count(13, "evt")
+        assert ("a", "b") in tel.flows
+        assert set(tel.links) == {"x", "y"}
+        assert tel.counters == {"evt": 1}
+
+    def test_telemetry_never_touches_sim_stats(self):
+        sim = Simulator(name="t")
+        before = sim.stats.snapshot()
+        tel = FlowTelemetry().attach(sim)
+        tel.record_flow(1, "a", "b", 5)
+        tel.link_busy(1, "x")
+        tel.record_quiesce(2, 100)
+        assert sim.stats.snapshot() == before
+
+    def test_lazy_eval_respects_interval(self):
+        from repro.obs import AlertEngine
+
+        tel = FlowTelemetry(eval_interval=100)
+        tel.engine = AlertEngine(rules=[])
+        tel.record_flow(0, "a", "b", 1)
+        tel.record_flow(50, "a", "b", 1)  # within interval: no eval
+        tel.record_flow(100, "a", "b", 1)
+        assert tel.engine.evaluations == 2
+
+    def test_snapshot_shape(self):
+        tel = FlowTelemetry()
+        tel.record_flow(5, "a", "b", 9, payload_bytes=4)
+        tel.link_busy(5, "l")
+        snap = tel.snapshot(now=5)
+        assert snap["cycle"] == 5
+        assert len(snap["flows"]) == 1 and len(snap["links"]) == 1
+        assert "alerts" not in snap  # no engine attached
+
+    def test_merge_snapshots_totals(self):
+        a, b = FlowTelemetry(), FlowTelemetry()
+        a.record_flow(1, "a", "b", 2)
+        b.record_flow(1, "c", "d", 2)
+        b.link_busy(1, "l")
+        merged = merge_snapshots([a.snapshot(1), b.snapshot(1)])
+        assert merged["total_flows"] == 2
+        assert merged["total_links"] == 1
+        assert merged["total_alerts"] == 0

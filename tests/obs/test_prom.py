@@ -83,6 +83,46 @@ class TestValidateExposition:
     def test_accepts_special_values(self):
         assert validate_exposition("a NaN\nb +Inf\nc{d=\"e\"} 1\n") == 3
 
+    def test_accepts_braces_inside_label_values(self):
+        # a naive {[^{}]*} body match rejected this legal sample
+        assert validate_exposition('a{m="q{1}"} 1\n') == 1
+
+    def test_accepts_escaped_specials_in_label_values(self):
+        assert validate_exposition(
+            'a{m="x\\"y"} 1\nb{m="x\\\\y"} 2\nc{m="x\\ny"} 3\n'
+        ) == 3
+
+    def test_rejects_unescaped_quote_in_label_value(self):
+        with pytest.raises(ValueError, match="labels"):
+            validate_exposition('a{m="x"y"} 1\n')
+
+    def test_rejects_unescaped_backslash_in_label_value(self):
+        with pytest.raises(ValueError, match="labels"):
+            validate_exposition('a{m="x\\y"} 1\n')
+
+    def test_rejects_unterminated_labels(self):
+        with pytest.raises(ValueError):
+            validate_exposition('a{m="x" 1\n')
+
+    def test_accepts_timestamps(self):
+        assert validate_exposition('a{m="x"} 1 1700000000\n') == 1
+
+
+class TestLabelEscaping:
+    def test_nasty_names_round_trip_through_validation(self):
+        # module/sim names containing ", \ and newlines must come out
+        # escaped so the exposition still parses
+        sims = []
+        for name in ('he said "hi"', "back\\slash", "new\nline"):
+            sim = Simulator(name=name)
+            sim.stats.counter("m").inc()
+            sims.append(sim)
+        text = to_prometheus_text(sims)
+        assert validate_exposition(text) > 0
+        assert '\\"hi\\"' in text
+        assert "back\\\\slash" in text
+        assert "new\\nline" in text
+
 
 class TestToJsonSnapshot:
     def test_sections(self):
@@ -108,3 +148,40 @@ class TestArchitectureExport:
         arch.ports[mods[0]].send(mods[1], 64)
         arch.run_to_completion()
         assert validate_exposition(to_prometheus_text(sim)) > 0
+
+
+class TestTelemetryExport:
+    @pytest.mark.parametrize(
+        "key",
+        ("rmboc", "buscom", "dynoc", "conochi", "sharedbus", "staticmesh"),
+    )
+    def test_flow_and_link_series_per_arch(self, key):
+        from repro.obs import AlertEngine, FlowTelemetry
+
+        sim = Simulator(name=key)
+        arch = build_architecture(key, sim=sim)
+        tel = FlowTelemetry()
+        tel.engine = AlertEngine()
+        tel.attach(sim)
+        mods = list(arch.modules)
+        for _ in range(4):
+            arch.ports[mods[0]].send(mods[1], 64)
+        arch.run_to_completion()
+        text = to_prometheus_text(sim)
+        assert validate_exposition(text) > 0
+        assert "repro_flow_latency_cycles" in text
+        assert f'src="{mods[0]}"' in text
+        assert "repro_link_utilization" in text
+        assert "repro_alert_fired_total" in text
+        assert "repro_alert_evaluations_total" in text
+
+    def test_bucketed_histogram_sum_exported(self):
+        # the summary series must come from the exact aggregates, not
+        # from the (dict-shaped) bucketed snapshot state
+        sim = Simulator(name="b")
+        h = sim.stats.histogram("long.tail", mode="bucketed", exact_cap=4)
+        h.extend(range(1, 11))
+        text = to_prometheus_text(sim)
+        assert validate_exposition(text) > 0
+        assert "repro_long_tail_count 10" in text
+        assert "repro_long_tail_sum 55" in text

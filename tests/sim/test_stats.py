@@ -173,3 +173,121 @@ class TestCounterSnapshot:
         snap.rebase()
         reg.counter("a").inc(1)
         assert snap.delta() == {"a": 1}
+
+
+class TestLogBuckets:
+    def test_zero_has_its_own_bucket(self):
+        from repro.sim.stats import bucket_value, log_bucket
+
+        assert log_bucket(0) == 0
+        assert bucket_value(0) == 0.0
+
+    def test_keys_order_like_values(self):
+        from repro.sim.stats import log_bucket
+
+        values = [-100.0, -1.5, -0.01, 0.0, 0.02, 1.0, 3.0, 4096.0]
+        keys = [log_bucket(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_midpoint_relative_error_bounded(self):
+        from repro.sim.stats import bucket_value, log_bucket
+
+        for v in [1, 7, 100, 12345, 0.001, 3.7e6]:
+            mid = bucket_value(log_bucket(v))
+            assert abs(mid - v) / v < 1 / 8  # 8 sub-buckets per octave
+
+    def test_deterministic(self):
+        from repro.sim.stats import log_bucket
+
+        assert [log_bucket(v) for v in (1.0, 2.5, 9.9)] == \
+            [log_bucket(v) for v in (1.0, 2.5, 9.9)]
+
+
+class TestStreamingHistogram:
+    def _make(self, cap=4):
+        from repro.sim.stats import StreamingHistogram
+
+        return StreamingHistogram(cap)
+
+    def test_exact_under_cap(self):
+        h = self._make(cap=10)
+        h.extend([5, 1, 3])
+        assert h.exact
+        assert h.percentile(50) == 3
+        assert h.mean == 3
+        assert (h.min, h.max) == (1, 5)
+
+    def test_aggregates_stay_exact_past_cap(self):
+        h = self._make(cap=4)
+        h.extend(range(1, 101))
+        assert not h.exact
+        assert h.count == 100
+        assert h.total == 5050
+        assert (h.min, h.max) == (1, 100)
+        assert h.mean == 50.5
+
+    def test_percentile_approximate_past_cap(self):
+        h = self._make(cap=4)
+        h.extend(range(1, 1001))
+        p99 = h.percentile(99)
+        assert abs(p99 - 990) / 990 < 0.15
+
+    def test_invalid_cap_raises(self):
+        import pytest
+
+        from repro.sim.stats import StreamingHistogram
+
+        with pytest.raises(ValueError):
+            StreamingHistogram(0)
+
+    def test_as_dict_deterministic(self):
+        h1, h2 = self._make(), self._make()
+        for h in (h1, h2):
+            h.extend([9, 1, 55, 7, 3, 1000, 2])
+        assert h1.as_dict() == h2.as_dict()
+        assert h1.as_dict()["mode"] == "bucketed"
+
+    def test_summary_keys_match_histogram(self):
+        h = self._make()
+        h.add(1.0)
+        assert set(h.summary()) == {"count", "mean", "std", "min", "p50",
+                                    "p95", "p99", "max"}
+
+
+class TestBucketedHistogramMode:
+    def test_default_mode_is_exact(self):
+        assert Histogram("h").mode == "exact"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            Histogram("h", mode="approximate")
+
+    def test_bucketed_bounds_memory(self):
+        h = Histogram("h", mode="bucketed", exact_cap=16)
+        h.extend(range(10_000))
+        assert len(h.samples) == 16  # verbatim head only
+        assert h.count == 10_000
+        assert h.total == sum(range(10_000))
+
+    def test_bucketed_summary_aggregates_exact(self):
+        h = Histogram("h", mode="bucketed", exact_cap=2)
+        h.extend([1, 2, 3, 4])
+        assert h.mean == 2.5
+        assert (h.min, h.max) == (1, 4)
+
+    def test_registry_mode_selection_and_conflict(self):
+        reg = StatsRegistry()
+        h = reg.histogram("x", mode="bucketed")
+        assert reg.histogram("x") is h  # no mode: existing returned
+        assert reg.histogram("x", mode="bucketed") is h
+        with pytest.raises(ValueError, match="already exists"):
+            reg.histogram("x", mode="exact")
+
+    def test_snapshot_shape_per_mode(self):
+        reg = StatsRegistry()
+        reg.histogram("e").add(1)
+        reg.histogram("b", mode="bucketed").add(1)
+        snap = reg.snapshot()["histograms"]
+        assert snap["e"] == [1.0]
+        assert isinstance(snap["b"], dict)
+        assert snap["b"]["count"] == 1
