@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""DyNoC failover demo: a router dies mid-stream, traffic detours.
+
+A 9x7 DyNoC carries a periodic stream between endpoints on opposite
+edges.  Mid-stream, the router squarely on the X-first path fails
+(via the unified fault framework in ``repro.faults``).  Packets caught
+at the dead router are lost and retransmitted; once the failure is
+*detected*, the router is masked as an S-XY obstacle — the same
+mechanism DyNoC uses for placed modules — and the stream detours
+around it with a small latency penalty until the router is repaired.
+
+The printout shows the three phases (healthy, outage + detour,
+repaired) and the resilience metrics: detection latency, MTTR,
+drops/retransmissions, and end-to-end availability.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro import build_architecture
+from repro.fabric.geometry import Rect
+from repro.faults import FaultKind, FaultSchedule, inject
+from repro.traffic.generators import PeriodicStream
+
+FAIL_AT = 6_000
+REPAIR_AFTER = 6_000
+HORIZON = 24_000
+
+
+def phase_stats(gen, start, end):
+    window = [m for m in gen.sent if start <= m.created_cycle < end]
+    done = [m for m in window if m.delivered]
+    lost = [m for m in window if m.dropped]
+    if not window:
+        return "no frames"
+    lats = [m.latency for m in done]
+    mean = sum(lats) / len(lats) if lats else float("nan")
+    return (f"{len(done)}/{len(window)} frames delivered "
+            f"({len(lost)} lost to the outage), "
+            f"mean latency {mean:.1f}")
+
+
+def main() -> None:
+    arch = build_architecture("dynoc", num_modules=0, mesh=(9, 7))
+    sim = arch.sim
+    arch.attach("src", rect=Rect(0, 3, 1, 1))
+    arch.attach("dst", rect=Rect(8, 3, 1, 1))
+    stream = PeriodicStream("stream", arch.ports["src"], "dst",
+                            period=60, payload_bytes=64, stop=HORIZON)
+    sim.add(stream)
+
+    # router (4, 3) sits exactly on the X-first route src -> dst
+    schedule = FaultSchedule(seed=7).one_shot(
+        FAIL_AT, FaultKind.NODE_DOWN, (4, 3), duration=REPAIR_AFTER)
+    injector = inject(arch, schedule)
+
+    print("phase 0: healthy mesh, straight-line route")
+    sim.run(FAIL_AT)
+    print(" ", phase_stats(stream, 0, FAIL_AT))
+
+    print(f"\nphase 1: router (4, 3) fails at cycle {FAIL_AT}; after "
+          "detection it is masked as an S-XY obstacle")
+    sim.run(FAIL_AT + REPAIR_AFTER)
+    print(" ", phase_stats(stream, FAIL_AT, FAIL_AT + REPAIR_AFTER))
+
+    print(f"\nphase 2: router repaired at cycle {FAIL_AT + REPAIR_AFTER}; "
+          "route straightens again")
+    sim.run(HORIZON)
+    sim.run_until(
+        lambda s: all(m.delivered or m.dropped for m in stream.sent),
+        max_cycles=200_000,
+    )
+    print(" ", phase_stats(stream, FAIL_AT + REPAIR_AFTER, HORIZON))
+
+    m = injector.metrics()
+    print("\nresilience metrics")
+    print(f"  detection latency : {m['detection_max']} cycles")
+    print(f"  mttr              : {m['mttr_max']} cycles")
+    print(f"  dropped           : {m['messages_dropped']} "
+          f"(retransmitted {m['messages_retransmitted']})")
+    print(f"  undelivered       : {m['messages_undelivered']}")
+    print(f"  availability      : {m['availability']:.4f}")
+    assert m["messages_undelivered"] == 0, "failover left traffic behind"
+
+
+if __name__ == "__main__":
+    main()

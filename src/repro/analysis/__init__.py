@@ -5,6 +5,12 @@ its §3/§4 discussion, has a harness here; the benchmark suite under
 ``benchmarks/`` is a thin wrapper that runs these and prints the rows.
 """
 
+from repro.analysis.chaos import (
+    CHAOS_SCHEMA,
+    run_chaos_scenario,
+    run_chaos_sweep,
+    validate_chaos,
+)
 from repro.analysis.render import (
     render_buscom_figure,
     render_conochi_figure,
@@ -13,6 +19,10 @@ from repro.analysis.render import (
 )
 
 __all__ = [
+    "CHAOS_SCHEMA",
+    "run_chaos_scenario",
+    "run_chaos_sweep",
+    "validate_chaos",
     "render_buscom_figure",
     "render_conochi_figure",
     "render_dynoc_figure",

@@ -1,0 +1,231 @@
+"""Chaos harness: canonical fault scenarios over live architectures.
+
+``repro chaos <experiment>`` discovers which architectures an
+experiment harness builds (via the construction hook in
+:mod:`repro.arch.base`) and subjects each to its canonical chaos
+scenario: a steady message stream, a single seeded ``NODE_DOWN`` on a
+known-recoverable fabric element mid-stream, and a long-enough run for
+the architecture's own recovery machinery (CANCEL teardown, slot
+migration, S-XY obstacle routing, table redistribution) to restore
+service.  The output is a ``repro.chaos/1`` document of resilience
+metrics — delivered/dropped/retransmitted/undelivered, detection
+latency, MTTR, availability — plus any SLO alerts the run fired.
+
+Every scenario is deterministic: the fault schedule is seeded, traffic
+is injected at fixed cycles, and the per-architecture targets are
+chosen from the recovery policy's own candidate list (or a pinned
+known-good coordinate where the policy is deliberately conservative),
+so the same seed reproduces the same document bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.arch import build_architecture
+from repro.arch.base import set_new_arch_hook
+from repro.faults import FaultKind, FaultSchedule, inject
+from repro.faults.policies import make_policy
+from repro.sim import Simulator
+
+#: schema tag of the document :func:`run_chaos_sweep` emits
+CHAOS_SCHEMA = "repro.chaos/1"
+
+#: cycle the canonical fault fires at (mid-stream)
+FAULT_AT = 300
+#: outage length before the element is repaired
+FAULT_DURATION = 900
+#: messages pumped per scenario, one every TRAFFIC_PERIOD cycles
+TRAFFIC_COUNT = 40
+TRAFFIC_PERIOD = 40
+#: run horizon — generous slack past the last send + recovery
+HORIZON = 20_000
+
+
+class _TargetProbe:
+    """Minimal injector stand-in for target discovery: policies only
+    read ``dead_nodes`` when listing candidates."""
+
+    dead_nodes: Dict[Any, Any] = {}
+
+
+def _build_scenario_arch(key: str, sim: Simulator):
+    """The canonical build + (target, src, dst) choice for one
+    architecture.  Returns ``(arch, target, src, dst)``."""
+    if key == "conochi":
+        # six modules on the 7-switch ladder: the spare switch is a
+        # dead-end stub, so fail m2's *home* switch instead — traffic
+        # m0 -> m4 detours over the top rail while m2 is unreachable.
+        from repro.arch.conochi.arch import ladder_grid
+
+        arch = build_architecture(key, num_modules=6,
+                                  grid=ladder_grid(7), sim=sim)
+        return arch, (2, 2), "m0", "m4"
+    if key in ("dynoc", "staticmesh"):
+        # the default mesh for 4 modules has no spare routers; a 4x4
+        # mesh leaves 12, all maskable as S-XY obstacles
+        arch = build_architecture(key, num_modules=4, mesh=(4, 4), sim=sim)
+    else:
+        arch = build_architecture(key, num_modules=4, sim=sim)
+    policy = make_policy(arch, _TargetProbe())
+    targets = policy.node_targets()
+    if not targets:
+        raise RuntimeError(f"{key}: recovery policy lists no safe "
+                           f"fault targets")
+    target = targets[len(targets) // 2]
+    mods = list(arch.ports)
+    return arch, target, mods[0], mods[-1]
+
+
+def run_chaos_scenario(key: str, seed: int = 7,
+                       telemetry: bool = True) -> Dict[str, Any]:
+    """One architecture through its canonical fault scenario."""
+    sim = Simulator(name=f"chaos-{key}")
+    if telemetry:
+        from repro.obs.alerts import AlertEngine
+        from repro.obs.flows import FlowTelemetry
+
+        tel = FlowTelemetry()
+        tel.engine = AlertEngine()
+        tel.attach(sim)
+    arch, target, src, dst = _build_scenario_arch(key, sim)
+    sched = FaultSchedule(seed=seed).one_shot(
+        FAULT_AT, FaultKind.NODE_DOWN, target, duration=FAULT_DURATION)
+    injector = inject(arch, sched)
+    ports = arch.ports
+    for i in range(TRAFFIC_COUNT):
+        sim.at(10 + TRAFFIC_PERIOD * i,
+               lambda s, src=src, dst=dst: ports[src].send(dst, 64,
+                                                           tag="chaos"))
+    sim.run(HORIZON)
+    metrics = injector.metrics()
+    survived = (
+        metrics["messages_sent"] > 0
+        and metrics["messages_undelivered"] == 0
+        and metrics["faults_recovered"] == metrics["faults_injected"]
+    )
+    doc: Dict[str, Any] = {
+        "arch": key,
+        "target": str(target),
+        "seed": seed,
+        "survived": survived,
+        "metrics": metrics,
+    }
+    if telemetry:
+        sim.telemetry.evaluate_now()
+        doc["alerts"] = [a.to_dict()
+                         for a in sim.telemetry.engine.alerts]
+    return doc
+
+
+def discover_arch_keys(experiment: str) -> List[str]:
+    """Which architecture kinds an experiment harness builds, in first-
+    construction order (deduplicated)."""
+    from repro.analysis.experiments import EXPERIMENTS
+
+    if experiment not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment!r} "
+                       f"(known: {known})")
+    keys: List[str] = []
+
+    def hook(arch) -> None:
+        if arch.KEY not in keys:
+            keys.append(arch.KEY)
+
+    prev = set_new_arch_hook(hook)
+    try:
+        EXPERIMENTS[experiment]()
+    finally:
+        set_new_arch_hook(prev)
+    return keys
+
+
+def run_chaos_sweep(experiment: str, seed: int = 7,
+                    rounds: int = 1,
+                    telemetry: bool = True) -> Dict[str, Any]:
+    """The ``repro.chaos/1`` document: every architecture the
+    experiment exercises, each through ``rounds`` seeded scenarios
+    (round *i* uses ``seed + i``)."""
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    keys = discover_arch_keys(experiment)
+    scenarios: List[Dict[str, Any]] = []
+    for i in range(rounds):
+        for key in keys:
+            scenarios.append(
+                run_chaos_scenario(key, seed=seed + i,
+                                   telemetry=telemetry))
+    return {
+        "schema": CHAOS_SCHEMA,
+        "experiment": experiment,
+        "seed": seed,
+        "rounds": rounds,
+        "architectures": keys,
+        "scenarios": scenarios,
+        "survived": all(s["survived"] for s in scenarios),
+    }
+
+
+_SCENARIO_KEYS = ("arch", "target", "seed", "survived", "metrics")
+
+_METRIC_KEYS = ("faults_injected", "faults_recovered", "messages_sent",
+                "messages_delivered", "messages_dropped",
+                "messages_undelivered", "messages_retransmitted",
+                "mttr_max", "detection_max", "availability")
+
+
+def validate_chaos(doc: Dict[str, Any]) -> int:
+    """Structural check of a ``repro.chaos/1`` document (the CI smoke
+    job runs this on the CLI's ``--json`` output); returns the number
+    of scenarios."""
+    if doc.get("schema") != CHAOS_SCHEMA:
+        raise ValueError(f"schema is {doc.get('schema')!r}, "
+                         f"expected {CHAOS_SCHEMA!r}")
+    scenarios = doc.get("scenarios")
+    if not scenarios:
+        raise ValueError("document has no scenarios")
+    if not doc.get("architectures"):
+        raise ValueError("document lists no architectures")
+    for s in scenarios:
+        missing = [k for k in _SCENARIO_KEYS if k not in s]
+        if missing:
+            raise ValueError(f"scenario {s.get('arch')!r} is missing "
+                             f"{', '.join(missing)}")
+        gone = [k for k in _METRIC_KEYS if k not in s["metrics"]]
+        if gone:
+            raise ValueError(f"scenario {s['arch']!r} metrics missing "
+                             f"{', '.join(gone)}")
+    if "survived" not in doc:
+        raise ValueError("document has no overall survived verdict")
+    return len(scenarios)
+
+
+def render_chaos(doc: Dict[str, Any]) -> str:
+    """Human-readable table of a chaos document."""
+    lines = [
+        f"chaos sweep  : {doc['experiment']} "
+        f"(seed {doc['seed']}, {doc['rounds']} round(s))",
+        "",
+        f"{'arch':<11}{'target':<10}{'sent':>6}{'dlvd':>6}{'drop':>6}"
+        f"{'rtx':>5}{'undlv':>7}{'mttr':>7}{'avail':>8}  verdict",
+    ]
+    for s in doc["scenarios"]:
+        m = s["metrics"]
+        mttr = m["mttr_max"] if m["mttr_max"] is not None else "-"
+        lines.append(
+            f"{s['arch']:<11}{s['target']:<10}"
+            f"{m['messages_sent']:>6}{m['messages_delivered']:>6}"
+            f"{m['messages_dropped']:>6}{m['messages_retransmitted']:>5}"
+            f"{m['messages_undelivered']:>7}{mttr!s:>7}"
+            f"{m['availability']:>8.4f}  "
+            f"{'survived' if s['survived'] else 'FAILED'}"
+        )
+        for alert in s.get("alerts", []):
+            lines.append(f"{'':<11}  alert: {alert['rule']} "
+                         f"({alert['severity']}) {alert['message']}")
+    lines.append("")
+    lines.append("verdict      : "
+                 + ("all scenarios survived" if doc["survived"]
+                    else "SOME SCENARIOS FAILED"))
+    return "\n".join(lines)

@@ -18,12 +18,27 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.parameters import DesignParameters
 from repro.sim import Simulator
 
 _msg_ids = itertools.count()
+
+#: construction observer — see :func:`set_new_arch_hook`
+_NEW_ARCH_HOOK: Optional[Callable[["CommArchitecture"], None]] = None
+
+
+def set_new_arch_hook(
+    hook: Optional[Callable[["CommArchitecture"], None]],
+) -> Optional[Callable[["CommArchitecture"], None]]:
+    """Install a hook called with every newly constructed architecture
+    (the chaos harness uses this to discover which architectures an
+    experiment builds); returns the previous hook for restoration."""
+    global _NEW_ARCH_HOOK
+    prev = _NEW_ARCH_HOOK
+    _NEW_ARCH_HOOK = hook
+    return prev
 
 
 @dataclass
@@ -181,6 +196,13 @@ class CommArchitecture:
         self._parallelism_hist = sim.stats.histogram(
             "parallelism.concurrent", mode="bucketed"
         )
+        # fault-injection guard: raised only while a non-empty
+        # FaultSchedule is attached, so the fault-free hot path costs
+        # one dead boolean test (mirrors sim.tracing/sim.telemetering)
+        self.faulting = False
+        self.fault_injector: Optional[Any] = None
+        if _NEW_ARCH_HOOK is not None:
+            _NEW_ARCH_HOOK(self)
 
     @property
     def sim(self) -> Simulator:
@@ -222,6 +244,8 @@ class CommArchitecture:
 
     # -- delivery helper ---------------------------------------------------
     def _deliver(self, msg: Message) -> None:
+        if self.faulting and self.fault_injector.intercept_delivery(msg):
+            return  # consumed by an injected fault (dropped, crashed dst)
         sim = self.sim
         msg.delivered_cycle = sim.cycle
         port = self.ports.get(msg.dst)

@@ -10,7 +10,7 @@ raises, and the reconfiguration manager refuses to operate on it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.arch.base import CommArchitecture, Message
 from repro.core.parameters import (
@@ -65,6 +65,7 @@ class SharedBus(CommArchitecture, Component):
         self._current: Optional[Message] = None
         self._done_at = -1
         self._grant_at = -1
+        self._halted = False  # fault state: arbitration stopped
 
     # ------------------------------------------------------------------
     def _attach_impl(self, module: str, **_: object) -> None:
@@ -108,11 +109,36 @@ class SharedBus(CommArchitecture, Component):
         return 1  # the defining limit of a single shared bus
 
     # ------------------------------------------------------------------
+    # fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def halt_bus(self) -> List[Message]:
+        """The bus fails: the in-flight burst is lost, arbitration
+        stops.  Returns the victim messages for the fault injector."""
+        if self._halted:
+            raise RuntimeError("bus already halted")
+        self._halted = True
+        victims: List[Message] = []
+        if self._current is not None:
+            victims.append(self._current)
+            self._current = None
+            self._done_at = -1
+        self.wake()
+        return victims
+
+    def resume_bus(self) -> None:
+        if not self._halted:
+            raise RuntimeError("bus is not halted")
+        self._halted = False
+        self.wake()
+
+    # ------------------------------------------------------------------
     def words(self, payload_bytes: int) -> int:
         return -(-payload_bytes * 8 // self.width)
 
     def tick(self, sim: Simulator):
         now = sim.cycle
+        if self._halted:
+            return SLEEP  # dead bus: resume_bus() wakes us
         if sim.telemetering:
             tel = sim.telemetry
             if self._current is not None:

@@ -79,6 +79,7 @@ class BusCom(CommArchitecture, Component):
         self._bulk: Dict[str, Deque[_SendItem]] = {}         # best-effort
         self._priority: List[str] = []           # dynamic-segment arbitration order
         self._frozen: Dict[str, bool] = {}
+        self._dead_buses: set = set()  # fault state: buses out of service
         self._delivered_bytes: Dict[int, int] = {}  # msg.mid -> bytes landed
         # last cycle this component ticked; cycles slept through are
         # replayed arithmetically by _account_idle on wake
@@ -176,6 +177,74 @@ class BusCom(CommArchitecture, Component):
         self.sim.after(self.cfg.reassign_latency, apply)
 
     # ==================================================================
+    # fault hooks (repro.faults)
+    # ==================================================================
+    def fail_bus(self, bus: int) -> List[Message]:
+        """A bus goes dead: the in-flight frame (if any) is lost, its
+        slots stop serving.  Returns the victim messages so the caller
+        (the fault injector) can record the drops."""
+        if not 0 <= bus < self.cfg.num_buses:
+            raise ValueError(
+                f"bus {bus} outside 0..{self.cfg.num_buses - 1}")
+        if bus in self._dead_buses:
+            raise ValueError(f"bus {bus} already failed")
+        self._dead_buses.add(bus)
+        state = self._buses[bus]
+        victims: List[Message] = []
+        if state.frame_msg is not None:
+            victims.append(state.frame_msg)
+            # partial landings of the lost message are void
+            self._delivered_bytes.pop(state.frame_msg.mid, None)
+            state.frame_msg = None
+            state.frame_bytes = 0
+            state.frame_done_at = -1
+        self.wake()
+        return victims
+
+    def repair_bus(self, bus: int) -> None:
+        if bus not in self._dead_buses:
+            raise ValueError(f"bus {bus} is not failed")
+        self._dead_buses.discard(bus)
+        self.wake()
+
+    def purge_message(self, msg: Message) -> None:
+        """Remove a dropped message's queued fragments from its source
+        interface so they are not transmitted pointlessly."""
+        for queues in (self._queues, self._bulk):
+            q = queues.get(msg.src)
+            if q is not None:
+                stale = [item for item in q if item.msg.mid == msg.mid]
+                for item in stale:
+                    q.remove(item)
+
+    def migrate_slots_off_bus(self, bus: int):
+        """Fault response at detection: move the dead bus's static slots
+        into healthy dynamic slots, charged at the LUT-reconfiguration
+        latency.  Returns the plan (empty if nowhere to migrate)."""
+        healthy = [b for b in range(self.cfg.num_buses)
+                   if b != bus and b not in self._dead_buses]
+        plan = self.table.plan_migration_off_bus(bus, healthy)
+        if plan:
+            def apply(_sim: Simulator) -> None:
+                self.table.apply_migration(plan)
+                self.sim.stats.counter("buscom.slots.reassigned").inc(
+                    2 * len(plan))
+                self.wake()
+
+            self.sim.after(self.cfg.reassign_latency, apply)
+        return plan
+
+    def restore_slots(self, plan) -> None:
+        """Undo a fault migration after repair (same reassign latency)."""
+        def apply(_sim: Simulator) -> None:
+            self.table.undo_migration(plan)
+            self.sim.stats.counter("buscom.slots.reassigned").inc(
+                2 * len(plan))
+            self.wake()
+
+        self.sim.after(self.cfg.reassign_latency, apply)
+
+    # ==================================================================
     # per-cycle behaviour
     # ==================================================================
     def tick(self, sim: Simulator):
@@ -269,6 +338,15 @@ class BusCom(CommArchitecture, Component):
             bus.dyn_budget = self.cfg.dynamic_segment_cycles
         entry = self.table.entry(bus.index, bus.slot_idx)
         bus.frame_msg = None
+        if self._dead_buses and bus.index in self._dead_buses:
+            # a dead bus keeps its TDMA clock (slot indices stay in sync
+            # with the global round) but never carries a frame
+            if entry.kind is SlotKind.STATIC:
+                bus.slot_remaining = self.cfg.static_slot_cycles
+            else:
+                bus.slot_remaining = self.cfg.empty_dynamic_slot_cycles
+                bus.dyn_budget = max(0, bus.dyn_budget - bus.slot_remaining)
+            return
         if entry.kind is SlotKind.STATIC:
             bus.slot_remaining = self.cfg.static_slot_cycles
             owner = entry.owner
@@ -346,6 +424,13 @@ class BusCom(CommArchitecture, Component):
     def _land_frame(self, bus: _BusState) -> None:
         msg = bus.frame_msg
         assert msg is not None
+        if msg.dropped:
+            # another bus lost a frame of this message to a fault; the
+            # surviving fragments land into the void
+            bus.frame_msg = None
+            bus.frame_bytes = 0
+            bus.frame_done_at = -1
+            return
         done = self._delivered_bytes.get(msg.mid, 0) + bus.frame_bytes
         self._delivered_bytes[msg.mid] = done
         if done >= msg.payload_bytes:

@@ -99,6 +99,53 @@ class SlotTable:
         return n
 
     # ------------------------------------------------------------------
+    def plan_migration_off_bus(
+        self, bus: int, healthy: Sequence[int]
+    ) -> List[Tuple[int, int, int, int, str]]:
+        """Plan moving every static slot of a failed ``bus`` into free
+        dynamic slots of ``healthy`` buses (BUS-COM's fault response:
+        the virtual topology is rewritten, not the wires).
+
+        Pure computation — nothing is applied.  Returns plan entries
+        ``(from_bus, from_slot, to_bus, to_slot, owner)``; an empty plan
+        means there is nowhere to migrate (no healthy dynamic slot).
+        Slots that cannot be placed are simply left off the plan."""
+        free = [
+            (b, s)
+            for b in healthy
+            for s in range(self.slots_per_bus)
+            if self._table[b][s].kind is SlotKind.DYNAMIC
+        ]
+        plan: List[Tuple[int, int, int, int, str]] = []
+        it = iter(free)
+        for s in range(self.slots_per_bus):
+            e = self._table[bus][s]
+            if e.kind is not SlotKind.STATIC or e.owner is None:
+                continue
+            spot = next(it, None)
+            if spot is None:
+                break
+            plan.append((bus, s, spot[0], spot[1], e.owner))
+        return plan
+
+    def apply_migration(
+        self, plan: Sequence[Tuple[int, int, int, int, str]]
+    ) -> None:
+        """Rewrite the table per ``plan``: the dead bus's static slots
+        become dynamic, the chosen healthy slots become static."""
+        for from_bus, from_slot, to_bus, to_slot, owner in plan:
+            self.set_dynamic(from_bus, from_slot)
+            self.set_static(to_bus, to_slot, owner)
+
+    def undo_migration(
+        self, plan: Sequence[Tuple[int, int, int, int, str]]
+    ) -> None:
+        """Restore the pre-fault table after the bus is repaired."""
+        for from_bus, from_slot, to_bus, to_slot, owner in plan:
+            self.set_static(from_bus, from_slot, owner)
+            self.set_dynamic(to_bus, to_slot)
+
+    # ------------------------------------------------------------------
     @classmethod
     def round_robin(
         cls,

@@ -383,13 +383,38 @@ class CoNoChi(CommArchitecture, Component):
             self._transmissions.append((start, start + words, mid))
         return start
 
+    # ------------------------------------------------------------------
+    # fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def route_around(self, failed) -> None:
+        """Distribute routing tables avoiding every switch in ``failed``
+        (empty set restores full routing) — the global control unit's
+        fault response, reusing the planned table-update machinery."""
+        self.control.recompute_avoiding(set(failed))
+        self._refresh_link_cache()
+
     def _route(self, pkt: _Packet, at: Coord, now: int) -> None:
+        if self.faulting and self.fault_injector.node_dead(at):
+            # the switch died with this packet inside it
+            self._landed_fragments.pop(pkt.msg.mid, None)
+            self.fault_injector.kill_packet(pkt.msg, at,
+                                            why="at_failed_switch")
+            return
         pkt.hops += 1
         if pkt.hops > 4 * (self.cfg.grid_cols * self.cfg.grid_rows):
             raise SimError(
                 f"CoNoChi packet looping: {pkt.msg.src}->{pkt.msg.dst} at {at}"
             )
-        nxt = self.control.lookup(at, pkt.dst_phys)
+        try:
+            nxt = self.control.lookup(at, pkt.dst_phys)
+        except KeyError:
+            if self.faulting:
+                # no route after a fault-driven table redistribution
+                self._landed_fragments.pop(pkt.msg.mid, None)
+                self.fault_injector.kill_packet(pkt.msg, at,
+                                                why="unroutable")
+                return
+            raise
         if nxt == "local":
             start = self._reserve((at, "local"), now, pkt.words, pkt.msg.mid)
             self._land(pkt, start + pkt.words)

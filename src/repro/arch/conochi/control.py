@@ -153,6 +153,28 @@ class GlobalControl:
         self._tables = compute_tables(self.grid, self._attach_switch)
         return self._tables
 
+    def recompute_avoiding(self, failed) -> Dict[Coord, Dict[int, object]]:
+        """Distribute tables that route around every switch in
+        ``failed`` (the fault response: the paper's table-update
+        machinery applied to unplanned loss).  Addresses homed at a
+        failed switch get no entries — lookups toward them raise.
+        Passing an empty set restores the full tables."""
+        failed = set(failed)
+        if not failed:
+            return self.recompute_tables()
+        from repro.fabric.tiles import TileType
+        saved = {c: self.grid.get(*c) for c in failed}
+        for c in failed:
+            self.grid.set(*c, TileType.FREE)
+        try:
+            attach = {phys: sw for phys, sw in self._attach_switch.items()
+                      if sw not in failed}
+            self._tables = compute_tables(self.grid, attach)
+        finally:
+            for c, t in saved.items():
+                self.grid.set(*c, t)
+        return self._tables
+
     @property
     def tables(self) -> Dict[Coord, Dict[int, object]]:
         return self._tables

@@ -17,6 +17,13 @@ Loss is explicit: dropped messages are flagged, never silently retried
 — retry policy belongs to the application, as the paper's protocol
 philosophy ("the system application deals fairly with the resources")
 prescribes.
+
+This module predates the cross-architecture framework in
+:mod:`repro.faults`, which supersedes it for new code (schedule-driven
+injection, recovery policies, retransmission, resilience metrics); it
+is kept as the stable CoNoChi-specific API and now delegates its table
+redistribution to :meth:`CoNoChi.route_around` — the same machinery the
+unified :class:`~repro.faults.policies.ConoChiPolicy` uses.
 """
 
 from __future__ import annotations
@@ -24,7 +31,6 @@ from __future__ import annotations
 from typing import Optional, Set, Tuple
 
 from repro.arch.conochi.arch import CoNoChi
-from repro.arch.conochi.control import compute_tables
 from repro.fabric.tiles import TileType
 
 Coord = Tuple[int, int]
@@ -103,22 +109,7 @@ class FaultInjector:
     def _recover(self, _sim=None) -> None:
         """Control-unit response: distribute tables avoiding every
         currently failed switch (unreachable addresses get no entry)."""
-        arch = self.arch
-        grid = arch.grid
-        saved = {c: grid.get(*c) for c in self.failed}
-        for c in self.failed:
-            grid.set(*c, TileType.FREE)
-        try:
-            attach = {
-                phys: sw
-                for phys, sw in arch.control._attach_switch.items()
-                if sw not in self.failed
-            }
-            arch.control._tables = compute_tables(grid, attach)
-        finally:
-            for c, t in saved.items():
-                grid.set(*c, t)
-        arch._refresh_link_cache()
+        self.arch.route_around(self.failed)
 
     # ------------------------------------------------------------------
     def reachable(self, module: str) -> bool:

@@ -76,6 +76,8 @@ class DyNoC(CommArchitecture, Component):
         }
         self._placements: Dict[str, _Placement] = {}
         self._pe_used: Dict[Coord, str] = {}
+        # fault state: routers deactivated by failure (vs. by placement)
+        self._failed_routers: set = set()
         # (arrive_cycle, packet, router) — header arrivals awaiting routing
         self._arrivals: List[Tuple[int, _Packet, Coord]] = []
         # output-port reservations: (router, next_router|"local") -> free_at
@@ -203,6 +205,68 @@ class DyNoC(CommArchitecture, Component):
         return self._placements[name]
 
     # ==================================================================
+    # fault hooks (repro.faults)
+    # ==================================================================
+    def detour_routable(self, coord: Coord) -> bool:
+        """Would all module pairs stay routable with ``coord`` failed?
+        Pure query — nothing changes."""
+        if not self.is_active(coord):
+            return False
+        accesses = [pl.access for pl in self._placements.values()]
+        if coord in accesses:
+            return False
+
+        def active(c: Coord) -> bool:
+            return c != coord and self.is_active(c)
+
+        try:
+            for a in accesses:
+                for b in accesses:
+                    if a != b:
+                        trace_route(a, b, active, self._extent,
+                                    max_hops=self.cfg.ttl_hops)
+        except RoutingError:
+            return False
+        return True
+
+    def fail_router(self, coord: Coord) -> bool:
+        """Deactivate a failed router so S-XY detours around it as an
+        obstacle (DyNoC's fault response *is* its obstacle routing).
+
+        Returns ``True`` when the mesh stays fully routable; ``False``
+        (and leaves the router active as a black hole — the injector's
+        dead-node guard keeps eating packets) when deactivation would
+        cut a module off."""
+        if coord not in self._router_active:
+            raise ValueError(f"{coord} is outside the mesh")
+        if not self.is_active(coord):
+            raise ValueError(f"router {coord} is already inactive")
+        if any(pl.access == coord for pl in self._placements.values()):
+            # an access router can't be masked: the module behind it
+            # would vanish from the topology
+            self.sim.stats.counter("dynoc.fault.undetourable").inc()
+            return False
+        self._router_active[coord] = False
+        try:
+            self._validate_routability()
+        except RoutingError:
+            self._router_active[coord] = True
+            self.sim.stats.counter("dynoc.fault.undetourable").inc()
+            return False
+        self._failed_routers.add(coord)
+        self.sim.stats.counter("dynoc.fault.router_masked").inc()
+        self.wake()
+        return True
+
+    def repair_router(self, coord: Coord) -> None:
+        """Reactivate a router previously masked by :meth:`fail_router`
+        (no-op for undetourable faults, which never deactivated it)."""
+        if coord in self._failed_routers:
+            self._failed_routers.discard(coord)
+            self._router_active[coord] = True
+            self.wake()
+
+    # ==================================================================
     # CommArchitecture interface
     # ==================================================================
     def _attach_impl(self, module: str, rect: Optional[Rect] = None,
@@ -322,6 +386,15 @@ class DyNoC(CommArchitecture, Component):
         return start
 
     def _route(self, pkt: _Packet, at: Coord, now: int) -> None:
+        if self.faulting and self.fault_injector.node_dead(at):
+            # the router died with this packet inside (silent phase
+            # before detection, or an undetourable black hole)
+            if self.sim.tracing and pkt.state.mode is not NORMAL.mode:
+                self.sim.span_end("dynoc", "detour", key=pkt.msg.mid,
+                                  left_at=at, delivered=False)
+            self.fault_injector.kill_packet(pkt.msg, at,
+                                            why="at_failed_router")
+            return
         if at == pkt.dst_access:
             if self.sim.tracing and pkt.state.mode is not NORMAL.mode:
                 # packet arrived while still skirting an obstacle

@@ -26,6 +26,9 @@ class RMBoCConfig:
     reply_cycles: int = 2       # REPLY transit over the reserved circuit
     cancel_proc_cycles: int = 1  # CANCEL/DESTROY processing per cross-point
     retry_backoff: int = 8      # NI wait before re-requesting after CANCEL
+    #: ceiling of the exponential backoff applied to re-requests whose
+    #: CANCEL was caused by a dead cross-point (fault recovery)
+    fault_backoff_cap: int = 4096
     channel_linger: int = 0     # cycles an idle channel is kept before DESTROY
     max_channels_per_module: int = 0  # 0 -> defaults to num_buses
 

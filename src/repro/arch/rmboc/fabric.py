@@ -50,6 +50,10 @@ class RMBoC(CommArchitecture, Component):
             [None] * cfg.num_buses for _ in range(cfg.num_segments)
         ]
         self._frozen = [False] * cfg.num_modules
+        # fault state: dead cross-points reject every REQUEST, and pairs
+        # whose CANCEL was fault-induced back off exponentially (capped)
+        self._dead_xps: set = set()
+        self._fault_attempts: Dict[Tuple[str, str], int] = {}
         self._xp_module: Dict[int, str] = {}      # cross-point -> module name
         self._module_xp: Dict[str, int] = {}
 
@@ -135,6 +139,52 @@ class RMBoC(CommArchitecture, Component):
 
     def xp_of(self, module: str) -> int:
         return self._module_xp[module]
+
+    # ==================================================================
+    # fault hooks (repro.faults)
+    # ==================================================================
+    def _spans(self, ch: Channel, xp: int) -> bool:
+        lo, hi = min(ch.src_xp, ch.dst_xp), max(ch.src_xp, ch.dst_xp)
+        return lo <= xp <= hi
+
+    def fail_crosspoint(self, xp: int) -> List[Message]:
+        """A cross-point dies.  Circuits crossing it are torn down with
+        the existing CANCEL machinery (lane release, retry bookkeeping);
+        words in flight on them are lost.  Returns the victim messages
+        so the caller (the fault injector) can record the drops."""
+        if not 0 <= xp < self.cfg.num_modules:
+            raise ValueError(
+                f"cross-point {xp} outside 0..{self.cfg.num_modules - 1}")
+        if xp in self._dead_xps:
+            raise ValueError(f"cross-point {xp} already failed")
+        self._dead_xps.add(xp)
+        now = self.sim.cycle
+        victims: List[Message] = []
+        for tr in [t for t in self._transfers if self._spans(t.channel, xp)]:
+            self._transfers.remove(tr)
+            victims.append(tr.msg)
+        for ch in [c for c in self._channels.values()
+                   if self._spans(c, xp)]:
+            # the source NI's watchdog reclaims the whole circuit: purge
+            # its in-flight control messages and cancel it outright
+            self._ctrl = [cm for cm in self._ctrl if cm.channel is not ch]
+            self._idle_since.pop(ch.cid, None)
+            ch.state = ChannelState.CANCELLED
+            self._finish_cancel(ch, now)
+        self.wake()
+        return victims
+
+    def repair_crosspoint(self, xp: int) -> None:
+        """The cross-point is back; let backed-off pairs retry at once."""
+        if xp not in self._dead_xps:
+            raise ValueError(f"cross-point {xp} is not failed")
+        self._dead_xps.discard(xp)
+        if not self._dead_xps and self._fault_attempts:
+            now = self.sim.cycle
+            for pair in self._fault_attempts:
+                self._retry_at[pair] = now + 1
+            self._fault_attempts.clear()
+        self.wake()
 
     # ==================================================================
     # lane helpers
@@ -249,6 +299,12 @@ class RMBoC(CommArchitecture, Component):
         ch = cm.channel
         xp = cm.at_xp
         stats = self.sim.stats
+        if self._dead_xps and xp in self._dead_xps:
+            stats.counter("rmboc.cancel.dead_xp").inc()
+            pair = (ch.src_module, ch.dst_module)
+            self._fault_attempts[pair] = self._fault_attempts.get(pair, 0) + 1
+            self._start_cancel(ch, xp, now)
+            return
         if self._frozen[xp]:
             stats.counter("rmboc.cancel.frozen").inc()
             self._start_cancel(ch, xp, now)
@@ -287,6 +343,9 @@ class RMBoC(CommArchitecture, Component):
             return  # raced with a cancel (e.g. source slot frozen meanwhile)
         ch.state = ChannelState.ESTABLISHED
         ch.established_cycle = now
+        if self._fault_attempts:
+            # a successful setup resets the pair's fault backoff
+            self._fault_attempts.pop((ch.src_module, ch.dst_module), None)
         self.sim.stats.counter("rmboc.channels.established").inc()
         if self.sim.tracing:
             self.sim.emit("rmboc", "establish", cid=ch.cid,
@@ -344,6 +403,18 @@ class RMBoC(CommArchitecture, Component):
             self._retry_at[(src_mod, dst_mod)] = (
                 now + self.cfg.retry_backoff + ch.src_xp
             )
+            if self._fault_attempts:
+                # fault-induced cancels escalate: capped exponential
+                # backoff so a dead cross-point isn't hammered forever
+                n = self._fault_attempts.get((src_mod, dst_mod), 0)
+                if n:
+                    backoff = min(
+                        self.cfg.retry_backoff * (1 << min(n - 1, 16)),
+                        self.cfg.fault_backoff_cap,
+                    )
+                    self._retry_at[(src_mod, dst_mod)] = (
+                        now + backoff + ch.src_xp
+                    )
         self.sim.stats.counter("rmboc.channels.cancelled").inc()
         if self.sim.tracing:
             self.sim.emit("rmboc", "cancel", cid=ch.cid)
@@ -404,6 +475,8 @@ class RMBoC(CommArchitecture, Component):
         xp = self._module_xp[module]
         if self._frozen[xp]:
             return  # slot under reconfiguration: hold traffic
+        if self._dead_xps and xp in self._dead_xps:
+            return  # local cross-point dead: NI cut off until repair
         # Serve the head-of-line message; later messages to other
         # destinations may also start if channel budget allows.
         busy_channels = {tr.channel.cid for tr in self._transfers}

@@ -293,6 +293,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.chaos import (render_chaos, run_chaos_sweep,
+                                      validate_chaos)
+
+    try:
+        doc = run_chaos_sweep(args.which, seed=args.seed,
+                              rounds=1 if args.once else args.rounds)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    validate_chaos(doc)
+    if args.json:
+        print(json.dumps(doc, indent=2, default=repr))
+    else:
+        print(render_chaos(doc))
+    return 0 if doc["survived"] else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core.validation import validate_reproduction
 
@@ -439,6 +459,21 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true",
                    help="skip the slower measurements")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("chaos",
+                       help="inject canonical faults into every "
+                            "architecture an experiment builds")
+    p.add_argument("which", help="experiment whose architectures to "
+                                 "chaos-test (e1..e12)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-schedule seed (default: 7)")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="seeded rounds per architecture (default: 3)")
+    p.add_argument("--once", action="store_true",
+                   help="single round (CI smoke)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.chaos/1 document as JSON")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

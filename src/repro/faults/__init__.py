@@ -1,0 +1,53 @@
+"""Unified fault injection and recovery across all six architectures.
+
+Quick start::
+
+    from repro.arch import build_architecture
+    from repro.faults import FaultKind, FaultSchedule, inject
+
+    arch = build_architecture("dynoc", num_modules=4, mesh=(4, 4))
+    sched = FaultSchedule(seed=7).one_shot(
+        500, FaultKind.NODE_DOWN, (1, 1), duration=2_000)
+    injector = inject(arch, sched)
+    # ... drive traffic, run the sim ...
+    print(injector.metrics())
+
+See ``docs/faults.md`` for the fault model, the per-architecture
+recovery policies, and the chaos harness (``repro chaos``).
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord, inject
+from repro.faults.model import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    LINK_KINDS,
+    RECONFIG_KINDS,
+)
+from repro.faults.policies import (
+    BusComPolicy,
+    ConoChiPolicy,
+    DyNoCPolicy,
+    RMBoCPolicy,
+    RecoveryPolicy,
+    SharedBusPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRecord",
+    "FaultSchedule",
+    "LINK_KINDS",
+    "RECONFIG_KINDS",
+    "RecoveryPolicy",
+    "RMBoCPolicy",
+    "BusComPolicy",
+    "DyNoCPolicy",
+    "ConoChiPolicy",
+    "SharedBusPolicy",
+    "inject",
+    "make_policy",
+]

@@ -1,0 +1,394 @@
+"""Fault injection and recovery orchestration for one architecture.
+
+A :class:`FaultInjector` arms a :class:`~repro.faults.model.FaultSchedule`
+on a :class:`~repro.arch.base.CommArchitecture` through two hooks:
+
+* timed simulator events (``sim.at``) fire each injection, its
+  detection and its repair — timed wakes, never per-cycle polling, so
+  the quiescence fast path honours every latency exactly;
+* the architecture's single delivery site calls
+  :meth:`intercept_delivery` behind the cheap ``arch.faulting`` flag,
+  which is only raised while a non-empty schedule is attached — a
+  fault-free run executes one dead boolean test and stays bit-identical
+  to the golden snapshots.
+
+Link faults (dead/flaky/bit-error) and module crashes are generic and
+handled here; ``NODE_DOWN`` faults are delegated to the architecture's
+:class:`~repro.faults.policies.RecoveryPolicy`, which reuses the
+design's own reconfiguration machinery to recover; reconfiguration
+faults (corrupted bitstream, stuck quiesce) are delegated to a bound
+:class:`~repro.reconfig.manager.ReconfigurationManager`.
+
+Resilience accounting per fault lives in :class:`FaultRecord`:
+detection latency (``detected - injected``), MTTR
+(``recovered - injected``), messages dropped/corrupted, retransmissions
+issued.  Aggregates — plus availability and the delivered/dropped/
+duplicated message census — come from :meth:`FaultInjector.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.model import (FaultEvent, FaultKind, FaultSchedule,
+                                LINK_KINDS, RECONFIG_KINDS)
+from repro.sim.rng import make_rng
+
+
+@dataclass
+class FaultRecord:
+    """Lifecycle of one injected fault."""
+
+    kind: FaultKind
+    target: Any
+    injected: int
+    detected: int = -1
+    recovered: int = -1
+    dropped: int = 0
+    corrupted: int = 0
+    retransmitted: int = 0
+
+    @property
+    def mttr(self) -> Optional[int]:
+        """Cycles from injection to recovery (None while unrecovered)."""
+        return self.recovered - self.injected if self.recovered >= 0 else None
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        return self.detected - self.injected if self.detected >= 0 else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "target": str(self.target),
+            "injected": self.injected,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "mttr": self.mttr,
+            "detection_latency": self.detection_latency,
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "retransmitted": self.retransmitted,
+        }
+
+
+@dataclass
+class _LinkFault:
+    event: FaultEvent
+    record: FaultRecord
+    drop_prob: float = 1.0
+    corrupt_prob: float = 0.0
+
+
+class FaultInjector:
+    """Arms one schedule on one architecture and tracks recovery."""
+
+    def __init__(self, arch, schedule: FaultSchedule,
+                 detection_latency: Optional[int] = None,
+                 retransmit: bool = True, manager=None,
+                 undelivered_grace: int = 256):
+        from repro.faults.policies import make_policy
+        self.arch = arch
+        self.schedule = schedule
+        self.retransmit = retransmit
+        self.manager = manager
+        self.undelivered_grace = undelivered_grace
+        self.policy = make_policy(arch, self)
+        self.detection_latency = (
+            detection_latency if detection_latency is not None
+            else self.policy.default_detection_latency
+        )
+        if self.detection_latency < 1:
+            raise ValueError("detection_latency must be >= 1")
+        self.records: List[FaultRecord] = []
+        #: per-message fault decisions (flaky drops, bit errors)
+        self._rng = make_rng(schedule.seed, "faults", "inject", arch.KEY)
+        self._link_faults: Dict[Tuple[str, str], _LinkFault] = {}
+        self._crashed: Dict[str, FaultRecord] = {}
+        #: currently-failed fabric elements (routers/switches/...); the
+        #: architectures' routing guards consult this via node_dead()
+        self.dead_nodes: Dict[Any, FaultRecord] = {}
+        #: dropped originals awaiting retransmission
+        self._victims: List[Any] = []
+        #: delivered-but-corrupted originals awaiting retransmission
+        self._corrupt_victims: List[Any] = []
+        #: retransmit copy mid -> original message
+        self._retrans_origin: Dict[int, Any] = {}
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "FaultInjector":
+        """Schedule every event; raises the ``arch.faulting`` guard only
+        when there is something to inject."""
+        if self._armed:
+            raise RuntimeError("injector already attached")
+        self._armed = True
+        events = self.schedule.events()
+        if not events:
+            return self
+        if any(ev.kind in RECONFIG_KINDS for ev in events) \
+                and self.manager is None:
+            raise RuntimeError(
+                "schedule contains reconfiguration faults but no "
+                "ReconfigurationManager is bound (pass manager=...)"
+            )
+        sim = self.arch.sim
+        self.arch.faulting = True
+        self.arch.fault_injector = self
+        for ev in events:
+            sim.at(max(ev.cycle, sim.cycle),
+                   lambda s, ev=ev: self._fire(ev))
+        return self
+
+    # ------------------------------------------------------------------
+    # hot path — called from CommArchitecture._deliver behind
+    # ``arch.faulting``; must not touch stats unless a fault acts
+    # ------------------------------------------------------------------
+    def intercept_delivery(self, msg) -> bool:
+        """Returns True when the message was consumed by a fault."""
+        origin = self._retrans_origin.get(msg.mid)
+        if origin is not None and origin.delivered:
+            # retransmit copy of a bit-error victim that did arrive
+            self._count("fault.msg.duplicated")
+        rec = self._crashed.get(msg.dst)
+        if rec is not None:
+            self.drop_message(msg, rec, why="module_crashed")
+            return True
+        lf = self._link_faults.get((msg.src, msg.dst))
+        if lf is not None:
+            if lf.drop_prob >= 1.0 or self._rng.random() < lf.drop_prob:
+                self.drop_message(msg, lf.record, why="link")
+                return True
+            if lf.corrupt_prob > 0.0 \
+                    and self._rng.random() < lf.corrupt_prob:
+                lf.record.corrupted += 1
+                self._corrupt_victims.append(msg)
+                self._count("fault.msg.corrupted")
+        return False
+
+    # ------------------------------------------------------------------
+    # shared helpers (also used by recovery policies)
+    # ------------------------------------------------------------------
+    def drop_message(self, msg, record: Optional[FaultRecord] = None,
+                     why: str = "fault") -> None:
+        """Mark ``msg`` lost to a fault; queue it for retransmission."""
+        if msg.dropped:
+            return
+        msg.dropped = True
+        if record is not None:
+            record.dropped += 1
+        self._victims.append(msg)
+        self._count("fault.msg.dropped")
+        sim = self.arch.sim
+        if (self.retransmit and record is not None
+                and record.recovered >= 0):
+            # straggler: the fault already recovered (e.g. a detour took
+            # effect) but this packet was in flight toward the dead
+            # element — the recovery retransmit won't run again, so
+            # resend promptly
+            sim.after(1, lambda s, r=record: self._retransmit(r))
+        if sim.tracing:
+            sim.emit("faults", "drop", mid=msg.mid, src=msg.src,
+                     dst=msg.dst, why=why)
+
+    def node_dead(self, target: Any) -> bool:
+        """Whether a fabric element is currently failed (hot path:
+        called from routing guards behind ``arch.faulting``)."""
+        return target in self.dead_nodes
+
+    def kill_packet(self, msg, at: Any, why: str = "dead_node") -> None:
+        """A packet reached a dead fabric element; the message is lost."""
+        self.drop_message(msg, self.dead_nodes.get(at), why=why)
+
+    def note_recovered(self, record: FaultRecord) -> None:
+        """Recovery completed *now*; policies call this when a deferred
+        repair (e.g. a table redistribution) lands."""
+        self._mark_recovered(record)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        sim = self.arch.sim
+        sim.stats.counter(name).inc(n)
+        if sim.telemetering:
+            sim.telemetry.count(sim.cycle, name, n)
+
+    # ------------------------------------------------------------------
+    # event orchestration (all timed wakes)
+    # ------------------------------------------------------------------
+    def _fire(self, ev: FaultEvent, _sim=None) -> None:
+        sim = self.arch.sim
+        now = sim.cycle
+        rec = FaultRecord(kind=ev.kind, target=ev.target, injected=now)
+        self.records.append(rec)
+        key = len(self.records) - 1
+        self._count("fault.injected")
+        sim.stats.counter(f"fault.injected.{ev.kind.value}").inc()
+        if sim.tracing:
+            sim.span_begin("faults", "outage", key=key,
+                           kind=ev.kind.value, target=str(ev.target))
+
+        if ev.kind in LINK_KINDS:
+            self._link_faults[ev.target] = _LinkFault(
+                ev, rec,
+                drop_prob=(0.0 if ev.kind is FaultKind.LINK_BIT_ERROR
+                           else ev.params.get("drop_prob", 1.0)),
+                corrupt_prob=(ev.params.get("corrupt_prob", 1.0)
+                              if ev.kind is FaultKind.LINK_BIT_ERROR
+                              else 0.0),
+            )
+        elif ev.kind is FaultKind.MODULE_CRASH:
+            self._crashed[ev.target] = rec
+        elif ev.kind is FaultKind.NODE_DOWN:
+            self.dead_nodes[ev.target] = rec
+            self.policy.fail_node(ev.target, now, rec)
+        elif ev.kind is FaultKind.BITSTREAM_CORRUPT:
+            self.manager.fault_corrupt_next(
+                notify=lambda phase, cyc: self._manager_event(rec, phase))
+        elif ev.kind is FaultKind.STUCK_QUIESCE:
+            self.manager.fault_stick_quiesce(
+                ev.params.get("extra_cycles", 2 * ev.cycle + 1_000),
+                notify=lambda phase, cyc: self._manager_event(rec, phase))
+
+        if ev.kind not in RECONFIG_KINDS:
+            sim.after(self.detection_latency,
+                      lambda s: self._detect(ev, rec, key))
+            if ev.duration is not None:
+                sim.after(ev.duration,
+                          lambda s: self._repair(ev, rec, key))
+
+    def _detect(self, ev: FaultEvent, rec: FaultRecord, key: int) -> None:
+        sim = self.arch.sim
+        rec.detected = sim.cycle
+        self._count("fault.detected")
+        sim.stats.histogram("fault.detection_cycles").add(
+            rec.detection_latency)
+        if sim.tracing:
+            sim.emit("faults", "detected", kind=ev.kind.value,
+                     target=str(ev.target))
+        if ev.kind is FaultKind.NODE_DOWN:
+            recovery_at = self.policy.on_detected(ev.target, sim.cycle)
+            if recovery_at is not None:
+                sim.at(max(recovery_at, sim.cycle),
+                       lambda s: self._mark_recovered(rec))
+
+    def _repair(self, ev: FaultEvent, rec: FaultRecord, key: int) -> None:
+        sim = self.arch.sim
+        now = sim.cycle
+        if ev.kind in LINK_KINDS:
+            self._link_faults.pop(ev.target, None)
+            self._mark_recovered(rec)
+        elif ev.kind is FaultKind.MODULE_CRASH:
+            self._crashed.pop(ev.target, None)
+            self._mark_recovered(rec)
+        elif ev.kind is FaultKind.NODE_DOWN:
+            self.dead_nodes.pop(ev.target, None)
+            done_at = self.policy.repair_node(ev.target, now)
+            sim.at(max(done_at, now), lambda s: self._mark_recovered(rec))
+
+    def _manager_event(self, rec: FaultRecord, phase: str) -> None:
+        sim = self.arch.sim
+        if phase == "detected" and rec.detected < 0:
+            rec.detected = sim.cycle
+            self._count("fault.detected")
+            sim.stats.histogram("fault.detection_cycles").add(
+                rec.detection_latency)
+        elif phase == "recovered":
+            if rec.detected < 0:
+                rec.detected = sim.cycle
+                self._count("fault.detected")
+                sim.stats.histogram("fault.detection_cycles").add(
+                    rec.detection_latency)
+            self._mark_recovered(rec)
+
+    # ------------------------------------------------------------------
+    def _mark_recovered(self, rec: FaultRecord) -> None:
+        if rec.recovered >= 0:
+            return
+        sim = self.arch.sim
+        rec.recovered = sim.cycle
+        self._count("fault.recovered")
+        sim.stats.histogram("fault.mttr_cycles").add(rec.mttr)
+        if sim.telemetering:
+            sim.telemetry.record_fault_recovery(sim.cycle, rec.mttr)
+        if sim.tracing:
+            key = self.records.index(rec)
+            sim.span_end("faults", "outage", key=key,
+                         mttr=rec.mttr, dropped=rec.dropped)
+        if self.retransmit:
+            self._retransmit(rec)
+        sim.after(self.undelivered_grace, self._note_undelivered)
+
+    def _retransmit(self, rec: FaultRecord) -> None:
+        """Application-level recovery: resend every victim whose sender
+        is still attached (new message ids; the originals stay flagged
+        dropped/corrupted in the log)."""
+        pending = self._victims + self._corrupt_victims
+        self._victims, self._corrupt_victims = [], []
+        for msg in pending:
+            port = self.arch.ports.get(msg.src)
+            if port is None or msg.dst not in self.arch.ports:
+                continue
+            copy = port.send(msg.dst, msg.payload_bytes, tag=msg.tag)
+            self._retrans_origin[copy.mid] = msg
+            rec.retransmitted += 1
+            self._count("fault.msg.retransmitted")
+
+    def _note_undelivered(self, _sim=None, rechecks: int = 8) -> None:
+        """Gauge the undelivered backlog; while it is non-zero (e.g.
+        retransmits still in flight) keep re-sampling every grace
+        period — bounded, so a truly lost message leaves the gauge
+        pinned above zero instead of rescheduling forever."""
+        sim = self.arch.sim
+        pending = len(self.arch.log.pending())
+        if sim.telemetering:
+            sim.telemetry.gauge(sim.cycle, "fault.undelivered",
+                                float(pending))
+        if pending and rechecks > 0:
+            sim.after(self.undelivered_grace,
+                      lambda s, n=rechecks - 1: self._note_undelivered(
+                          rechecks=n))
+
+    # ------------------------------------------------------------------
+    def metrics(self, now: Optional[int] = None) -> Dict[str, Any]:
+        """Resilience summary: census, per-fault latencies, availability."""
+        sim = self.arch.sim
+        at = now if now is not None else sim.cycle
+        log = self.arch.log
+        mttrs = [r.mttr for r in self.records if r.mttr is not None]
+        detections = [r.detection_latency for r in self.records
+                      if r.detection_latency is not None]
+        outage = sum(
+            (r.recovered if r.recovered >= 0 else at) - r.injected
+            for r in self.records
+        )
+        duplicated = int(sim.stats.counter("fault.msg.duplicated").value) \
+            if self.records else 0
+        return {
+            "arch": self.arch.KEY,
+            "faults_injected": len(self.records),
+            "faults_recovered": sum(
+                1 for r in self.records if r.recovered >= 0),
+            "messages_sent": log.total,
+            "messages_delivered": len(log.delivered()),
+            "messages_dropped": len(log.dropped()),
+            "messages_duplicated": duplicated,
+            "messages_retransmitted": sum(
+                r.retransmitted for r in self.records),
+            "messages_undelivered": len(log.pending()),
+            "mttr_max": max(mttrs) if mttrs else None,
+            "mttr_mean": (sum(mttrs) / len(mttrs)) if mttrs else None,
+            "detection_max": max(detections) if detections else None,
+            "availability": (
+                max(0.0, 1.0 - outage / at) if at > 0 else 1.0),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"FaultInjector({self.arch.KEY}, "
+                f"events={len(self.schedule)}, "
+                f"records={len(self.records)})")
+
+
+def inject(arch, schedule: FaultSchedule, **kwargs: Any) -> FaultInjector:
+    """Build and attach an injector in one call."""
+    return FaultInjector(arch, schedule, **kwargs).attach()

@@ -1,0 +1,170 @@
+"""Generic fault model: kinds, events and deterministic schedules.
+
+A fault is *what* breaks (:class:`FaultKind`), *where* (a target the
+owning architecture's recovery policy interprets — a cross-point index
+on RMBoC, a bus index on BUS-COM, a router/switch coordinate on the
+NoCs, a ``(src, dst)`` module pair for link faults, a module name for
+crashes) and *when* (:class:`FaultEvent.cycle`, plus an optional
+``duration`` after which the element is repaired).
+
+Schedules are **deterministic**: every sampled quantity (rate-based
+arrival gaps, target choices) comes from :func:`repro.sim.rng.make_rng`
+streams derived from the schedule seed, so the same seed + the same
+builder calls produce the same event list on every run — the property
+the recovery-determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.sim.rng import make_rng
+
+
+class FaultKind(enum.Enum):
+    """What breaks.  Targets are interpreted per architecture."""
+
+    #: link between a (src, dst) module pair drops every message
+    LINK_DEAD = "link_dead"
+    #: link drops each message with probability ``drop_prob``
+    LINK_FLAKY = "link_flaky"
+    #: link corrupts each message with probability ``corrupt_prob``
+    #: (the message still arrives; an application-level check catches it)
+    LINK_BIT_ERROR = "link_bit_error"
+    #: a fabric element dies: router (DyNoC/static mesh), switch
+    #: (CoNoChi), cross-point (RMBoC), bus segment (BUS-COM/shared bus)
+    NODE_DOWN = "node_down"
+    #: a module stops consuming input; traffic to it is discarded
+    MODULE_CRASH = "module_crash"
+    #: the next partial bitstream written by the reconfiguration
+    #: manager fails its integrity check (rolls back to the old module)
+    BITSTREAM_CORRUPT = "bitstream_corrupt"
+    #: a module refuses to quiesce for ``extra_cycles`` beyond normal
+    STUCK_QUIESCE = "stuck_quiesce"
+
+
+#: kinds implemented generically at the delivery hook in ``arch/base.py``
+LINK_KINDS = (FaultKind.LINK_DEAD, FaultKind.LINK_FLAKY,
+              FaultKind.LINK_BIT_ERROR)
+
+#: kinds routed to the reconfiguration manager, not the fabric
+RECONFIG_KINDS = (FaultKind.BITSTREAM_CORRUPT, FaultKind.STUCK_QUIESCE)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault injection."""
+
+    kind: FaultKind
+    target: Any
+    cycle: int
+    #: cycles until the element is repaired; ``None`` = permanent
+    duration: Any = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"fault duration must be positive, got {self.duration}"
+            )
+        if self.kind in LINK_KINDS:
+            pair = self.target
+            if (not isinstance(pair, tuple) or len(pair) != 2
+                    or not all(isinstance(p, str) for p in pair)):
+                raise ValueError(
+                    f"{self.kind.value} target must be a (src, dst) "
+                    f"module pair, got {self.target!r}"
+                )
+        if self.kind is FaultKind.MODULE_CRASH \
+                and not isinstance(self.target, str):
+            raise ValueError(
+                f"module_crash target must be a module name, "
+                f"got {self.target!r}"
+            )
+        for key in ("drop_prob", "corrupt_prob"):
+            p = self.params.get(key)
+            if p is not None and not (0.0 <= p <= 1.0):
+                raise ValueError(f"{key} must be in [0, 1], got {p}")
+
+
+class FaultSchedule:
+    """A deterministic, seeded list of :class:`FaultEvent`\\ s.
+
+    Builder methods return ``self`` so schedules compose fluently::
+
+        sched = (FaultSchedule(seed=7)
+                 .one_shot(500, FaultKind.NODE_DOWN, (2, 2), duration=400)
+                 .rate(FaultKind.LINK_FLAKY, pairs, rate=1e-4,
+                       horizon=50_000, duration=200, drop_prob=0.5))
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self._events.append(event)
+        return self
+
+    def one_shot(self, cycle: int, kind: FaultKind, target: Any,
+                 duration: Any = None, **params: Any) -> "FaultSchedule":
+        """One fault at a fixed cycle."""
+        return self.add(FaultEvent(kind, target, cycle, duration,
+                                   dict(params)))
+
+    def periodic(self, kind: FaultKind, target: Any, start: int,
+                 period: int, count: int, duration: Any = None,
+                 **params: Any) -> "FaultSchedule":
+        """``count`` faults at ``start, start+period, ...``."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        for i in range(count):
+            self.add(FaultEvent(kind, target, start + i * period,
+                                duration, dict(params)))
+        return self
+
+    def rate(self, kind: FaultKind, targets: Sequence[Any], rate: float,
+             horizon: int, duration: Any = None,
+             stream: Sequence[str] = (), **params: Any) -> "FaultSchedule":
+        """Faults arriving at ``rate`` per cycle over ``[0, horizon)``.
+
+        Inter-arrival gaps are geometric-like (exponential, floored to
+        one cycle) and targets are drawn uniformly — both from an RNG
+        stream derived from the schedule seed, the fault kind and the
+        optional extra ``stream`` labels, so distinct ``rate`` calls on
+        one schedule do not share samples.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if not targets:
+            raise ValueError("rate-based schedule needs targets")
+        rng = make_rng(self.seed, "faults", "rate", kind.value,
+                       *[str(s) for s in stream])
+        cycle = 0
+        while True:
+            cycle += int(rng.exponential(1.0 / rate)) + 1
+            if cycle >= horizon:
+                break
+            target = targets[int(rng.integers(len(targets)))]
+            self.add(FaultEvent(kind, target, cycle, duration,
+                                dict(params)))
+        return self
+
+    # ------------------------------------------------------------------
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """All events in firing order (stable for equal cycles)."""
+        return tuple(sorted(self._events, key=lambda e: e.cycle))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"FaultSchedule(seed={self.seed}, "
+                f"events={len(self._events)})")

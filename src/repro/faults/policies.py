@@ -1,0 +1,257 @@
+"""Per-architecture recovery policies.
+
+Each policy answers three questions for ``NODE_DOWN`` faults — what
+breaks *immediately* (:meth:`fail_node`), what the architecture's own
+reconfiguration machinery does once the failure is *detected*
+(:meth:`on_detected`), and what physical *repair* restores
+(:meth:`repair_node`) — reusing exactly the mechanisms the paper gives
+each design for planned reconfiguration:
+
+* **RMBoC** — circuits crossing a dead cross-point are torn down with
+  the CANCEL protocol (lane release, retry bookkeeping); the network
+  interfaces keep re-requesting with capped exponential backoff until
+  the cross-point is repaired (a 1-D chain has no alternate path).
+* **BUS-COM** — the in-flight frame on a failed bus is lost; at
+  detection the slot table migrates the dead bus's static slots into
+  dynamic slots of healthy buses (``SlotTable.plan_migration_off_bus``),
+  charged at the LUT-reconfiguration latency; repair undoes the moves.
+* **DyNoC** (and the static mesh, which inherits its transport) — the
+  failed router silently eats packets until detection deactivates it,
+  turning it into an obstacle the existing S-XY surround routing
+  detours around; repair reactivates it.
+* **CoNoChi** — the global control unit distributes routing tables that
+  avoid the failed switch (the paper's table-update machinery as fault
+  response); repair re-optimizes tables after the table-update latency.
+* **shared bus** — a single bus has no redundancy: the outage halts
+  arbitration; repair resumes it and retransmission refills the bus.
+
+Policies also supply deterministic ``node_targets()`` candidate lists
+(used by the chaos harness to pick safe, recoverable injection points)
+and a ``default_detection_latency`` scaled to each design's control
+plane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.injector import FaultInjector, FaultRecord
+
+
+class RecoveryPolicy:
+    """Default policy: generic link/crash faults work on any
+    architecture; ``NODE_DOWN`` needs an architecture-specific policy."""
+
+    KEY = "base"
+
+    def __init__(self, arch, injector: FaultInjector):
+        self.arch = arch
+        self.injector = injector
+
+    @property
+    def default_detection_latency(self) -> int:
+        """Cycles the control plane needs to notice a fault."""
+        return 16
+
+    def node_targets(self) -> List[Any]:
+        """Deterministic candidates for ``NODE_DOWN`` injection whose
+        failure the architecture can survive (no isolated module)."""
+        return []
+
+    def fail_node(self, target: Any, now: int,
+                  record: FaultRecord) -> None:
+        """The element dies *now*; drop whatever it was carrying."""
+        raise NotImplementedError(
+            f"architecture {self.arch.KEY!r} has no NODE_DOWN recovery "
+            f"policy; only link/module/reconfiguration faults apply"
+        )
+
+    def on_detected(self, target: Any, now: int) -> Optional[int]:
+        """Reconfiguration response at detection time.  Returns the
+        cycle service is restored (counts as recovery), or ``None``
+        when only physical repair recovers."""
+        return None
+
+    def repair_node(self, target: Any, now: int) -> int:
+        """Physical repair at ``now``; returns the cycle the element is
+        back in service."""
+        return now
+
+
+# ----------------------------------------------------------------------
+class RMBoCPolicy(RecoveryPolicy):
+    """CANCEL-based teardown + capped exponential re-request backoff."""
+
+    KEY = "rmboc"
+
+    @property
+    def default_detection_latency(self) -> int:
+        # a control message crossing the whole chain notices the outage
+        cfg = self.arch.cfg
+        return cfg.xp_proc_cycles * (cfg.num_segments + 1)
+
+    def node_targets(self) -> List[Any]:
+        # interior cross-points: an endpoint cross-point would isolate
+        # its module outright (still injectable explicitly)
+        return list(range(1, self.arch.cfg.num_modules - 1))
+
+    def fail_node(self, xp: int, now: int, record: FaultRecord) -> None:
+        for msg in self.arch.fail_crosspoint(xp):
+            self.injector.drop_message(msg, record, why="dead_crosspoint")
+
+    def on_detected(self, xp: int, now: int) -> Optional[int]:
+        return None  # 1-D chain: no alternate path around a cross-point
+
+    def repair_node(self, xp: int, now: int) -> int:
+        self.arch.repair_crosspoint(xp)
+        return now
+
+
+# ----------------------------------------------------------------------
+class BusComPolicy(RecoveryPolicy):
+    """Slot-table migration off the failed bus at detection."""
+
+    KEY = "buscom"
+
+    def __init__(self, arch, injector: FaultInjector):
+        super().__init__(arch, injector)
+        # bus -> applied migration plan (for undo at repair)
+        self._plans: Dict[int, List[Tuple[int, int, int, int, str]]] = {}
+
+    @property
+    def default_detection_latency(self) -> int:
+        # one full TDMA round: every owner missed its static slot once
+        return self.arch.cfg.max_round_cycles
+
+    def node_targets(self) -> List[Any]:
+        return list(range(self.arch.cfg.num_buses))
+
+    def fail_node(self, bus: int, now: int, record: FaultRecord) -> None:
+        for msg in self.arch.fail_bus(bus):
+            self.injector.drop_message(msg, record, why="dead_bus")
+            self.arch.purge_message(msg)
+
+    def on_detected(self, bus: int, now: int) -> Optional[int]:
+        plan = self.arch.migrate_slots_off_bus(bus)
+        self._plans[bus] = plan
+        if not plan:
+            return None  # nowhere to migrate (single bus or all static)
+        return now + self.arch.cfg.reassign_latency
+
+    def repair_node(self, bus: int, now: int) -> int:
+        self.arch.repair_bus(bus)
+        plan = self._plans.pop(bus, [])
+        if plan:
+            self.arch.restore_slots(plan)
+            return now + self.arch.cfg.reassign_latency
+        return now
+
+
+# ----------------------------------------------------------------------
+class DyNoCPolicy(RecoveryPolicy):
+    """Failed routers become S-XY obstacles once detected."""
+
+    KEY = "dynoc"
+
+    @property
+    def default_detection_latency(self) -> int:
+        # neighbour heartbeat: a few router pipeline delays
+        return 4 * self.arch.cfg.router_latency
+
+    def node_targets(self) -> List[Any]:
+        arch = self.arch
+        return [coord for coord in sorted(arch._router_active)
+                if arch.is_active(coord) and arch.detour_routable(coord)]
+
+    def fail_node(self, coord: Any, now: int,
+                  record: FaultRecord) -> None:
+        # silently dead until detection: packets reaching the router are
+        # eaten by the arch._route guard (injector.dead_nodes)
+        pass
+
+    def on_detected(self, coord: Any, now: int) -> Optional[int]:
+        if self.arch.fail_router(coord):
+            return now  # S-XY now detours the obstacle
+        return None  # undetourable: black hole until physical repair
+
+    def repair_node(self, coord: Any, now: int) -> int:
+        self.arch.repair_router(coord)
+        return now
+
+
+# ----------------------------------------------------------------------
+class ConoChiPolicy(RecoveryPolicy):
+    """Table redistribution avoiding failed switches (global control)."""
+
+    KEY = "conochi"
+
+    @property
+    def default_detection_latency(self) -> int:
+        return 2 * self.arch.cfg.table_update_latency
+
+    def node_targets(self) -> List[Any]:
+        # switches that are nobody's home: failing one never isolates a
+        # module (delivery still needs a redundant topology)
+        homes = set(self.arch._module_switch.values())
+        return [s for s in self.arch.grid.switches() if s not in homes]
+
+    def fail_node(self, coord: Any, now: int,
+                  record: FaultRecord) -> None:
+        from repro.fabric.tiles import TileType
+        if self.arch.grid.get(*coord) is not TileType.SWITCH:
+            raise ValueError(f"{coord} is not a switch tile")
+        # silently dead until detection: the arch._route guard drops
+
+    def on_detected(self, coord: Any, now: int) -> Optional[int]:
+        self.arch.route_around(set(self.injector.dead_nodes))
+        return now
+
+    def repair_node(self, coord: Any, now: int) -> int:
+        arch = self.arch
+        lat = arch.cfg.table_update_latency
+        still_failed = set(self.injector.dead_nodes)
+        arch.sim.after(lat, lambda s: arch.route_around(still_failed))
+        return now + lat
+
+
+# ----------------------------------------------------------------------
+class SharedBusPolicy(RecoveryPolicy):
+    """No redundancy: halt on failure, resume + retransmit on repair."""
+
+    KEY = "sharedbus"
+
+    @property
+    def default_detection_latency(self) -> int:
+        return 2 * (self.arch.grant_cycles + self.arch.addr_cycles + 1)
+
+    def node_targets(self) -> List[Any]:
+        return ["bus"]
+
+    def fail_node(self, target: Any, now: int,
+                  record: FaultRecord) -> None:
+        for msg in self.arch.halt_bus():
+            self.injector.drop_message(msg, record, why="bus_halted")
+
+    def on_detected(self, target: Any, now: int) -> Optional[int]:
+        return None
+
+    def repair_node(self, target: Any, now: int) -> int:
+        self.arch.resume_bus()
+        return now
+
+
+# ----------------------------------------------------------------------
+_POLICIES = {
+    "rmboc": RMBoCPolicy,
+    "buscom": BusComPolicy,
+    "dynoc": DyNoCPolicy,
+    "staticmesh": DyNoCPolicy,  # inherits DyNoC transport and routing
+    "conochi": ConoChiPolicy,
+    "sharedbus": SharedBusPolicy,
+}
+
+
+def make_policy(arch, injector: FaultInjector) -> RecoveryPolicy:
+    """The recovery policy for ``arch`` (generic fallback otherwise)."""
+    cls = _POLICIES.get(arch.KEY, RecoveryPolicy)
+    return cls(arch, injector)

@@ -26,6 +26,8 @@ Metric selectors:
 ``queue_depth``        max over links of the queue-depth watermark
 ``backpressure_p99``   max over links of sender-wait p99 (cycles)
 ``quiesce_max``        longest reconfiguration quiesce seen (cycles)
+``fault_mttr_max``     longest fault recovery (injection->recovered)
+``gauge:<name>``       a telemetry gauge's latest value
 ``counter:<name>``     a telemetry counter's running total
 =====================  ==================================================
 
@@ -127,12 +129,18 @@ def default_rules(
     detours: float = 16,
     storm_window: int = 1_024,
     quiesce_budget_cycles: float = 10_000,
+    fault_storm: float = 4,
+    mttr_budget_cycles: float = 20_000,
+    undelivered: float = 0,
 ) -> List[AlertRule]:
     """The canonical rule set the watch dashboard ships with.
 
     Covers the five phenomena the ISSUE calls out: flow-latency SLO
     breaches, link saturation, TDMA slot overruns (BUS-COM), DyNoC
-    detour storms, and reconfiguration quiesce overruns.
+    detour storms, and reconfiguration quiesce overruns — plus the
+    resilience SLOs the chaos harness watches: fault storms, recovery
+    time (MTTR) over budget, and traffic left undelivered after every
+    fault in a schedule recovered.
     """
     return [
         AlertRule("flow-latency-p99", "flow_p99_latency",
@@ -155,6 +163,19 @@ def default_rules(
                   quiesce_budget_cycles, severity="critical",
                   description="a reconfiguration quiesce exceeded its "
                               "cycle budget"),
+        AlertRule("fault-storm", "counter:fault.injected",
+                  fault_storm, kind="burn_rate", window=storm_window,
+                  description="faults injected faster than the chaos "
+                              "schedule's steady state"),
+        AlertRule("mttr-budget", "fault_mttr_max",
+                  mttr_budget_cycles, severity="critical",
+                  description="a fault recovery (detect + reroute/"
+                              "reconfigure) exceeded its cycle budget"),
+        AlertRule("undelivered-traffic", "gauge:fault.undelivered",
+                  undelivered, kind="sustained", for_cycles=2_048,
+                  severity="critical",
+                  description="messages still undelivered well after "
+                              "recovery — resilience SLO broken"),
     ]
 
 
@@ -214,6 +235,10 @@ class AlertEngine:
             return max(vals) if vals else None
         if metric == "quiesce_max":
             return tel.quiesce.max if tel.quiesce.count else None
+        if metric == "fault_mttr_max":
+            return tel.mttr.max if tel.mttr.count else None
+        if metric.startswith("gauge:"):
+            return tel.gauges.get(metric[len("gauge:"):])
         raise ValueError(f"rule {rule.name!r}: unknown metric {metric!r}")
 
     # ------------------------------------------------------------------

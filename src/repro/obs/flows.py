@@ -199,8 +199,12 @@ class FlowTelemetry:
         self.flows: Dict[Tuple[str, str], FlowStats] = {}
         self.links: Dict[str, LinkStats] = {}
         self.counters: Dict[str, int] = {}
+        #: latest value per gauge key (e.g. "fault.undelivered")
+        self.gauges: Dict[str, float] = {}
         #: reconfiguration quiesce durations (cycles)
         self.quiesce = StreamingHistogram(exact_cap)
+        #: fault mean-time-to-recovery distribution (cycles)
+        self.mttr = StreamingHistogram(exact_cap)
         #: optional repro.obs.alerts.AlertEngine, evaluated lazily
         self.engine = None
         self._next_eval = 0
@@ -253,6 +257,16 @@ class FlowTelemetry:
         self.quiesce.add(cycles)
         self._maybe_eval(now)
 
+    def gauge(self, now: int, key: str, value: float) -> None:
+        """Record the current value of an instantaneous signal."""
+        self.gauges[key] = value
+        self._maybe_eval(now)
+
+    def record_fault_recovery(self, now: int, mttr: int) -> None:
+        """One fault recovered; ``mttr`` is injection -> recovered."""
+        self.mttr.add(mttr)
+        self._maybe_eval(now)
+
     # ------------------------------------------------------------------
     def _maybe_eval(self, now: int) -> None:
         """Run attached alert rules at most once per ``eval_interval``.
@@ -286,7 +300,9 @@ class FlowTelemetry:
             "links": [self.links[k].as_dict(at)
                       for k in sorted(self.links)],
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
             "quiesce": self.quiesce.summary(),
+            "faults": {"mttr": self.mttr.summary()},
         }
         if self.engine is not None:
             out["alerts"] = self.engine.snapshot(at)

@@ -197,6 +197,22 @@ def _telemetry_samples(w: _Writer, tel: Any, now: int,
                  "longest reconfiguration quiesce", base or None)
         w.sample("quiesce_count", tel.quiesce.count, "gauge",
                  "reconfiguration quiesces observed", base or None)
+    if tel.mttr.count:
+        w.sample("fault_recoveries_total", tel.mttr.count, "counter",
+                 "fault recoveries observed", base or None)
+        w.sample("fault_mttr_cycles_max", tel.mttr.max, "gauge",
+                 "longest fault recovery (injection -> recovered)",
+                 base or None)
+        for q in QUANTILES:
+            ql = dict(base)
+            ql["quantile"] = str(q)
+            w.sample("fault_mttr_cycles", tel.mttr.percentile(q * 100),
+                     "gauge", "fault recovery time quantiles", ql)
+    for key in sorted(tel.gauges):
+        gl = dict(base)
+        gl["signal"] = key
+        w.sample("fabric_gauge", tel.gauges[key], "gauge",
+                 "latest value per telemetry gauge", gl)
     engine = tel.engine
     if engine is not None:
         active = set(engine.active(now))

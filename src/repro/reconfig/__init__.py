@@ -19,7 +19,7 @@ from repro.reconfig.defrag import (
 )
 from repro.reconfig.module import ModuleSpec
 from repro.reconfig.placement import FreeRectPlacer, PlacementError
-from repro.reconfig.repository import ModuleRepository, Variant
+from repro.reconfig.repository import ModuleRepository, RepositoryError, Variant
 from repro.reconfig.manager import ReconfigurationManager, SwapRecord
 from repro.reconfig.schedule import OpKind, Scenario, ScheduledOp
 
@@ -27,6 +27,7 @@ __all__ = [
     "FreeRectPlacer",
     "ModuleSpec",
     "ModuleRepository",
+    "RepositoryError",
     "Move",
     "OpKind",
     "PlacementError",

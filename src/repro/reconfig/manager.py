@@ -45,6 +45,9 @@ class SwapRecord:
     detach_cycle: int = -1
     attach_cycle: int = -1
     reconfig_cycles: int = 0
+    aborted: bool = False      # quiesce deadline hit; operation dropped
+    rolled_back: bool = False  # corrupted bitstream; old module restored
+    retries: int = 0           # rewrite attempts beyond the first
 
     @property
     def done(self) -> bool:
@@ -69,14 +72,88 @@ class ReconfigurationManager:
 
     def __init__(self, arch: CommArchitecture, device: Device,
                  port: Optional[ConfigPort] = None,
-                 quiesce_timeout: int = 100_000):
+                 quiesce_timeout: int = 100_000,
+                 strict_quiesce: bool = False,
+                 max_retries: int = 3,
+                 retry_backoff: int = 64):
         self.arch = arch
         self.sim: Simulator = arch.sim
         self.timing = ReconfigTimingModel(device, port or ConfigPort())
         self.quiesce_timeout = quiesce_timeout
+        #: True restores the pre-hardening behaviour: a quiesce deadline
+        #: raises SimError instead of aborting the operation gracefully
+        self.strict_quiesce = strict_quiesce
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.records: List[SwapRecord] = []
         self._busy = False
         self._pending: List[Callable[[], None]] = []
+        # fault hooks (armed by repro.faults)
+        self._corrupt_next = 0
+        self._corrupt_notify: Optional[Callable[[str, int], None]] = None
+        self._quiesce_stick = 0
+        self._stick_notify: Optional[Callable[[str, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def fault_corrupt_next(
+        self, notify: Optional[Callable[[str, int], None]] = None,
+        count: int = 1,
+    ) -> None:
+        """Arm a bitstream-integrity failure for the next ``count`` swap
+        rewrites: each affected rewrite completes, fails its readback
+        check, and triggers the bounded retry/rollback machinery.
+        ``notify(phase, cycle)`` fires at ``"detected"``/``"recovered"``."""
+        self._corrupt_next += count
+        self._corrupt_notify = notify
+
+    def fault_stick_quiesce(
+        self, extra_cycles: int,
+        notify: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Arm a stuck quiescence: the next swap/removal's quiesce phase
+        refuses to complete for ``extra_cycles`` beyond its start.  If
+        that crosses ``quiesce_timeout`` the operation aborts gracefully
+        (or raises under ``strict_quiesce``)."""
+        if extra_cycles < 1:
+            raise ValueError("extra_cycles must be >= 1")
+        self._quiesce_stick = extra_cycles
+        self._stick_notify = notify
+
+    def _take_stick(self, quiesce_from: int):
+        """Consume an armed stuck-quiesce for a quiesce starting now."""
+        stick_until = quiesce_from + self._quiesce_stick
+        notify, self._stick_notify = self._stick_notify, None
+        self._quiesce_stick = 0
+        return stick_until, notify
+
+    def _abort_quiesce(
+        self, record: SwapRecord, rid: int, kind: str,
+        stick_notify: Optional[Callable[[str, int], None]],
+        on_done: Optional[Callable[[SwapRecord], None]],
+    ) -> None:
+        """Graceful degradation at the quiesce deadline: drop the
+        operation, alert, and keep the system running on the old module
+        instead of hanging the configuration port forever."""
+        sim = self.sim
+        record.aborted = True
+        sim.stats.counter("reconfig.quiesce_aborted").inc()
+        if sim.telemetering:
+            sim.telemetry.count(sim.cycle, "reconfig.quiesce_aborted")
+        if sim.tracing:
+            sim.emit("reconfig", "quiesce_aborted", out=record.module_out,
+                     kind=kind)
+            sim.span_end("reconfig", "quiesce", key=rid, status="aborted")
+            sim.span_end("reconfig", kind, key=rid, status="aborted")
+        if stick_notify is not None:
+            stick_notify("detected", sim.cycle)
+            stick_notify("recovered", sim.cycle)
+        self._busy = False
+        if on_done is not None:
+            on_done(record)
+        if self._pending:
+            self._pending.pop(0)()
 
     # ------------------------------------------------------------------
     def module_quiescent(self, module: str) -> bool:
@@ -212,12 +289,14 @@ class ReconfigurationManager:
             self._busy = True
             quiesce_from = self.sim.cycle
             deadline = quiesce_from + self.quiesce_timeout
+            stick_until, stick_notify = self._take_stick(quiesce_from)
             if self.sim.tracing:
                 self.sim.span_begin("reconfig", "quiesce", key=rid,
                                     out=module_out)
 
             def poll(sim: Simulator) -> None:
-                if self.module_quiescent(module_out):
+                if (sim.cycle >= stick_until
+                        and self.module_quiescent(module_out)):
                     if sim.telemetering:
                         sim.telemetry.record_quiesce(
                             sim.cycle, sim.cycle - quiesce_from
@@ -226,6 +305,8 @@ class ReconfigurationManager:
                         sim.span_end("reconfig", "quiesce", key=rid)
                         sim.span_begin("reconfig", "rewrite", key=rid,
                                        out=module_out)
+                    if stick_notify is not None:
+                        stick_notify("recovered", sim.cycle)
                     self._freeze(module_out)
                     record.freeze_cycle = sim.cycle
                     record.detach_cycle = sim.cycle
@@ -246,10 +327,13 @@ class ReconfigurationManager:
 
                     sim.after(record.reconfig_cycles, finish)
                 elif sim.cycle >= deadline:
-                    raise SimError(
-                        f"removal of {module_out!r}: traffic did not "
-                        f"quiesce within {self.quiesce_timeout} cycles"
-                    )
+                    if self.strict_quiesce:
+                        raise SimError(
+                            f"removal of {module_out!r}: traffic did not "
+                            f"quiesce within {self.quiesce_timeout} cycles"
+                        )
+                    self._abort_quiesce(record, rid, "remove",
+                                        stick_notify, on_done)
                 else:
                     sim.after(1, poll)
 
@@ -268,28 +352,37 @@ class ReconfigurationManager:
                attach_kwargs: Dict[str, object],
                on_done: Optional[Callable[[SwapRecord], None]]) -> None:
         self._busy = True
-        placement_kwargs = self._capture_placement(record.module_out)
+        rollback_kwargs = self._capture_placement(record.module_out)
+        placement_kwargs = dict(rollback_kwargs)
         placement_kwargs.update(attach_kwargs)
         quiesce_from = self.sim.cycle
         deadline = quiesce_from + self.quiesce_timeout
+        stick_until, stick_notify = self._take_stick(quiesce_from)
         if self.sim.tracing:
             self.sim.span_begin("reconfig", "quiesce", key=rid,
                                 out=record.module_out)
 
         def poll_quiesce(sim: Simulator) -> None:
-            if self.module_quiescent(record.module_out):
+            if (sim.cycle >= stick_until
+                    and self.module_quiescent(record.module_out)):
                 if sim.telemetering:
                     sim.telemetry.record_quiesce(
                         sim.cycle, sim.cycle - quiesce_from
                     )
                 if sim.tracing:
                     sim.span_end("reconfig", "quiesce", key=rid)
-                self._rewrite(record, rid, spec, placement_kwargs, on_done)
+                if stick_notify is not None:
+                    stick_notify("recovered", sim.cycle)
+                self._rewrite(record, rid, spec, placement_kwargs,
+                              rollback_kwargs, on_done)
             elif sim.cycle >= deadline:
-                raise SimError(
-                    f"swap of {record.module_out!r}: traffic did not "
-                    f"quiesce within {self.quiesce_timeout} cycles"
-                )
+                if self.strict_quiesce:
+                    raise SimError(
+                        f"swap of {record.module_out!r}: traffic did not "
+                        f"quiesce within {self.quiesce_timeout} cycles"
+                    )
+                self._abort_quiesce(record, rid, "swap",
+                                    stick_notify, on_done)
             else:
                 sim.after(1, poll_quiesce)
 
@@ -297,6 +390,7 @@ class ReconfigurationManager:
 
     def _rewrite(self, record: SwapRecord, rid: int, spec: ModuleSpec,
                  placement_kwargs: Dict[str, object],
+                 rollback_kwargs: Dict[str, object],
                  on_done: Optional[Callable[[SwapRecord], None]]) -> None:
         arch = self.arch
         # Freeze only for the rewrite window itself: traffic was already
@@ -305,17 +399,36 @@ class ReconfigurationManager:
         self._freeze(record.module_out)
         record.detach_cycle = self.sim.cycle
         arch.detach(record.module_out)
-        record.reconfig_cycles = self.reconfig_cycles(record.region)
+        self.sim.stats.counter("reconfig.swaps").inc()
+        self._attempt(record, rid, spec, placement_kwargs,
+                      rollback_kwargs, on_done)
+
+    def _attempt(self, record: SwapRecord, rid: int, spec: ModuleSpec,
+                 placement_kwargs: Dict[str, object],
+                 rollback_kwargs: Dict[str, object],
+                 on_done: Optional[Callable[[SwapRecord], None]]) -> None:
+        """One rewrite of the (already detached) region; the completion
+        integrity check routes to attach, retry, or rollback."""
+        arch = self.arch
+        cycles = self.reconfig_cycles(record.region)
+        record.reconfig_cycles += cycles
         if self.sim.tracing:
             self.sim.emit("reconfig", "rewrite_start", out=record.module_out,
-                          into=record.module_in,
-                          cycles=record.reconfig_cycles)
+                          into=record.module_in, cycles=cycles)
             self.sim.span_begin("reconfig", "rewrite", key=rid,
                                 out=record.module_out, into=record.module_in)
-        self.sim.stats.counter("reconfig.swaps").inc()
-        self.sim.stats.counter("reconfig.cycles").inc(record.reconfig_cycles)
+        self.sim.stats.counter("reconfig.cycles").inc(cycles)
 
         def finish(sim: Simulator) -> None:
+            if self._corrupt_next > 0:
+                # readback/CRC failed: the frames written are garbage
+                self._corrupt_next -= 1
+                if sim.tracing:
+                    sim.span_end("reconfig", "rewrite", key=rid,
+                                 status="corrupt")
+                self._on_corrupt(record, rid, spec, placement_kwargs,
+                                 rollback_kwargs, on_done)
+                return
             arch.attach(spec.name, **placement_kwargs)
             if sim.tracing:
                 sim.emit("reconfig", "attached", module=spec.name)
@@ -323,13 +436,74 @@ class ReconfigurationManager:
                 sim.span_end("reconfig", "swap", key=rid)
             self._unfreeze_new(record)
             record.attach_cycle = sim.cycle
+            if record.retries and self._corrupt_notify is not None:
+                notify, self._corrupt_notify = self._corrupt_notify, None
+                notify("recovered", sim.cycle)
             self._busy = False
             if on_done is not None:
                 on_done(record)
             if self._pending:
                 self._pending.pop(0)()
 
-        self.sim.after(record.reconfig_cycles, finish)
+        self.sim.after(cycles, finish)
+
+    def _on_corrupt(self, record: SwapRecord, rid: int, spec: ModuleSpec,
+                    placement_kwargs: Dict[str, object],
+                    rollback_kwargs: Dict[str, object],
+                    on_done: Optional[Callable[[SwapRecord], None]]) -> None:
+        sim = self.sim
+        sim.stats.counter("reconfig.bitstream_corrupt").inc()
+        if sim.telemetering:
+            sim.telemetry.count(sim.cycle, "reconfig.bitstream_corrupt")
+        if sim.tracing:
+            sim.emit("reconfig", "bitstream_corrupt",
+                     into=record.module_in, attempt=record.retries + 1)
+        if self._corrupt_notify is not None and record.retries == 0:
+            self._corrupt_notify("detected", sim.cycle)
+        if record.retries < self.max_retries:
+            # bounded retry with exponential backoff before re-driving
+            # the configuration port
+            record.retries += 1
+            backoff = self.retry_backoff * (1 << (record.retries - 1))
+            sim.stats.counter("reconfig.retries").inc()
+            sim.after(backoff,
+                      lambda s: self._attempt(record, rid, spec,
+                                              placement_kwargs,
+                                              rollback_kwargs, on_done))
+            return
+        # retries exhausted: roll back — rewrite the region with the
+        # outgoing module's (known-good) frames and reattach it
+        record.rolled_back = True
+        sim.stats.counter("reconfig.rollbacks").inc()
+        cycles = self.reconfig_cycles(record.region)
+        record.reconfig_cycles += cycles
+        if sim.tracing:
+            sim.emit("reconfig", "rollback_start", out=record.module_out,
+                     cycles=cycles)
+            sim.span_begin("reconfig", "rewrite", key=rid,
+                           into=record.module_out, rollback=True)
+
+        def rollback_done(s2: Simulator) -> None:
+            s2_arch = self.arch
+            if record.module_out:
+                s2_arch.attach(record.module_out, **rollback_kwargs)
+                self._unfreeze_name(record.module_out)
+            if s2.tracing:
+                s2.emit("reconfig", "rolled_back", module=record.module_out)
+                s2.span_end("reconfig", "rewrite", key=rid, rollback=True)
+                s2.span_end("reconfig", "swap", key=rid,
+                            status="rolled_back")
+            record.attach_cycle = s2.cycle
+            if self._corrupt_notify is not None:
+                notify, self._corrupt_notify = self._corrupt_notify, None
+                notify("recovered", s2.cycle)
+            self._busy = False
+            if on_done is not None:
+                on_done(record)
+            if self._pending:
+                self._pending.pop(0)()
+
+        sim.after(cycles, rollback_done)
 
     # ------------------------------------------------------------------
     # architecture-specific adapters
@@ -360,10 +534,13 @@ class ReconfigurationManager:
         # NoCs: reconfiguration only touches the module's own region.
 
     def _unfreeze_new(self, record: SwapRecord) -> None:
+        self._unfreeze_name(record.module_in)
+
+    def _unfreeze_name(self, module: str) -> None:
         arch = self.arch
         if arch.KEY == "rmboc":
             arch.unfreeze_slot(  # type: ignore[attr-defined]
-                arch.xp_of(record.module_in)  # type: ignore[attr-defined]
+                arch.xp_of(module)  # type: ignore[attr-defined]
             )
         # BUS-COM: the incoming module attaches unfrozen; the outgoing
         # module's frozen flag died with its detach.

@@ -15,6 +15,28 @@ from typing import Dict, Iterable, List, Optional
 from repro.reconfig.module import ModuleSpec
 
 
+class RepositoryError(KeyError):
+    """A repository lookup or load failed.
+
+    Subclasses :class:`KeyError` (hence :class:`LookupError`) so callers
+    that catch the builtin hierarchy keep working; carries the function
+    name it was raised for and renders its message verbatim instead of
+    KeyError's repr-quoting.
+    """
+
+    def __init__(self, message: str, function: Optional[str] = None):
+        super().__init__(message)
+        self.function = function
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+#: fields every serialized bitstream record must carry
+_RECORD_FIELDS = ("function", "name", "width", "height", "slices",
+                  "performance", "bitstream_bytes")
+
+
 @dataclass(frozen=True)
 class Variant:
     """One implementation of a function."""
@@ -62,8 +84,64 @@ class ModuleRepository:
 
     def variants(self, function: str) -> List[Variant]:
         if function not in self._functions:
-            raise KeyError(f"unknown function {function!r}")
+            known = ", ".join(self.functions) or "none registered"
+            raise RepositoryError(
+                f"unknown function {function!r} (known: {known})",
+                function=function,
+            )
         return list(self._functions[function])
+
+    # ------------------------------------------------------------------
+    def load(self, records: Iterable[Dict[str, object]]) -> int:
+        """Ingest serialized bitstream records (e.g. from a JSON
+        manifest), validating each before anything is added.
+
+        Every record must carry exactly the fields a bitstream catalog
+        entry needs: function, name, width, height, slices, performance,
+        bitstream_bytes. Errors name the offending function/record so a
+        bad manifest reads like a diagnosis, not a traceback.
+        Returns the number of variants added.
+        """
+        records = list(records)
+        for i, rec in enumerate(records):
+            if not isinstance(rec, dict):
+                raise RepositoryError(
+                    f"record #{i} is not a mapping: {rec!r}")
+            function = rec.get("function")
+            missing = [f for f in _RECORD_FIELDS if f not in rec]
+            if missing:
+                raise RepositoryError(
+                    f"record #{i} ({function!r}) is missing "
+                    f"field(s): {', '.join(missing)}",
+                    function=function if isinstance(function, str) else None,
+                )
+            unknown = sorted(set(rec) - set(_RECORD_FIELDS))
+            if unknown:
+                raise RepositoryError(
+                    f"record #{i} ({function!r}) has unknown "
+                    f"field(s): {', '.join(unknown)}",
+                    function=function if isinstance(function, str) else None,
+                )
+            if not isinstance(function, str) or not function:
+                raise RepositoryError(
+                    f"record #{i}: function must be a non-empty string, "
+                    f"got {function!r}")
+        added = 0
+        for i, rec in enumerate(records):
+            function = rec["function"]
+            try:
+                spec = ModuleSpec(rec["name"], width=rec["width"],
+                                  height=rec["height"], slices=rec["slices"])
+                variant = Variant(spec, performance=rec["performance"],
+                                  bitstream_bytes=rec["bitstream_bytes"])
+                self.add(function, variant)
+            except (TypeError, ValueError) as exc:
+                raise RepositoryError(
+                    f"record #{i} ({function!r}): {exc}",
+                    function=function,
+                ) from exc
+            added += 1
+        return added
 
     def total_bitstream_bytes(self) -> int:
         return sum(
@@ -100,8 +178,9 @@ class ModuleRepository:
             candidates.append(variant)
         if not candidates:
             detail = "; ".join(rejected) if rejected else "no variants"
-            raise LookupError(
-                f"no variant of {function!r} fits ({detail})"
+            raise RepositoryError(
+                f"no variant of {function!r} fits ({detail})",
+                function=function,
             )
         return max(candidates, key=lambda v: (v.performance,
                                               -v.spec.slices))

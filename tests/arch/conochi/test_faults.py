@@ -121,6 +121,33 @@ class TestContinuity:
         assert len(arch.log.dropped()) == 1
         assert ok.delivered
 
+    def test_detection_latency_honored_under_fast_path(self):
+        """Regression: the control unit's detection timer is a timed
+        wake, so the kernel's quiescent fast-forward must not jump past
+        it.  With no traffic in flight during the detection window, a
+        fast-path run used to risk recovering late (or never); the
+        recovery must land at exactly fail + detection_latency on both
+        paths, bit-identically."""
+        from repro.sim import Simulator
+
+        def run(fast):
+            sim = Simulator(name=f"cono-fp-{fast}", fast_path=fast)
+            arch = build_architecture("conochi", num_modules=7, sim=sim)
+            inj = FaultInjector(arch, detection_latency=100)
+            sim.at(1_000, lambda s: inj.fail_switch((2, 2)))
+            # the fabric is fully quiescent over [1000, 1101): the only
+            # pending work is the injector's recovery wake at 1100.  A
+            # message at 1101 routes m0 -> m5 over the detour tables,
+            # which exist only if that wake actually fired on time.
+            sim.at(1_101, lambda s: arch.ports["m0"].send("m5", 32))
+            sim.run(20_000)
+            return sim.stats.snapshot(), len(arch.log.delivered())
+
+        snap_fast, delivered_fast = run(True)
+        snap_slow, delivered_slow = run(False)
+        assert delivered_fast == delivered_slow == 1
+        assert snap_fast == snap_slow
+
     def test_multi_fragment_message_drop_is_clean(self):
         """Losing one fragment must not leave orphaned reassembly state
         or mis-deliver the message."""

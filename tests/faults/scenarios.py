@@ -1,0 +1,65 @@
+"""Shared per-architecture fault scenarios for the faults test suite.
+
+Mirrors the canonical chaos scenarios in
+:mod:`repro.analysis.chaos`: a steady message stream with one seeded
+``NODE_DOWN`` mid-stream on a known-recoverable element.
+"""
+
+from repro.arch import build_architecture
+from repro.faults import FaultKind, FaultSchedule, inject
+from repro.faults.policies import make_policy
+from repro.sim import Simulator
+
+
+class _Probe:
+    dead_nodes: dict = {}
+
+
+def build_arch(key, sim):
+    """Canonical per-architecture build with failable spare capacity."""
+    if key == "conochi":
+        from repro.arch.conochi.arch import ladder_grid
+
+        return build_architecture(key, num_modules=6,
+                                  grid=ladder_grid(7), sim=sim)
+    if key in ("dynoc", "staticmesh"):
+        return build_architecture(key, num_modules=4, mesh=(4, 4),
+                                  sim=sim)
+    return build_architecture(key, num_modules=4, sim=sim)
+
+
+def node_target(key, arch):
+    """A deterministic recoverable NODE_DOWN target for ``arch``."""
+    if key == "conochi":
+        return (2, 2)                 # m2's home switch; m0->m4 detours
+    targets = make_policy(arch, _Probe()).node_targets()
+    assert targets, f"{key}: no node targets"
+    return targets[len(targets) // 2]
+
+
+def traffic_endpoints(key, arch):
+    if key == "conochi":
+        return "m0", "m4"             # route m2's home, avoid m2 itself
+    mods = list(arch.ports)
+    return mods[0], mods[-1]
+
+
+def fault_scenario(key, seed=5, fast_path=None, fault_at=300,
+                   duration=900, count=40, period=40):
+    """Build one architecture with a single NODE_DOWN schedule and a
+    steady message stream; returns ``(sim, arch, injector)`` ready for
+    ``sim.run(...)``."""
+    kwargs = {} if fast_path is None else {"fast_path": fast_path}
+    sim = Simulator(name=f"faults-{key}", **kwargs)
+    arch = build_arch(key, sim)
+    target = node_target(key, arch)
+    sched = FaultSchedule(seed=seed).one_shot(
+        fault_at, FaultKind.NODE_DOWN, target, duration=duration)
+    injector = inject(arch, sched)
+    src, dst = traffic_endpoints(key, arch)
+    ports = arch.ports
+    for i in range(count):
+        sim.at(10 + period * i,
+               lambda s, src=src, dst=dst: ports[src].send(dst, 64,
+                                                           tag="t"))
+    return sim, arch, injector

@@ -1,0 +1,75 @@
+"""Recovery determinism and golden equivalence.
+
+Two properties the fault framework must never lose:
+
+* **Determinism** — the same seed and schedule produce bit-identical
+  ``sim.stats`` snapshots run after run, on every architecture, under
+  the quiescence fast path as well as the slow path.
+* **Golden equivalence** — merely importing/attaching the faults
+  machinery with an *empty* schedule changes nothing: fault-free runs
+  stay bit-identical to runs without any injector, so every golden
+  snapshot recorded before this framework existed remains valid.
+"""
+
+import pytest
+
+from repro.arch import ARCHITECTURES, build_architecture
+from repro.faults import FaultSchedule, inject
+from repro.sim import Simulator
+
+from tests.faults.scenarios import build_arch, fault_scenario
+
+
+def _drive(sim, arch, count=40, period=40):
+    ports = arch.ports
+    mods = list(ports)
+    src, dst = mods[0], mods[-1]
+    for i in range(count):
+        sim.at(10 + period * i,
+               lambda s, src=src, dst=dst: ports[src].send(dst, 64,
+                                                           tag="t"))
+
+
+class TestRecoveryDeterminism:
+    @pytest.mark.parametrize("key", ARCHITECTURES)
+    def test_same_seed_same_snapshot(self, key):
+        def run():
+            sim, arch, injector = fault_scenario(key, seed=5)
+            sim.run(20_000)
+            return sim.stats.snapshot(), injector.metrics()
+
+        snap_a, metrics_a = run()
+        snap_b, metrics_b = run()
+        assert snap_a == snap_b
+        assert metrics_a == metrics_b
+
+    @pytest.mark.parametrize("key", ARCHITECTURES)
+    def test_fast_path_matches_slow_path(self, key):
+        def run(fast):
+            sim, arch, injector = fault_scenario(key, seed=5,
+                                                 fast_path=fast)
+            sim.run(20_000)
+            return sim.stats.snapshot()
+
+        assert run(True) == run(False)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("key", ARCHITECTURES)
+    def test_empty_schedule_is_invisible(self, key):
+        def run(with_injector):
+            sim = Simulator(name=f"golden-{key}")
+            arch = build_arch(key, sim)
+            if with_injector:
+                inject(arch, FaultSchedule(seed=5))
+            _drive(sim, arch)
+            sim.run(20_000)
+            return sim.stats.snapshot()
+
+        assert run(True) == run(False)
+
+    def test_empty_schedule_does_not_raise_faulting(self):
+        sim = Simulator(name="flag")
+        arch = build_architecture("buscom", num_modules=4, sim=sim)
+        inject(arch, FaultSchedule(seed=1))
+        assert not arch.faulting     # hot-path guard stays cold

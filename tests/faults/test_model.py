@@ -1,0 +1,69 @@
+"""Fault-model tests: kinds, event validation, schedule determinism."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            FaultEvent(FaultKind.NODE_DOWN, 2, -1)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(FaultKind.NODE_DOWN, 2, 0, duration=0)
+
+    def test_link_target_must_be_module_pair(self):
+        with pytest.raises(ValueError, match="pair"):
+            FaultEvent(FaultKind.LINK_DEAD, "m0", 10)
+        FaultEvent(FaultKind.LINK_DEAD, ("m0", "m1"), 10)  # fine
+
+    def test_crash_target_must_be_module_name(self):
+        with pytest.raises(ValueError, match="module"):
+            FaultEvent(FaultKind.MODULE_CRASH, ("m0", "m1"), 10)
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError, match="drop_prob"):
+            FaultEvent(FaultKind.LINK_FLAKY, ("m0", "m1"), 10,
+                       params={"drop_prob": 1.5})
+
+
+class TestFaultSchedule:
+    def test_one_shot_and_periodic_compose(self):
+        sched = (FaultSchedule(seed=3)
+                 .one_shot(100, FaultKind.NODE_DOWN, 2, duration=50)
+                 .periodic(FaultKind.MODULE_CRASH, "m1", start=500,
+                           period=1_000, count=3, duration=100))
+        assert len(sched) == 4
+        cycles = [e.cycle for e in sched.events()]
+        assert cycles == sorted(cycles)
+
+    def test_periodic_validates(self):
+        with pytest.raises(ValueError, match="period"):
+            FaultSchedule().periodic(FaultKind.NODE_DOWN, 1, 0, 0, 2)
+
+    def test_rate_is_seed_deterministic(self):
+        def build(seed):
+            return FaultSchedule(seed=seed).rate(
+                FaultKind.LINK_FLAKY, [("m0", "m1"), ("m1", "m2")],
+                rate=1e-3, horizon=50_000, duration=100,
+                drop_prob=0.5).events()
+
+        assert build(11) == build(11)
+        assert build(11) != build(12)
+
+    def test_rate_streams_are_independent(self):
+        """Distinct stream labels draw distinct sample sequences."""
+        def stream(label):
+            return FaultSchedule(seed=5).rate(
+                FaultKind.LINK_DEAD, [("m0", "m1")], rate=1e-3,
+                horizon=50_000, stream=(label,)).events()
+
+        assert stream("a") == stream("a")
+        assert stream("a") != stream("b")
+
+    def test_rate_needs_targets(self):
+        with pytest.raises(ValueError, match="targets"):
+            FaultSchedule().rate(FaultKind.LINK_DEAD, [], rate=1e-3,
+                                 horizon=100)

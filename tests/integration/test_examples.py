@@ -35,5 +35,6 @@ def test_example_inventory():
         "job_marketplace.py",
         "conochi_fault_tolerance.py",
         "congestion_monitor.py",
+        "failover_demo.py",
     }
     assert expected <= set(EXAMPLES)

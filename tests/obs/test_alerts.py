@@ -30,7 +30,8 @@ class TestAlertRule:
         rules = {r.name for r in default_rules()}
         assert rules == {"flow-latency-p99", "link-saturation",
                          "tdma-slot-overrun", "detour-storm",
-                         "quiesce-budget"}
+                         "quiesce-budget", "fault-storm",
+                         "mttr-budget", "undelivered-traffic"}
 
     def test_duplicate_rule_names_rejected(self):
         r = AlertRule("same", "queue_depth", 1)

@@ -119,8 +119,10 @@ class TestTiming:
 
         assert downtime(8) > downtime(2)
 
-    def test_quiesce_timeout_raises(self):
-        """Traffic that never stops must trip the timeout, not hang."""
+    def test_quiesce_timeout_aborts_gracefully(self):
+        """Traffic that never stops trips the deadline; by default the
+        swap is dropped with an alert and the system keeps running on
+        the old module instead of raising mid-simulation."""
         arch = build_architecture("buscom")
         mgr = ReconfigurationManager(arch, get_device("XC2V6000"),
                                      quiesce_timeout=500)
@@ -128,6 +130,28 @@ class TestTiming:
         def pump(sim):
             # large back-to-back frames keep m0's inbound traffic
             # permanently in flight
+            arch.ports["m1"].send("m0", 2048)
+            sim.after(10, pump)
+
+        arch.sim.after(0, pump)
+        record = mgr.swap("m0", ModuleSpec("m0b"), REGION)
+        arch.sim.run(5_000)
+        assert record.aborted
+        assert not record.done
+        assert "m0" in arch.modules          # old module still in service
+        assert "m0b" not in arch.modules
+        assert not mgr.busy                  # config port freed for later ops
+        assert arch.sim.stats.counter(
+            "reconfig.quiesce_aborted").value == 1
+
+    def test_quiesce_timeout_raises_in_strict_mode(self):
+        """strict_quiesce=True restores the raising behaviour."""
+        arch = build_architecture("buscom")
+        mgr = ReconfigurationManager(arch, get_device("XC2V6000"),
+                                     quiesce_timeout=500,
+                                     strict_quiesce=True)
+
+        def pump(sim):
             arch.ports["m1"].send("m0", 2048)
             sim.after(10, pump)
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.reconfig.module import ModuleSpec
-from repro.reconfig.repository import ModuleRepository, Variant
+from repro.reconfig.repository import (ModuleRepository, RepositoryError,
+                                       Variant)
 
 
 def stocked_repo():
@@ -73,6 +74,70 @@ class TestSelection:
         v = repo.select_for_region("fir", region_slices=1000,
                                    region_w=4, region_h=4)
         assert v.spec.name == "fir_small"
+
+
+class TestErrorsAndLoad:
+    def test_unknown_function_is_typed_and_named(self):
+        with pytest.raises(RepositoryError) as err:
+            stocked_repo().variants("aes")
+        assert err.value.function == "aes"
+        assert "aes" in str(err.value)
+        assert "fir" in str(err.value)          # known functions listed
+        # stays catchable through the builtin hierarchy
+        assert isinstance(err.value, KeyError)
+        assert isinstance(err.value, LookupError)
+
+    def test_no_fit_is_typed_and_named(self):
+        with pytest.raises(RepositoryError) as err:
+            stocked_repo().select("fir", max_slices=100)
+        assert err.value.function == "fir"
+
+    def test_message_not_repr_quoted(self):
+        err = RepositoryError("plain words", function="f")
+        assert str(err) == "plain words"
+
+    def good_record(self, **over):
+        rec = {"function": "aes", "name": "aes_v1", "width": 2,
+               "height": 2, "slices": 300, "performance": 1.5,
+               "bitstream_bytes": 30_000}
+        rec.update(over)
+        return rec
+
+    def test_load_valid_records(self):
+        repo = ModuleRepository()
+        n = repo.load([self.good_record(),
+                       self.good_record(name="aes_v2", performance=2.0)])
+        assert n == 2
+        assert repo.select("aes").spec.name == "aes_v2"
+        assert repo.total_bitstream_bytes() == 60_000
+
+    def test_load_missing_field_names_module(self):
+        rec = self.good_record()
+        del rec["slices"]
+        with pytest.raises(RepositoryError) as err:
+            ModuleRepository().load([rec])
+        assert err.value.function == "aes"
+        assert "slices" in str(err.value)
+
+    def test_load_unknown_field_rejected(self):
+        with pytest.raises(RepositoryError) as err:
+            ModuleRepository().load([self.good_record(checksum="beef")])
+        assert "checksum" in str(err.value)
+
+    def test_load_invalid_value_wrapped(self):
+        with pytest.raises(RepositoryError) as err:
+            ModuleRepository().load([self.good_record(performance=0)])
+        assert err.value.function == "aes"
+
+    def test_load_validates_before_adding(self):
+        """A bad record later in the manifest must not leave earlier
+        records half-loaded."""
+        repo = ModuleRepository()
+        bad = self.good_record(name="aes_v2")
+        del bad["width"]
+        with pytest.raises(RepositoryError):
+            repo.load([self.good_record(), bad])
+        assert repo.functions == []
 
 
 class TestSystemIntegration:
