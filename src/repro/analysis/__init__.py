@@ -5,6 +5,14 @@ its §3/§4 discussion, has a harness here; the benchmark suite under
 ``benchmarks/`` is a thin wrapper that runs these and prints the rows.
 """
 
+from repro.analysis.batch import (
+    FleetResult,
+    SeedResult,
+    render_fleet,
+    run_seed,
+    run_seed_fleet,
+    run_seed_fleet_pool,
+)
 from repro.analysis.chaos import (
     CHAOS_SCHEMA,
     run_chaos_scenario,
@@ -20,6 +28,12 @@ from repro.analysis.render import (
 
 __all__ = [
     "CHAOS_SCHEMA",
+    "FleetResult",
+    "SeedResult",
+    "render_fleet",
+    "run_seed",
+    "run_seed_fleet",
+    "run_seed_fleet_pool",
     "run_chaos_scenario",
     "run_chaos_sweep",
     "validate_chaos",

@@ -1,0 +1,187 @@
+"""Fleet-scale batched seed sweeps.
+
+Monte-Carlo confidence runs pump the *same* scenario through thousands
+of seeds.  Spawning a process per seed (the :mod:`repro.analysis.parallel`
+pattern) pays interpreter start-up, import and pickling costs per seed,
+which dwarfs the actual simulation once the vec engine has collapsed
+the busy path.  :func:`run_seed_fleet` instead packs the whole fleet
+into one batched program, seed-major: every seed's simulation runs to
+completion in one process, with the SoA backend's compiled ticks doing
+the heavy lifting.  :func:`run_seed_fleet_pool` is the process-pool
+comparator (one worker task per seed) used by the busy-path benchmark.
+
+Each seed is an independent, fully deterministic simulation — results
+depend only on ``(arch, seed, workload)``, never on engine choice or
+how the fleet is grouped, so ``run_seed_fleet(arch, seeds)`` equals the
+concatenation of single-seed fleets (asserted by
+``tests/analysis/test_batch.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch import build_architecture
+
+#: default per-seed workload: bursts of randomly-paired messages with a
+#: drain gap between bursts — the busy-then-quiescent shape the vec
+#: engine's stretch batching is built for
+DEFAULT_BURSTS = 6
+DEFAULT_BURST_SIZE = 40
+DEFAULT_BURST_GAP = 1_500
+DEFAULT_PAYLOADS = (64, 256, 1024)
+DEFAULT_CYCLES = 12_000
+
+
+@dataclass
+class SeedResult:
+    """Measurements of one seed's run (engine-independent)."""
+
+    seed: int
+    sent: int
+    delivered: int
+    mean_latency: float
+    max_latency: int
+
+    def key(self) -> Tuple[int, int, int, float, int]:
+        return (self.seed, self.sent, self.delivered,
+                self.mean_latency, self.max_latency)
+
+
+@dataclass
+class FleetResult:
+    """A whole fleet's per-seed results plus wall-clock accounting."""
+
+    arch: str
+    engine: Optional[str]
+    results: List[SeedResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def seeds(self) -> List[int]:
+        return [r.seed for r in self.results]
+
+    @property
+    def delivered_total(self) -> int:
+        return sum(r.delivered for r in self.results)
+
+    def summary(self) -> Dict[str, Any]:
+        n = len(self.results)
+        return {
+            "arch": self.arch,
+            "engine": self.engine,
+            "seeds": n,
+            "delivered_total": self.delivered_total,
+            "mean_latency": (
+                sum(r.mean_latency * r.delivered for r in self.results)
+                / max(1, self.delivered_total)
+            ),
+            "wall_seconds": self.wall_seconds,
+            "seeds_per_second": n / self.wall_seconds
+            if self.wall_seconds else float("inf"),
+        }
+
+
+def run_seed(
+    arch_key: str,
+    seed: int,
+    engine: Optional[str] = None,
+    num_modules: int = 4,
+    cycles: int = DEFAULT_CYCLES,
+    bursts: int = DEFAULT_BURSTS,
+    burst_size: int = DEFAULT_BURST_SIZE,
+    burst_gap: int = DEFAULT_BURST_GAP,
+    payloads: Sequence[int] = DEFAULT_PAYLOADS,
+    **build_kwargs: Any,
+) -> SeedResult:
+    """One seed of the canonical fleet workload.
+
+    The workload injects ``bursts`` bursts of ``burst_size`` messages
+    between random module pairs (seeded), separated by ``burst_gap``
+    drain cycles, then runs for ``cycles`` cycles.  Deterministic in
+    ``(arch_key, seed, config)`` and bit-identical across engines.
+    """
+    arch = build_architecture(arch_key, num_modules=num_modules,
+                              engine=engine, **build_kwargs)
+    sim = arch.sim
+    ports = arch.ports
+    mods = list(ports)
+    rng = random.Random(seed)
+    payloads = list(payloads)
+    for b in range(bursts):
+        base = 1 + b * burst_gap
+        for _ in range(burst_size):
+            at = base + rng.randrange(0, 40)
+            src, dst = rng.sample(mods, 2)
+            pb = rng.choice(payloads)
+            sim.at(at, lambda _s, s=src, d=dst, p=pb: ports[s].send(d, p))
+    sim.run(cycles)
+    delivered = arch.log.delivered()
+    latencies = [m.latency for m in delivered]
+    return SeedResult(
+        seed=seed,
+        sent=arch.log.total,
+        delivered=len(delivered),
+        mean_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        max_latency=max(latencies) if latencies else 0,
+    )
+
+
+def run_seed_fleet(
+    arch_key: str,
+    seeds: Sequence[int],
+    engine: Optional[str] = "vec",
+    **workload: Any,
+) -> FleetResult:
+    """The batched fleet: every seed simulated in this process,
+    seed-major (seed *i* runs to completion before seed *i+1* starts),
+    with the chosen engine — ``"vec"`` by default, where the compiled
+    ticks amortize the fleet's busy path."""
+    fleet = FleetResult(arch=arch_key, engine=engine)
+    t0 = time.perf_counter()
+    for seed in seeds:
+        fleet.results.append(run_seed(arch_key, seed, engine=engine,
+                                      **workload))
+    fleet.wall_seconds = time.perf_counter() - t0
+    return fleet
+
+
+def _pool_worker(packed: Tuple[str, int, Optional[str], Dict[str, Any]]
+                 ) -> SeedResult:
+    arch_key, seed, engine, workload = packed
+    return run_seed(arch_key, seed, engine=engine, **workload)
+
+
+def run_seed_fleet_pool(
+    arch_key: str,
+    seeds: Sequence[int],
+    engine: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    **workload: Any,
+) -> FleetResult:
+    """Process-pool comparator: one worker task per seed.  Exists so the
+    busy-path benchmark can measure what the batched fleet saves; the
+    per-seed results are identical to :func:`run_seed_fleet`."""
+    fleet = FleetResult(arch=arch_key, engine=engine)
+    packed = [(arch_key, seed, engine, dict(workload)) for seed in seeds]
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        fleet.results = list(pool.map(_pool_worker, packed,
+                                      chunksize=max(1, len(seeds) // 64)))
+    fleet.wall_seconds = time.perf_counter() - t0
+    return fleet
+
+
+def render_fleet(fleet: FleetResult) -> str:
+    """One-paragraph human summary of a fleet run."""
+    s = fleet.summary()
+    return (
+        f"{s['arch']}: {s['seeds']} seeds, engine "
+        f"{s['engine'] or 'default'} — {s['delivered_total']} delivered, "
+        f"mean latency {s['mean_latency']:.1f} cycles, "
+        f"{s['wall_seconds']:.2f}s ({s['seeds_per_second']:.1f} seeds/s)"
+    )

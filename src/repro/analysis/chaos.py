@@ -27,6 +27,7 @@ from repro.arch.base import set_new_arch_hook
 from repro.faults import FaultKind, FaultSchedule, inject
 from repro.faults.policies import make_policy
 from repro.sim import Simulator
+from repro.sim.vec import make_simulator
 
 #: schema tag of the document :func:`run_chaos_sweep` emits
 CHAOS_SCHEMA = "repro.chaos/1"
@@ -78,9 +79,13 @@ def _build_scenario_arch(key: str, sim: Simulator):
 
 
 def run_chaos_scenario(key: str, seed: int = 7,
-                       telemetry: bool = True) -> Dict[str, Any]:
-    """One architecture through its canonical fault scenario."""
-    sim = Simulator(name=f"chaos-{key}")
+                       telemetry: bool = True,
+                       engine: str = None) -> Dict[str, Any]:
+    """One architecture through its canonical fault scenario.
+
+    ``engine`` picks the simulation backend (``"object"``/``"vec"``);
+    the emitted document is engine-independent."""
+    sim = make_simulator(name=f"chaos-{key}", engine=engine)
     if telemetry:
         from repro.obs.alerts import AlertEngine
         from repro.obs.flows import FlowTelemetry
@@ -143,7 +148,8 @@ def discover_arch_keys(experiment: str) -> List[str]:
 
 def run_chaos_sweep(experiment: str, seed: int = 7,
                     rounds: int = 1,
-                    telemetry: bool = True) -> Dict[str, Any]:
+                    telemetry: bool = True,
+                    engine: str = None) -> Dict[str, Any]:
     """The ``repro.chaos/1`` document: every architecture the
     experiment exercises, each through ``rounds`` seeded scenarios
     (round *i* uses ``seed + i``)."""
@@ -155,7 +161,7 @@ def run_chaos_sweep(experiment: str, seed: int = 7,
         for key in keys:
             scenarios.append(
                 run_chaos_scenario(key, seed=seed + i,
-                                   telemetry=telemetry))
+                                   telemetry=telemetry, engine=engine))
     return {
         "schema": CHAOS_SCHEMA,
         "experiment": experiment,

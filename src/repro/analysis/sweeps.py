@@ -69,9 +69,14 @@ class SweepPoint:
         )
 
 
-def run_sweep(grid: SweepGrid, max_cycles: int = 1_000_000
-              ) -> List[SweepPoint]:
-    """Run the minimal scenario at every grid point."""
+def run_sweep(grid: SweepGrid, max_cycles: int = 1_000_000,
+              engine: str = None) -> List[SweepPoint]:
+    """Run the minimal scenario at every grid point.
+
+    ``engine`` selects the simulation backend for every point
+    (``"object"``/``"vec"``; None defers to ``REPRO_SIM_ENGINE``).
+    Results are engine-independent — the vec backend is bit-identical.
+    """
     out: List[SweepPoint] = []
     for params in grid.points():
         build_kwargs = {
@@ -81,7 +86,8 @@ def run_sweep(grid: SweepGrid, max_cycles: int = 1_000_000
         scenario_kwargs = {
             k: v for k, v in params.items() if k in _SCENARIO_KEYS
         }
-        arch = build_architecture(params["arch"], **build_kwargs)
+        arch = build_architecture(params["arch"], engine=engine,
+                                  **build_kwargs)
         result = minimal_scenario(arch, max_cycles=max_cycles,
                                   **scenario_kwargs)
         out.append(SweepPoint(

@@ -19,16 +19,30 @@ def build_architecture(
     num_modules: int = 4,
     width: int = 32,
     seed: int = 1,
+    engine: str = None,
     **kwargs: Any,
 ) -> CommArchitecture:
     """Construct an architecture with its own simulator and ``num_modules``
     attached hardware modules named ``m0`` .. ``m{n-1}``.
 
-    Extra keyword arguments are forwarded to the architecture's config
-    (e.g. ``num_buses`` for the bus systems, ``mesh`` for DyNoC,
-    ``grid`` for CoNoChi).
+    ``engine`` selects the simulation backend (``"object"`` or
+    ``"vec"``; None defers to ``REPRO_SIM_ENGINE``, default object) —
+    see :func:`repro.sim.vec.make_simulator`.  Extra keyword arguments
+    are forwarded to the architecture's config (e.g. ``num_buses`` for
+    the bus systems, ``mesh`` for DyNoC, ``grid`` for CoNoChi).
     """
     key = name.lower().replace("-", "").replace("_", "")
+    if engine is not None and "sim" in kwargs:
+        raise ValueError("pass either engine= or sim=, not both")
+    if "sim" not in kwargs:
+        from repro.sim.vec.engine import make_simulator, resolve_engine
+
+        resolved = resolve_engine(engine)
+        if engine is not None or resolved != "object":
+            # leave the builders' own default Simulator (and its
+            # descriptive name) untouched unless an engine was chosen
+            # explicitly or ambiently via REPRO_SIM_ENGINE
+            kwargs["sim"] = make_simulator(name=key, engine=resolved)
     if key == "rmboc":
         from repro.arch.rmboc import build_rmboc
 

@@ -201,6 +201,9 @@ class CommArchitecture:
         # one dead boolean test (mirrors sim.tracing/sim.telemetering)
         self.faulting = False
         self.fault_injector: Optional[Any] = None
+        #: installed batch kernel (repro.sim.vec), or None on the
+        #: object path — subclasses dispatch their tick through it
+        self.vec: Optional[Any] = None
         if _NEW_ARCH_HOOK is not None:
             _NEW_ARCH_HOOK(self)
 
@@ -264,6 +267,32 @@ class CommArchitecture:
         """Record the number of independent transfers active this cycle."""
         if concurrent_transfers > 0:
             self._parallelism_hist.add(concurrent_transfers)
+
+    # -- vectorized backend (repro.sim.vec) --------------------------------
+    def _init_vec(self, sim: Optional[Simulator] = None) -> None:
+        """Install this architecture's batch kernel when running on a
+        vectorizing simulator.  Called at the *end* of a subclass
+        ``__init__`` (the kernel swaps hot containers in place); a
+        subclass without a kernel (``_make_vec_kernel`` returning None)
+        simply stays on the object path — hybrid execution.
+
+        Architectures that also inherit :class:`~repro.sim.Component`
+        pass their simulator explicitly: ``Component.__init__`` resets
+        ``_sim`` to None until ``bind``, which runs only at ``sim.add``.
+        """
+        if sim is not None:
+            self._sim = sim
+        sim = self._sim
+        if getattr(sim, "vectorized", False):
+            kernel = self._make_vec_kernel()
+            if kernel is not None:
+                self.vec = kernel
+                sim.register_vec_kernel(kernel)
+
+    def _make_vec_kernel(self) -> Optional[Any]:
+        """Build the architecture's compiled-tick batch kernel (see
+        :mod:`repro.sim.vec.kernels`); None means no vec support."""
+        return None
 
     @property
     def observed_dmax(self) -> int:

@@ -22,6 +22,7 @@ from repro.core.parameters import (
 from repro.fabric.area import AreaModel
 from repro.fabric.timing import ClockModel
 from repro.sim import SLEEP, Component, Simulator
+from repro.sim.vec.kernels import BatchKernel
 
 SHAREDBUS_DESCRIPTOR = DesignParameters(
     name="SharedBus",
@@ -41,6 +42,11 @@ class SharedBus(CommArchitecture, Component):
     """Single-bus baseline: static design, central round-robin arbiter."""
 
     KEY = "sharedbus"
+
+    #: no containers to swap — the batch kernel is pure cross-cycle
+    #: burst batching over shared scalars (QL006)
+    VEC_FIELDS = ()
+    VEC_SHARED = ("_current", "_done_at", "_rr_next", "_queues")
 
     def __init__(self, sim: Simulator, num_modules: int = 4,
                  width: int = 32, grant_cycles: int = 2,
@@ -66,6 +72,7 @@ class SharedBus(CommArchitecture, Component):
         self._done_at = -1
         self._grant_at = -1
         self._halted = False  # fault state: arbitration stopped
+        self._init_vec(sim)
 
     # ------------------------------------------------------------------
     def _attach_impl(self, module: str, **_: object) -> None:
@@ -135,7 +142,15 @@ class SharedBus(CommArchitecture, Component):
     def words(self, payload_bytes: int) -> int:
         return -(-payload_bytes * 8 // self.width)
 
+    def _make_vec_kernel(self):
+        return _SharedBusVecKernel(self)
+
     def tick(self, sim: Simulator):
+        if self.vec is not None:
+            return self.vec.tick(sim)
+        return self._tick_object(sim)
+
+    def _tick_object(self, sim: Simulator):
         now = sim.cycle
         if self._halted:
             return SLEEP  # dead bus: resume_bus() wakes us
@@ -180,6 +195,48 @@ class SharedBus(CommArchitecture, Component):
         if any(self._queues.values()):
             return None  # queued traffic waiting on a detached destination
         return SLEEP  # bus and queues empty: wait for the next submit
+
+
+class _SharedBusVecKernel(BatchKernel):
+    """Compiled tick for shared-bus arbitration: a granted burst is
+    fully deterministic until ``_done_at``, so the kernel sleeps
+    through it and back-fills the per-cycle ``parallelism == 1``
+    samples on wake.  Arbitration itself (queue scans, round-robin
+    state) stays the object code, which only runs at grant/completion
+    cycles — identical in both backends.
+
+    The in-burst flag is stashed *at sleep time*: ``halt_bus`` may
+    clear the live transfer at event phase mid-stretch, but the object
+    path would still have sampled every cycle before the halt tick.
+    """
+
+    def __init__(self, arch: "SharedBus") -> None:
+        super().__init__(arch)
+        self._last = self.sim.cycle
+        self._in_burst = False
+
+    def _catch_up(self, through: int) -> None:
+        if through > self._last:
+            if self._in_burst:
+                self.backfill_constant(
+                    self.arch._parallelism_hist, through - self._last, 1.0)
+            self._last = through
+
+    def flush(self, now: int) -> None:
+        self._catch_up(now - 1)
+
+    def tick(self, sim: Simulator):
+        arch = self.arch
+        now = sim.cycle
+        self._catch_up(now - 1)
+        self._last = now
+        self._in_burst = False
+        hint = arch._tick_object(sim)
+        if (hint is None and arch._current is not None
+                and not sim.telemetering and arch._done_at > now + 1):
+            self._in_burst = True
+            return arch._done_at
+        return hint
 
 
 def build_sharedbus(num_modules: int = 4, width: int = 32, seed: int = 1,

@@ -35,6 +35,8 @@ from repro.fabric.area import AreaModel
 from repro.fabric.geometry import Rect
 from repro.fabric.timing import ClockModel
 from repro.sim import SLEEP, Component, SimError, Simulator
+from repro.sim.vec.kernels import BatchKernel
+from repro.sim.vec.store import EventQueue, IntervalSet
 
 
 @dataclass
@@ -60,6 +62,11 @@ class DyNoC(CommArchitecture, Component):
     """The DyNoC interconnect on a ``cols x rows`` PE/router mesh."""
 
     KEY = "dynoc"
+
+    #: hot containers the batch kernel swaps for SoA stores (QL006)
+    VEC_FIELDS = ("_arrivals", "_deliveries", "_transmissions")
+    #: tick-mutated state the kernel shares with the object path (QL006)
+    VEC_SHARED = ("_port_free",)
 
     def __init__(self, sim: Simulator, cfg: DyNoCConfig,
                  area_model: Optional[AreaModel] = None,
@@ -87,6 +94,7 @@ class DyNoC(CommArchitecture, Component):
         # parallelism probe counts distinct packets on wires per cycle,
         # the paper's "independent data transfers".
         self._transmissions: List[Tuple[int, int, int]] = []
+        self._init_vec(sim)
 
     # ==================================================================
     # activity / topology queries
@@ -325,7 +333,12 @@ class DyNoC(CommArchitecture, Component):
     # ==================================================================
     # per-cycle behaviour
     # ==================================================================
+    def _make_vec_kernel(self):
+        return _DyNoCVecKernel(self)
+
     def tick(self, sim: Simulator):
+        if self.vec is not None:
+            return self.vec.tick(sim)
         now = sim.cycle
         self._tick_parallelism(now)
         if sim.telemetering:
@@ -444,6 +457,72 @@ class DyNoC(CommArchitecture, Component):
         self._transmissions = [t for t in self._transmissions if t[1] > now]
         active = len({m for s, e, m in self._transmissions if s <= now < e})
         self._note_parallelism(active)
+
+
+class _DyNoCVecKernel(BatchKernel):
+    """Compiled tick for DyNoC/StaticMesh S-XY transport + ejection.
+
+    Swaps the three hot containers for SoA stores, extracts due headers
+    and deliveries with one masked scan each, and — with telemetry off —
+    sleeps through busy stretches between events, back-filling the
+    per-cycle link-parallelism samples from the occupancy intervals on
+    wake-up (distinct-packet counts via interval merge + prefix sum).
+    Routing itself stays the object code: it runs only at header-arrival
+    cycles, which are identical in both backends.
+    """
+
+    def __init__(self, arch: "DyNoC") -> None:
+        super().__init__(arch)
+        arch._arrivals = EventQueue("dynoc.arrivals", arch._arrivals)
+        arch._deliveries = EventQueue("dynoc.deliveries", arch._deliveries)
+        arch._transmissions = IntervalSet("dynoc.links", arch._transmissions)
+        #: last cycle whose parallelism sample is already recorded
+        self._last = self.sim.cycle
+
+    def _catch_up(self, through: int) -> None:
+        """Replay the skipped stretch through cycle ``through``: the
+        object path records one parallelism sample per cycle with a
+        nonzero distinct-packet count (it sleeps exactly when the count
+        is zero), so filtering the zeros reproduces its sample stream
+        bit for bit."""
+        if through > self._last:
+            tx = self.arch._transmissions
+            counts = tx.active_counts(self._last + 1, through + 1)
+            busy = counts[counts > 0]
+            if busy.size:
+                self.arch._parallelism_hist.add_batch(busy)
+            self._last = through
+
+    def flush(self, now: int) -> None:
+        self._catch_up(now - 1)
+
+    def tick(self, sim: Simulator):
+        arch = self.arch
+        now = sim.cycle
+        tx = arch._transmissions
+        self._catch_up(now - 1)
+        self._last = now
+        tx.prune(now)
+        arch._note_parallelism(tx.count_distinct_at(now))
+        if sim.telemetering:
+            sim.telemetry.queue_depth(now, "dynoc.fabric",
+                                      len(arch._arrivals))
+        for _, msg in arch._deliveries.pop_due(now):
+            arch._deliver(msg)
+        for _, pkt, coord in arch._arrivals.pop_due(now):
+            arch._route(pkt, coord, now)
+        if sim.telemetering:
+            # telemetry samples per-tick queue depths: stay per-cycle
+            return arch._quiescence(now)
+        nxt = arch._arrivals.min_ready()
+        nd = arch._deliveries.min_ready()
+        if nd is not None and (nxt is None or nd < nxt):
+            nxt = nd
+        if nxt is None:
+            # every link interval ends before its packet's delivery, so
+            # no pending events implies no live link either
+            return None if (tx.max_end() or 0) > now + 1 else SLEEP
+        return nxt if nxt > now else now + 1
 
 
 def build_dynoc(

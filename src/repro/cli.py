@@ -216,6 +216,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.seeds:
+        # fleet mode: N-seed batched Monte-Carlo run per architecture
+        from repro.analysis.batch import render_fleet, run_seed_fleet
+
+        for arch in args.archs:
+            fleet = run_seed_fleet(arch, range(args.seeds),
+                                   engine=args.engine)
+            print(render_fleet(fleet))
+        return 0
     from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
 
     grid = SweepGrid(
@@ -223,7 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         width=args.widths,
         payload_bytes=args.payloads,
     )
-    points = run_sweep(grid)
+    points = run_sweep(grid, engine=args.engine)
     print(render_sweep(grid, points))
     return 0
 
@@ -301,7 +310,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     try:
         doc = run_chaos_sweep(args.which, seed=args.seed,
-                              rounds=1 if args.once else args.rounds)
+                              rounds=1 if args.once else args.rounds,
+                              engine=args.engine)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -411,6 +421,13 @@ def make_parser() -> argparse.ArgumentParser:
                    default=["rmboc", "buscom", "dynoc", "conochi"])
     p.add_argument("--widths", nargs="+", type=int, default=[8, 16, 32])
     p.add_argument("--payloads", nargs="+", type=int, default=[64])
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; results are bit-identical)")
+    p.add_argument("--seeds", type=int, default=0, metavar="N",
+                   help="fleet mode: run N seeded Monte-Carlo runs per "
+                        "architecture in one batched process instead of "
+                        "the width/payload grid")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("advise",
@@ -473,6 +490,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="single round (CI smoke)")
     p.add_argument("--json", action="store_true",
                    help="emit the repro.chaos/1 document as JSON")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; the document is engine-independent)")
     p.set_defaults(func=_cmd_chaos)
     return parser
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less installs only
+    np = None  # type: ignore[assignment]
 
 #: log-bucket resolution: sub-buckets per power of two (relative error
 #: of a bucketed percentile is at most ~1/(2*_SUBBUCKETS) ≈ 6%)
@@ -18,6 +21,10 @@ _SUBBUCKETS = 8
 #: exponent bias keeping positive-value keys positive: frexp exponents
 #: span about [-1074, 1024] for doubles, so |e * _SUBBUCKETS| < _BIAS
 _BIAS = 16384
+
+#: largest float64 that still represents every smaller non-negative
+#: integer exactly; below it, integer-valued sums are associativity-free
+_EXACT_SUM_LIMIT = float(2 ** 53)
 
 
 def log_bucket(value: float) -> int:
@@ -50,6 +57,42 @@ def bucket_value(key: int) -> float:
     hi = math.ldexp(0.5 + (sub + 1) / (2 * _SUBBUCKETS), e)
     mid = (lo + hi) / 2.0
     return mid if key > 0 else -mid
+
+
+def _percentile(samples: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile, the pure-Python stand-in for
+    ``np.percentile`` on numpy-less installs (same method, so results
+    agree up to float associativity)."""
+    data = sorted(float(v) for v in samples)
+    if not data:
+        return math.nan
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    return data[lo] + (data[hi] - data[lo]) * (rank - lo)
+
+
+def _log_bucket_array(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`log_bucket` over a float64 array.
+
+    ``np.frexp`` decomposes IEEE doubles exactly like ``math.frexp``
+    and ``m - 0.5`` / the power-of-two scale are exact float ops, so
+    every element's key equals the scalar function's result.
+    """
+    out = np.zeros(values.shape, dtype=np.int64)
+    nz = values != 0
+    if not nz.any():
+        return out
+    v = values[nz]
+    m, e = np.frexp(np.abs(v))
+    sub = ((m - 0.5) * (2 * _SUBBUCKETS)).astype(np.int64)
+    np.minimum(sub, _SUBBUCKETS - 1, out=sub)
+    key = _BIAS + e.astype(np.int64) * _SUBBUCKETS + sub
+    np.negative(key, out=key, where=v < 0)
+    out[nz] = key
+    return out
 
 
 class StreamingHistogram:
@@ -102,6 +145,66 @@ class StreamingHistogram:
         for v in values:
             self.add(v)
 
+    def add_batch(self, values) -> None:
+        """Fold a whole array of samples in, **bit-identical** to the
+        same sequence of :meth:`add` calls.
+
+        The one-shot accumulation is only taken when it provably cannot
+        round differently from the sequential path: non-negative
+        integer-valued samples whose running sums stay below 2**53 are
+        associativity-free, so ``sum``/``sumsq`` match exactly (this
+        covers the vec kernels' back-filled parallelism counts and
+        cycle latencies).  Anything else — negatives, fractions, sums
+        near the exact-integer limit — falls back to the per-sample
+        loop rather than risk a divergent float total.
+        """
+        if np is None:
+            for v in values:
+                self.add(v)
+            return
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        n = int(arr.size)
+        if n == 0:
+            return
+        if n < 16:
+            # below this, per-sample adds beat the array machinery
+            for v in arr.tolist():
+                self.add(v)
+            return
+        tot = float(arr.sum())
+        ssq = float(np.square(arr).sum())
+        safe = (
+            bool(np.all(arr == np.floor(arr)))
+            and float(arr.min()) >= 0.0
+            and self.total == math.floor(self.total)
+            and self.sumsq == math.floor(self.sumsq)
+            and self.total + tot < _EXACT_SUM_LIMIT
+            and self.sumsq + ssq < _EXACT_SUM_LIMIT
+        )
+        if not safe:
+            for v in arr.tolist():
+                self.add(v)
+            return
+        self.count += n
+        self.total += tot
+        self.sumsq += ssq
+        lo, hi = float(arr.min()), float(arr.max())
+        if lo < self._min:
+            self._min = lo
+        if hi > self._max:
+            self._max = hi
+        fill = self.exact_cap - len(self._head)
+        if fill > 0:
+            take = min(fill, n)
+            self._head.extend(arr[:take].tolist())
+            arr = arr[take:]
+        if arr.size:
+            keys, counts = np.unique(_log_bucket_array(arr),
+                                     return_counts=True)
+            buckets = self._buckets
+            for key, cnt in zip(keys.tolist(), counts.tolist()):
+                buckets[key] = buckets.get(key, 0) + cnt
+
     @property
     def exact(self) -> bool:
         """True while every sample is still stored verbatim."""
@@ -137,6 +240,8 @@ class StreamingHistogram:
         if not self.count:
             return math.nan
         if not self._buckets:
+            if np is None:
+                return _percentile(self._head, q)
             return float(np.percentile(self._head, q))
         pairs = sorted(
             [(v, 1) for v in self._head]
@@ -242,6 +347,19 @@ class Histogram:
         else:
             self._samples.extend(float(v) for v in values)
 
+    def add_batch(self, values) -> None:
+        """Append an array of samples in one call, bit-identical to
+        per-sample :meth:`add` (the vec kernels' record path)."""
+        if self._stream is not None:
+            self._stream.add_batch(values)
+            return
+        if np is None:
+            self._samples.extend(float(v) for v in values)
+            return
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        if arr.size:
+            self._samples.extend(arr.tolist())
+
     @property
     def count(self) -> int:
         if self._stream is not None:
@@ -267,13 +385,23 @@ class Histogram:
     def mean(self) -> float:
         if self._stream is not None:
             return self._stream.mean
-        return float(np.mean(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        if np is None:
+            return math.fsum(self._samples) / len(self._samples)
+        return float(np.mean(self._samples))
 
     @property
     def std(self) -> float:
         if self._stream is not None:
             return self._stream.std
-        return float(np.std(self._samples)) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        if np is None:
+            m = math.fsum(self._samples) / len(self._samples)
+            var = math.fsum((v - m) ** 2 for v in self._samples)
+            return math.sqrt(var / len(self._samples))
+        return float(np.std(self._samples))
 
     @property
     def min(self) -> float:
@@ -292,6 +420,8 @@ class Histogram:
             return self._stream.percentile(q)
         if not self._samples:
             return math.nan
+        if np is None:
+            return _percentile(self._samples, q)
         return float(np.percentile(self._samples, q))
 
     def _snapshot_state(self) -> object:
@@ -334,11 +464,19 @@ class TimeSeries:
         self._values.append(float(value))
 
     @property
-    def cycles(self) -> np.ndarray:
+    def cycles(self) -> "np.ndarray":
+        if np is None:
+            raise ImportError(
+                "TimeSeries array views need numpy: pip install repro[fast]"
+            )
         return np.asarray(self._cycles, dtype=np.int64)
 
     @property
-    def values(self) -> np.ndarray:
+    def values(self) -> "np.ndarray":
+        if np is None:
+            raise ImportError(
+                "TimeSeries array views need numpy: pip install repro[fast]"
+            )
         return np.asarray(self._values, dtype=np.float64)
 
     def __len__(self) -> int:
@@ -346,6 +484,10 @@ class TimeSeries:
 
     def window_mean(self, start: int, end: int) -> float:
         """Mean of samples with start <= cycle < end."""
+        if np is None:
+            hits = [v for c, v in zip(self._cycles, self._values)
+                    if start <= c < end]
+            return math.fsum(hits) / len(hits) if hits else math.nan
         c = self.cycles
         mask = (c >= start) & (c < end)
         if not mask.any():

@@ -1,0 +1,76 @@
+"""Struct-of-arrays (SoA) backend for the synchronous kernel.
+
+``repro.sim.vec`` holds the vectorized counterpart of the object
+kernel: contiguous numpy arrays with integer handles for the hot
+structures (wires, pulse wires, FIFOs, link/router occupancy intervals,
+timed event queues, word countdowns), a :class:`VecSimulator` that
+architectures detect to install their "compiled tick" batch kernels,
+and the engine-selection helpers behind ``repro sweep --engine=vec``.
+
+The backend is a pure optimization with the same golden-equivalence
+guarantee as the activity-driven fast path: a vec run is bit-identical
+to an object run in :meth:`~repro.sim.stats.StatsRegistry.snapshot`
+and in trace fingerprints (see ``tests/sim/test_vec_equivalence.py``).
+Components without a batch kernel fall back transparently to the
+object kernel inside the same cycle loop (hybrid execution).
+
+numpy is optional at import time: ``pip install repro[fast]`` pulls it
+in explicitly, and :data:`HAVE_NUMPY`/:func:`require_numpy` gate every
+array path so that the pure-Python object kernel keeps working when it
+is absent (``VecSimulator`` then simply never vectorizes).
+"""
+
+from __future__ import annotations
+
+try:  # optional [fast] extra — see pyproject.toml
+    import numpy as _np  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via tests' import stub
+    HAVE_NUMPY = False
+
+
+def require_numpy(feature: str = "the vec engine") -> None:
+    """Raise a clean, actionable ImportError when numpy is missing."""
+    if not HAVE_NUMPY:
+        raise ImportError(
+            f"{feature} needs numpy, which is not installed. "
+            f"Install the fast extra (`pip install repro[fast]`) or plain "
+            f"`pip install numpy`; without it the pure-Python object "
+            f"kernel (--engine=object) remains fully functional."
+        )
+
+
+from repro.sim.vec.engine import (  # noqa: E402
+    ENGINE_ENV,
+    ENGINES,
+    VecSimulator,
+    engine_default,
+    make_simulator,
+)
+from repro.sim.vec.kernels import BatchKernel  # noqa: E402
+from repro.sim.vec.store import (  # noqa: E402
+    CountdownSet,
+    EventQueue,
+    FifoBank,
+    IntervalSet,
+    PulseBank,
+    WireBank,
+)
+
+__all__ = [
+    "BatchKernel",
+    "CountdownSet",
+    "ENGINE_ENV",
+    "ENGINES",
+    "EventQueue",
+    "FifoBank",
+    "HAVE_NUMPY",
+    "IntervalSet",
+    "PulseBank",
+    "VecSimulator",
+    "WireBank",
+    "engine_default",
+    "make_simulator",
+    "require_numpy",
+]

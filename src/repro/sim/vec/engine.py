@@ -1,0 +1,102 @@
+"""Engine selection and the hybrid vectorizing simulator.
+
+``VecSimulator`` *is* a :class:`repro.sim.engine.Simulator` — same
+three-phase cycle, same activity-driven fast path, same commit
+discipline.  The only difference is a flag: architectures probe
+``getattr(sim, "vectorized", False)`` at construction time and, when it
+is set, install their compiled-tick batch kernel (swapping hot plain
+containers for the SoA structures in :mod:`repro.sim.vec.store`).
+Components that never install a kernel keep running their object tick
+inside the very same cycle loop — hybrid execution — so quiescence
+fast-forward, telemetry guards, the sanitizer and fault hooks all keep
+working unchanged.
+
+Engine choice is explicit (``make_simulator(engine=...)``, the CLI's
+``--engine`` flags) or ambient via the ``REPRO_SIM_ENGINE`` environment
+variable; the default stays the pure-Python object kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.sim.engine import SimError, Simulator
+
+#: environment switch for the default engine ("object" or "vec")
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: recognised engine names, in preference order for documentation
+ENGINES: Tuple[str, ...] = ("object", "vec")
+
+
+def engine_default() -> str:
+    """The engine used when callers pass ``engine=None``."""
+    name = os.environ.get(ENGINE_ENV, "object").strip().lower()
+    return name if name in ENGINES else "object"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an explicit engine name (None means the ambient default)."""
+    if engine is None:
+        return engine_default()
+    name = engine.strip().lower()
+    if name not in ENGINES:
+        raise SimError(
+            f"unknown engine {engine!r}: expected one of {', '.join(ENGINES)}"
+        )
+    return name
+
+
+class VecSimulator(Simulator):
+    """A :class:`Simulator` whose architectures vectorize themselves.
+
+    ``vectorized`` is the single flag the rest of the system keys on:
+    it is True only when numpy is importable, so on a numpy-less
+    install a ``VecSimulator`` degrades to a plain object-kernel run
+    (the documented pure-Python fallback) instead of failing.
+    ``vec_kernels`` records the installed batch kernels for
+    introspection and tests.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        from repro.sim.vec import HAVE_NUMPY
+
+        self.vectorized = HAVE_NUMPY
+        self.vec_kernels: List[object] = []
+
+    def register_vec_kernel(self, kernel: object) -> None:
+        """Record a batch kernel installed by an architecture."""
+        self.vec_kernels.append(kernel)
+
+    def flush_kernels(self) -> None:
+        """Replay every kernel's deferred per-cycle accounting through
+        the last executed cycle (see :meth:`BatchKernel.flush`), so a
+        snapshot taken now equals the object path's."""
+        for kernel in self.vec_kernels:
+            kernel.flush(self.cycle)
+
+    def run(self, cycles: int) -> None:
+        super().run(cycles)
+        self.flush_kernels()
+
+    def run_until(self, predicate, max_cycles=None) -> int:
+        result = super().run_until(predicate, max_cycles=max_cycles)
+        self.flush_kernels()
+        return result
+
+
+def make_simulator(name: str = "sim", engine: Optional[str] = None,
+                   **kwargs) -> Simulator:
+    """Build a simulator for the chosen engine.
+
+    ``engine=None`` defers to :data:`ENGINE_ENV` (default ``object``);
+    ``"vec"`` returns a :class:`VecSimulator`, ``"object"`` a plain
+    :class:`Simulator`.  All other keyword arguments pass through to
+    the simulator constructor.
+    """
+    resolved = resolve_engine(engine)
+    if resolved == "vec":
+        return VecSimulator(name=name, **kwargs)
+    return Simulator(name=name, **kwargs)

@@ -1,0 +1,84 @@
+"""Fleet-scale batched sweeps: seed-major batching is pure packaging.
+
+Per-seed results depend only on ``(arch, seed, workload)`` — never on
+the engine, never on how seeds are grouped into fleets, never on
+whether a process pool or the batched loop ran them.
+"""
+
+import pytest
+
+from repro.analysis.batch import (
+    FleetResult,
+    render_fleet,
+    run_seed,
+    run_seed_fleet,
+    run_seed_fleet_pool,
+)
+
+#: small-but-nontrivial workload so the whole module stays fast
+WORKLOAD = dict(cycles=3_000, bursts=2, burst_size=10, burst_gap=900,
+                payloads=(64, 256))
+
+
+def test_fleet_equals_per_seed_runs():
+    seeds = range(4)
+    fleet = run_seed_fleet("dynoc", seeds, engine="vec", **WORKLOAD)
+    solo = [run_seed("dynoc", s, engine="vec", **WORKLOAD) for s in seeds]
+    assert [r.key() for r in fleet.results] == [r.key() for r in solo]
+    assert fleet.seeds == list(seeds)
+    assert fleet.delivered_total == sum(r.delivered for r in solo)
+
+
+@pytest.mark.parametrize("key", ("dynoc", "sharedbus", "rmboc"))
+def test_seed_results_engine_independent(key):
+    for seed in (0, 11):
+        obj = run_seed(key, seed, engine="object", **WORKLOAD)
+        vec = run_seed(key, seed, engine="vec", **WORKLOAD)
+        assert obj.key() == vec.key()
+
+
+def test_fleet_grouping_irrelevant():
+    whole = run_seed_fleet("sharedbus", range(4), engine="vec", **WORKLOAD)
+    first = run_seed_fleet("sharedbus", range(2), engine="vec", **WORKLOAD)
+    second = run_seed_fleet("sharedbus", range(2, 4), engine="vec",
+                            **WORKLOAD)
+    assert ([r.key() for r in whole.results]
+            == [r.key() for r in first.results]
+            + [r.key() for r in second.results])
+
+
+def test_pool_matches_batched_fleet():
+    seeds = range(3)
+    batched = run_seed_fleet("buscom", seeds, engine="vec", **WORKLOAD)
+    pooled = run_seed_fleet_pool("buscom", seeds, engine="vec",
+                                 max_workers=1, **WORKLOAD)
+    assert ([r.key() for r in batched.results]
+            == [r.key() for r in pooled.results])
+
+
+def test_results_are_nontrivial():
+    res = run_seed("dynoc", 0, engine="vec", **WORKLOAD)
+    assert res.sent == 2 * 10            # bursts x burst_size
+    assert 0 < res.delivered <= res.sent
+    assert res.mean_latency > 0
+    assert res.max_latency >= res.mean_latency
+
+
+def test_summary_and_render():
+    fleet = run_seed_fleet("sharedbus", range(2), engine="vec", **WORKLOAD)
+    s = fleet.summary()
+    assert s["seeds"] == 2
+    assert s["arch"] == "sharedbus"
+    assert s["engine"] == "vec"
+    assert s["wall_seconds"] > 0
+    assert s["seeds_per_second"] > 0
+    line = render_fleet(fleet)
+    assert "sharedbus" in line and "2 seeds" in line and "vec" in line
+
+
+def test_empty_fleet_summary_is_safe():
+    fleet = FleetResult(arch="dynoc", engine=None)
+    s = fleet.summary()
+    assert s["seeds"] == 0
+    assert s["delivered_total"] == 0
+    assert s["seeds_per_second"] == float("inf")

@@ -1,0 +1,195 @@
+"""Golden equivalence: vec engine vs object engine, bit for bit.
+
+The SoA backend is a pure optimization — for every architecture,
+workload, telemetry setting and fault script, a ``VecSimulator`` run
+must produce exactly the same statistics, telemetry and traces as the
+plain object kernel.  Components without a batch kernel (CoNoChi) must
+fall back transparently inside the same hybrid cycle loop, and a
+numpy-less install must degrade to the object path rather than fail.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.obs.flows import FlowTelemetry
+from repro.sim import Tracer
+from repro.sim.vec import make_simulator
+
+#: architectures with a compiled-tick batch kernel installed
+VEC_ARCHS = ("dynoc", "staticmesh", "sharedbus", "buscom", "rmboc")
+#: the hybrid-fallback architecture: object tick inside VecSimulator
+ALL_ARCHS = VEC_ARCHS + ("conochi",)
+
+
+def _fingerprint(sim):
+    parts = [json.dumps(sim.stats.snapshot(), sort_keys=True, default=str)]
+    if sim.telemetering:
+        parts.append(json.dumps(sim.telemetry.snapshot(sim.cycle),
+                                sort_keys=True, default=str))
+    if sim.tracing:
+        parts.append(json.dumps([repr(e) for e in sim.tracer.events],
+                                default=str))
+    return "|".join(parts)
+
+
+def _mask_one_router(arch):
+    """Fail the first maskable router (deterministic pick)."""
+    accesses = {pl.access for pl in arch._placements.values()}
+    for coord in arch._router_active:
+        if arch.is_active(coord) and coord not in accesses:
+            arch.fail_router(coord)
+            return
+
+
+_FAULT_SCRIPTS = {
+    "dynoc": lambda sim, arch: (
+        sim.at(400, lambda _s: _mask_one_router(arch)),
+        sim.at(1400, lambda _s: [arch.repair_router(c)
+                                 for c in list(arch._failed_routers)]),
+    ),
+    "staticmesh": lambda sim, arch: (
+        sim.at(400, lambda _s: _mask_one_router(arch)),
+        sim.at(1400, lambda _s: [arch.repair_router(c)
+                                 for c in list(arch._failed_routers)]),
+    ),
+    "sharedbus": lambda sim, arch: (
+        sim.at(400, lambda _s: arch.halt_bus()),
+        sim.at(700, lambda _s: arch.resume_bus()),
+    ),
+    "buscom": lambda sim, arch: (
+        sim.at(400, lambda _s: arch.fail_bus(0)),
+        sim.at(900, lambda _s: arch.repair_bus(0)),
+    ),
+    "rmboc": lambda sim, arch: (
+        sim.at(400, lambda _s: arch.fail_crosspoint(1)),
+        sim.at(900, lambda _s: arch.repair_crosspoint(1)),
+        sim.at(1200, lambda _s: arch.freeze_slot(2)),
+        sim.at(1500, lambda _s: arch.unfreeze_slot(2)),
+    ),
+}
+
+
+def _drive(key, engine, telemetry=False, faults=False, tracing=False,
+           seed=7, sends=150, cycles=2_500):
+    sim = make_simulator(name=f"{key}-{engine}", engine=engine)
+    if tracing:
+        sim.tracer = Tracer(max_events=1_000_000)
+    if telemetry:
+        FlowTelemetry().attach(sim)
+    arch = build_architecture(key, sim=sim, seed=seed)
+    if engine == "vec" and key in VEC_ARCHS:
+        assert sim.vec_kernels, f"{key}: no batch kernel installed"
+    if engine == "vec" and key == "conochi":
+        assert not sim.vec_kernels  # hybrid fallback: object tick only
+    mods = list(arch.modules)
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(sends):
+        t += rng.randrange(1, 25)
+        src, dst = rng.sample(mods, 2)
+        payload = rng.choice([4, 16, 64, 256])
+        sim.at(t, lambda _s, a=arch, s=src, d=dst, p=payload:
+               a.ports[s].send(d, p))
+    if faults:
+        _FAULT_SCRIPTS[key](sim, arch)
+    sim.run(cycles)
+    return _fingerprint(sim)
+
+
+@pytest.mark.parametrize("telemetry", (False, True),
+                         ids=("plain", "telemetry"))
+@pytest.mark.parametrize("key", ALL_ARCHS)
+def test_engines_bit_identical(key, telemetry):
+    obj = _drive(key, "object", telemetry=telemetry)
+    vec = _drive(key, "vec", telemetry=telemetry)
+    assert obj == vec
+
+
+@pytest.mark.parametrize("key", sorted(_FAULT_SCRIPTS))
+def test_engines_bit_identical_under_faults(key):
+    obj = _drive(key, "object", faults=True)
+    vec = _drive(key, "vec", faults=True)
+    assert obj == vec
+
+
+@pytest.mark.parametrize("key", ("rmboc", "dynoc"))
+def test_engines_bit_identical_with_tracing(key):
+    obj = _drive(key, "object", telemetry=True, faults=True, tracing=True)
+    vec = _drive(key, "vec", telemetry=True, faults=True, tracing=True)
+    assert obj == vec
+
+
+def test_rmboc_reconfiguration_mid_run_equivalent():
+    """Detach/attach during traffic: queued messages to an unattached
+    destination pin the kernel to per-cycle mode (attach does not
+    wake), which must not perturb equivalence."""
+
+    def drive(engine):
+        sim = make_simulator(name=f"rmboc-{engine}", engine=engine)
+        arch = build_architecture("rmboc", sim=sim, seed=3,
+                                  num_modules=6)
+        rng = random.Random(3)
+        mods = list(arch.modules)
+        t = 0
+        for _ in range(120):
+            t += rng.randrange(1, 30)
+            src, dst = rng.sample(mods, 2)
+            sim.at(t, lambda _s, a=arch, s=src, d=dst:
+                   a.ports[s].send(d, 128) if s in a._module_xp else None)
+
+        def try_detach(s, a=arch):
+            if "m5" not in a._module_xp:
+                return
+            try:
+                a.detach("m5")
+            except RuntimeError:
+                s.at(s.cycle + 50, try_detach)
+
+        sim.at(1_500, try_detach)
+        sim.at(2_100, lambda _s, a=arch: a.attach("m6", xp=5))
+        # traffic aimed at the detached slot, then at its replacement
+        for i in range(15):
+            at = 1_550 + i * 40
+            dst = "m5" if at < 2_000 else "m6"
+            sim.at(at, lambda _s, a=arch, d=dst: a.ports["m0"].send(d, 64))
+        sim.run(4_000)
+        return _fingerprint(sim)
+
+    assert drive("object") == drive("vec")
+
+
+def test_vec_simulator_without_numpy_degrades(monkeypatch):
+    """The documented pure-Python fallback: no numpy means
+    ``vectorized`` stays False and no kernels install, but the run
+    still completes on the object path."""
+    import repro.sim.vec as vec
+
+    monkeypatch.setattr(vec, "HAVE_NUMPY", False)
+    sim = make_simulator(name="fallback", engine="vec")
+    assert not sim.vectorized
+    arch = build_architecture("dynoc", sim=sim, seed=7)
+    assert not sim.vec_kernels
+    sim.at(5, lambda _s, a=arch: a.ports["m0"].send("m1", 64))
+    sim.run(500)
+    assert arch.log.delivered()
+
+
+def test_env_var_selects_vec_engine(monkeypatch):
+    from repro.sim.vec import ENGINE_ENV, VecSimulator
+
+    monkeypatch.setenv(ENGINE_ENV, "vec")
+    arch = build_architecture("sharedbus")
+    assert isinstance(arch.sim, VecSimulator)
+    assert arch.sim.vec_kernels
+    monkeypatch.setenv(ENGINE_ENV, "object")
+    arch = build_architecture("sharedbus")
+    assert not isinstance(arch.sim, VecSimulator)
+
+
+def test_explicit_engine_conflicts_with_sim():
+    sim = make_simulator(name="x", engine="object")
+    with pytest.raises(ValueError):
+        build_architecture("sharedbus", sim=sim, engine="vec")
