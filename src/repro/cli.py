@@ -263,40 +263,99 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_paths() -> "list[str]":
+    """The installed package plus, when run from a checkout, the
+    ``examples/`` and ``tests/`` trees next to it (their findings are
+    filtered by the per-directory rule policies)."""
+    import os
+
+    import repro
+
+    paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    for extra in ("examples", "tests"):
+        if os.path.isdir(extra):
+            paths.append(extra)
+    return paths
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     import os
+    import sys
+    import traceback
 
-    from repro.lint import RULES, Severity, lint_paths
+    from repro.lint import (ALL_RULES, Severity, run_lint, to_sarif,
+                            write_baseline)
 
-    if args.paths:
-        paths = args.paths
-    else:
-        import repro
+    paths = args.paths or _default_lint_paths()
+    baseline = None if args.no_baseline else args.baseline
+    if baseline is None and not args.no_baseline \
+            and not args.write_baseline \
+            and os.path.isfile(".simlint-baseline.json"):
+        baseline = ".simlint-baseline.json"
 
-        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
-    findings = lint_paths(paths)
-    threshold = Severity.parse(args.min_severity)
-    findings = [f for f in findings if f.severity >= threshold]
+    # exit code contract: 0 clean, 1 findings, 2 internal analyzer
+    # error — a crashed analyzer must never look clean to CI.
+    try:
+        result = run_lint(paths, with_graph=not args.no_graph,
+                          baseline_path=None if args.write_baseline
+                          else baseline)
+        if args.graph:
+            graph = result.graph
+            if graph is None:
+                print("lint: --graph requires the graph pass "
+                      "(remove --no-graph)", file=sys.stderr)
+                return 2
+            if args.format == "json":
+                print(json.dumps(graph.to_json(), indent=2))
+            else:
+                print(graph.to_dot())
+            return 0
+        threshold = Severity.parse(args.min_severity)
+        findings = [f for f in result.findings
+                    if f.severity.rank >= threshold.rank]
+        if args.write_baseline:
+            entries = write_baseline(args.write_baseline, findings)
+            print(f"wrote {len(entries)} baseline entr"
+                  f"{'y' if len(entries) == 1 else 'ies'} covering "
+                  f"{len(findings)} finding(s) to {args.write_baseline}")
+            return 0
+    except Exception:
+        traceback.print_exc()
+        print("lint: internal analyzer error (exit 2)", file=sys.stderr)
+        return 2
+
+    for entry in result.stale_baseline:
+        print(f"lint: stale baseline entry {entry.rule} {entry.path} "
+              f"{entry.symbol} matched nothing — prune it",
+              file=sys.stderr)
 
     if args.format == "json":
         print(json.dumps({
             "paths": [os.path.abspath(p) for p in paths],
             "rules": {rule: {"severity": str(sev), "summary": text}
-                      for rule, (sev, text) in sorted(RULES.items())},
+                      for rule, (sev, text) in sorted(ALL_RULES.items())},
             "findings": [f.to_dict() for f in findings],
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
             "counts": {
                 str(sev): sum(1 for f in findings if f.severity is sev)
                 for sev in Severity
             },
         }, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, ALL_RULES), indent=2))
     else:
         for finding in findings:
             print(finding.render())
         errors = sum(1 for f in findings if f.severity is Severity.ERROR)
         warnings = sum(1 for f in findings if f.severity is Severity.WARNING)
+        extras = ""
+        if result.suppressed or result.baselined:
+            extras = (f" ({result.suppressed} suppressed, "
+                      f"{result.baselined} baselined)")
         print(f"{len(findings)} finding(s): {errors} error(s), "
-              f"{warnings} warning(s) in {len(paths)} path(s)")
+              f"{warnings} warning(s) in {len(paths)} path(s)" + extras)
     if args.strict:
         return 1 if findings else 0
     return 1 if any(f.severity is Severity.ERROR for f in findings) else 0
@@ -452,17 +511,33 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_advise)
 
     p = sub.add_parser("lint",
-                       help="check quiescence-contract rules "
-                            "(QL001-QL005) over component sources")
+                       help="check determinism-contract rules "
+                            "(QL001-QL011) over component sources")
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: the "
-                        "installed repro package)")
-    p.add_argument("-f", "--format", choices=["text", "json"],
+                        "installed repro package plus ./examples and "
+                        "./tests when present)")
+    p.add_argument("-f", "--format", choices=["text", "json", "sarif"],
                    default="text", help="output format")
     p.add_argument("--min-severity", choices=["info", "warning", "error"],
                    default="info", help="hide findings below this level")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on any finding, not just errors")
+    p.add_argument("--graph", action="store_true",
+                   help="dump the component-channel access graph "
+                        "instead of findings (DOT; JSON with -f json)")
+    p.add_argument("--no-graph", action="store_true",
+                   help="skip the whole-program graph rules "
+                        "(QL007-QL011); static per-class rules only")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="baseline file of accepted findings (default: "
+                        "./.simlint-baseline.json when present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file (CI uses this to "
+                        "assert the seeded fixtures still trip)")
+    p.add_argument("--write-baseline", metavar="FILE", default=None,
+                   help="write the current findings to FILE as the new "
+                        "baseline and exit 0")
     p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("report",

@@ -25,11 +25,35 @@ diagnostic:
     staged), so a FIFO's read port has exactly one owner; a second
     consumer makes results depend on tick order.
 
-The sanitizer is a pure observer: with no violations, sanitized runs are
-bit-identical to unsanitized ones (asserted by
+Two further checks form the opt-in **race detector**
+(``Simulator(sanitize="race")`` / ``REPRO_SIM_SANITIZE=race``), the
+runtime counterpart of the static rules QL007/QL008 and the adversarial
+confirmation step for their findings:
+
+``SAN004`` *same-cycle conflicting writes* — two distinct components
+    wrote the same channel in one cycle.  For wires this fires *before*
+    the generic double-drive :class:`SimError` so the diagnostic names
+    both drivers; for FIFOs (where multiple pushers are silently
+    order-dependent) it fires at the end of the cycle.
+
+``SAN005`` *order-sensitive commit* — detected by a shadow double
+    commit: the staged writes of each multi-writer channel are replayed
+    with the writer groups in reversed order, and if the committed
+    outcome differs the result depends on tick order.  Only reported in
+    ``race="record"`` mode (see below), since ``"raise"`` mode stops at
+    the SAN004 site.
+
+Race mode ``"raise"`` (the default for ``sanitize="race"``) raises on
+the first SAN004; mode ``"record"`` instead accumulates violations in
+:attr:`Sanitizer.violations` and *drops* conflicting wire writes so one
+run can surface every race — record mode is a diagnostic harness and is
+deliberately **not** equivalence-preserving.
+
+The sanitizer is otherwise a pure observer: with no violations,
+sanitized runs are bit-identical to unsanitized ones (asserted by
 ``tests/sim/test_sanitizer.py``).  Reads and writes performed outside
 any component tick — scheduled events, test harness code — are exempt
-from SAN002/SAN003 and never enter a read set.
+from SAN002/SAN003/SAN004 and never enter a read set.
 """
 
 from __future__ import annotations
@@ -42,6 +66,9 @@ from repro.sim.engine import SLEEP, SimError, Simulator
 #: sentinel for "this staged write always counts as a change" (FIFOs)
 _ALWAYS_CHANGED = object()
 
+#: sentinel for "no staged payload to track" (race-mode write ownership)
+_NO_ITEM = object()
+
 
 class SanitizerError(SimError):
     """A quiescence-contract violation detected at runtime."""
@@ -51,10 +78,27 @@ class SanitizerError(SimError):
         self.rule = rule
 
 
+def _parse_race_mode(race: object) -> Optional[str]:
+    """Normalize the ``race`` constructor argument / env value."""
+    if race in (False, None, 0, ""):
+        return None
+    if race in (True, 1, "raise", "race", "2"):
+        return "raise"
+    if race == "record":
+        return "record"
+    raise SimError(
+        f"unknown race-detector mode {race!r}; use False, 'raise' "
+        f"(alias: True/'race') or 'record'")
+
+
+def _name(obj: object) -> str:
+    return repr(getattr(obj, "name", obj))
+
+
 class Sanitizer:
     """Per-simulator recorder of channel read/write sets and checks."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, race: object = False):
         self.sim = sim
         #: channel -> components that have read it from inside a tick
         self._readers: Dict[object, Set[object]] = {}
@@ -67,6 +111,11 @@ class Sanitizer:
         self._pop_owner: Dict[object, object] = {}
         #: (rule, channel-name, component-name) counts, for reporting
         self.violations: Dict[Tuple[str, str, str], int] = {}
+        #: None (off) | "raise" | "record" — see module docstring
+        self.race_mode = _parse_race_mode(race)
+        #: channel -> [(component, staged value/items)] for this cycle,
+        #: tick-attributed writes only (race mode)
+        self._cycle_writers: Dict[object, List[Tuple[object, Any]]] = {}
 
     # ------------------------------------------------------------------
     # instrumentation
@@ -90,11 +139,47 @@ class Sanitizer:
         if component is not None:
             self._readers.setdefault(channel, set()).add(component)
 
-    def on_write(self, channel: object, old: Any = _ALWAYS_CHANGED) -> None:
+    def on_write(self, channel: object, old: Any = _ALWAYS_CHANGED,
+                 items: Any = _NO_ITEM) -> None:
         if channel not in self._staged:
             self._staged[channel] = old
-        if self.sim._ticking is not None:
+        component = self.sim._ticking
+        if component is not None:
             self._tick_writes.append(channel)
+            if self.race_mode is not None and items is not _NO_ITEM:
+                self._cycle_writers.setdefault(channel, []).append(
+                    (component, items))
+
+    def on_drive_attempt(self, wire: object, value: Any) -> bool:
+        """SAN004 pre-check for wire drives, run *before* the write is
+        staged (the generic double-drive ``SimError`` would otherwise
+        fire first without naming the two drivers).  Returns False when
+        the write must be dropped (``record`` mode conflict)."""
+        if self.race_mode is None:
+            return True
+        component = self.sim._ticking
+        if component is None:
+            return True  # event/harness writes are exempt
+        writers = self._cycle_writers.setdefault(wire, [])
+        conflict = next((c for c, _ in writers if c is not component), None)
+        writers.append((component, value))
+        if conflict is None:
+            return True
+        if self.race_mode == "raise":
+            raise SanitizerError(
+                "SAN004",
+                f"wire {_name(wire)} written by {_name(component)} in "
+                f"cycle {self.sim.cycle}, but {_name(conflict)} already "
+                f"wrote it this cycle — the committed value depends on "
+                f"tick order (static counterpart: QL007); give each "
+                f"driver its own wire or arbitrate through a FIFO")
+        self._record("SAN004", wire, component)
+        return False
+
+    def _record(self, rule: str, channel: object, component: object) -> None:
+        key = (rule, str(getattr(channel, "name", channel)),
+               str(getattr(component, "name", component)))
+        self.violations[key] = self.violations.get(key, 0) + 1
 
     def on_pop(self, fifo: "FIFO") -> None:
         component = self.sim._ticking
@@ -102,6 +187,9 @@ class Sanitizer:
             return
         owner = self._pop_owner.setdefault(fifo, component)
         if owner is not component:
+            if self.race_mode == "record":
+                self._record("SAN003", fifo, component)
+                return
             raise SanitizerError(
                 "SAN003",
                 f"FIFO {fifo.name!r} popped by component "
@@ -134,7 +222,10 @@ class Sanitizer:
 
     def end_cycle(self) -> None:
         """SAN001: after the commit phase, every changed channel must
-        have woken (or scheduled) each sleeping component that reads it."""
+        have woken (or scheduled) each sleeping component that reads it.
+        In race mode, also run the per-cycle SAN004/SAN005 checks."""
+        if self.race_mode is not None and self._cycle_writers:
+            self._check_races()
         if not self._staged:
             return
         staged, self._staged = self._staged, {}
@@ -162,6 +253,58 @@ class Sanitizer:
                         f"watch() the channel before sleeping",
                     )
 
+    def _check_races(self) -> None:
+        """End-of-cycle SAN004 (multi-writer FIFOs) and SAN005 (shadow
+        double-commit in reversed writer order) checks."""
+        writers_by_channel, self._cycle_writers = self._cycle_writers, {}
+        for channel, writes in writers_by_channel.items():
+            # contiguous per-writer groups, in arrival (tick) order
+            groups: List[Tuple[object, List[Any]]] = []
+            for component, staged in writes:
+                if groups and groups[-1][0] is component:
+                    groups[-1][1].append(staged)
+                else:
+                    groups.append((component, [staged]))
+            if len({id(c) for c, _ in groups}) < 2:
+                continue  # single writer: its own order is its business
+            if isinstance(channel, FIFO):
+                names = ", ".join(sorted(_name(c) for c, _ in groups))
+                if self.race_mode == "raise":
+                    raise SanitizerError(
+                        "SAN004",
+                        f"FIFO {_name(channel)} pushed by multiple "
+                        f"components in cycle {self.sim.cycle} ({names}); "
+                        f"the committed item order depends on tick order "
+                        f"(static counterpart: QL008) — give each "
+                        f"producer its own write port")
+                for component, _ in groups:
+                    self._record("SAN004", channel, component)
+            # SAN005 shadow double-commit: replay the writer groups in
+            # reversed order and compare the committed outcome.
+            forward = [item for _, staged in groups for item in staged]
+            reverse = [item for _, staged in reversed(groups)
+                       for item in staged]
+            if isinstance(channel, FIFO):
+                order_sensitive = forward != reverse
+            else:
+                # wires: last write wins; record mode dropped the
+                # conflicting stores, so compare first-vs-last values
+                try:
+                    order_sensitive = forward[0] != reverse[0]
+                except Exception:
+                    order_sensitive = True  # un-comparable: assume yes
+            if order_sensitive:
+                if self.race_mode == "raise":
+                    raise SanitizerError(
+                        "SAN005",
+                        f"channel {_name(channel)} commit is "
+                        f"order-sensitive in cycle {self.sim.cycle}: "
+                        f"replaying its staged writes with the writer "
+                        f"order reversed commits a different result — "
+                        f"tick order is reaching simulation state")
+                for component, _ in groups:
+                    self._record("SAN005", channel, component)
+
     # ------------------------------------------------------------------
     def forget(self, component: object) -> None:
         """Drop a component from all read sets and pop ownership (used
@@ -171,6 +314,9 @@ class Sanitizer:
         for fifo, owner in list(self._pop_owner.items()):
             if owner is component:
                 del self._pop_owner[fifo]
+        for writes in self._cycle_writers.values():
+            writes[:] = [(c, staged) for c, staged in writes
+                         if c is not component]
 
 
 # ----------------------------------------------------------------------
@@ -193,8 +339,10 @@ class _RecordingWireMixin:
 
     def drive(self, value: Any) -> None:
         old = self._value
-        super().drive(value)
         san = self._sim.sanitizer
+        if san is not None and not san.on_drive_attempt(self, value):
+            return  # record-mode conflict: write dropped, race recorded
+        super().drive(value)
         if san is not None:
             san.on_write(self, old)
 
@@ -219,27 +367,27 @@ class _SanitizedFIFO(FIFO):
         if san is not None:
             san.on_read(self)
 
-    def _on_write(self) -> None:
+    def _on_write(self, item: Any = _ALWAYS_CHANGED) -> None:
         san = self._sim.sanitizer
         if san is not None:
-            san.on_write(self)
+            san.on_write(self, items=item)
 
     # -- write port ----------------------------------------------------
     def push(self, item: Any) -> None:
         super().push(item)
-        self._on_write()
+        self._on_write(item)
 
     def try_push(self, item: Any) -> bool:
         ok = super().try_push(item)
         if ok:
-            self._on_write()
+            self._on_write(item)
         return ok
 
     def push_all(self, items: Iterable[Any]) -> None:
         items = list(items)
         super().push_all(items)
-        if items:
-            self._on_write()
+        for item in items:
+            self._on_write(item)
 
     def can_push(self, n: int = 1) -> bool:
         self._on_read()

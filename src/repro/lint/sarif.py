@@ -1,0 +1,187 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+Produces the subset of SARIF that GitHub code scanning consumes: one
+``run`` with a tool driver, a rule table (``tool.driver.rules`` with
+stable indices), and one ``result`` per finding carrying
+``ruleId``/``ruleIndex``, a ``level`` derived from
+:attr:`~repro.lint.findings.Severity.sarif_level`, a physical location,
+and a ``partialFingerprints`` entry built from the finding's
+line-independent :meth:`~repro.lint.findings.Finding.baseline_key` so
+re-runs match results across unrelated edits.
+
+:func:`validate_sarif` checks the structural constraints of the 2.1.0
+schema that matter for upload (required properties, index consistency,
+level vocabulary) without needing a JSON-schema package — CI runs it
+against the artifact before upload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+_TOOL_NAME = "repro-simlint"
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _fingerprint(finding: Finding) -> str:
+    blob = "\x1f".join(str(part) for part in finding.baseline_key())
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def to_sarif(findings: Sequence[Finding],
+             rules: Mapping[str, Tuple[Severity, str]],
+             tool_version: str = "0") -> Dict[str, object]:
+    """Render ``findings`` as a SARIF 2.1.0 log object.
+
+    ``rules`` is the merged rule table (id -> (default severity,
+    summary)); rules never fired still appear in the driver so code
+    scanning can show them as "passing".
+    """
+    rule_ids = sorted(set(rules) | {f.rule for f in findings})
+    index_of = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    driver_rules: List[Dict[str, object]] = []
+    for rule_id in rule_ids:
+        severity, summary = rules.get(
+            rule_id, (Severity.WARNING, "unregistered rule"))
+        driver_rules.append({
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": severity.sarif_level},
+        })
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": finding.severity.sarif_level,
+            "message": {"text": f"{finding.symbol}: {finding.message}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName": finding.symbol,
+                }],
+            }],
+            "partialFingerprints": {
+                "simlintBaselineKey/v1": _fingerprint(finding),
+            },
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "version": tool_version,
+                "informationUri":
+                    "https://example.invalid/repro/docs/linting.md",
+                "rules": driver_rules,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(doc: object) -> List[str]:
+    """Structural 2.1.0 validation; returns a list of problems (empty
+    when the document is upload-ready)."""
+    problems: List[str] = []
+
+    def need(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not need(isinstance(doc, dict), "log must be a JSON object"):
+        return problems
+    assert isinstance(doc, dict)
+    need(doc.get("version") == SARIF_VERSION,
+         f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not need(isinstance(runs, list) and len(runs) >= 1,
+                "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not need(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = (run.get("tool") or {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not need(isinstance(driver, dict),
+                    f"{where}.tool.driver is required"):
+            continue
+        need(bool(driver.get("name")),
+             f"{where}.tool.driver.name is required")
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        if need(isinstance(rules, list),
+                f"{where}.tool.driver.rules must be an array"):
+            for qi, rule in enumerate(rules):
+                rwhere = f"{where}.tool.driver.rules[{qi}]"
+                if not need(isinstance(rule, dict) and bool(rule.get("id")),
+                            f"{rwhere}.id is required"):
+                    continue
+                rule_ids.append(rule["id"])
+                config = rule.get("defaultConfiguration", {})
+                if isinstance(config, dict) and "level" in config:
+                    need(config["level"] in _LEVELS,
+                         f"{rwhere}.defaultConfiguration.level "
+                         f"{config['level']!r} not in {sorted(_LEVELS)}")
+        results = run.get("results", [])
+        if not need(isinstance(results, list),
+                    f"{where}.results must be an array"):
+            continue
+        for si, result in enumerate(results):
+            swhere = f"{where}.results[{si}]"
+            if not need(isinstance(result, dict),
+                        f"{swhere} must be an object"):
+                continue
+            message = result.get("message")
+            need(isinstance(message, dict) and bool(message.get("text")),
+                 f"{swhere}.message.text is required")
+            level = result.get("level")
+            if level is not None:
+                need(level in _LEVELS,
+                     f"{swhere}.level {level!r} not in {sorted(_LEVELS)}")
+            rule_id = result.get("ruleId")
+            index = result.get("ruleIndex")
+            if rule_id is not None and rule_ids:
+                need(rule_id in rule_ids,
+                     f"{swhere}.ruleId {rule_id!r} not in driver rules")
+            if index is not None:
+                ok = (isinstance(index, int)
+                      and 0 <= index < max(len(rule_ids), 1))
+                need(ok, f"{swhere}.ruleIndex {index!r} out of range")
+                if ok and rule_id is not None and rule_ids:
+                    need(rule_ids[index] == rule_id,
+                         f"{swhere}.ruleIndex does not match ruleId")
+            for li, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{swhere}.locations[{li}]"
+                phys = loc.get("physicalLocation") \
+                    if isinstance(loc, dict) else None
+                if not need(isinstance(phys, dict),
+                            f"{lwhere}.physicalLocation is required"):
+                    continue
+                art = phys.get("artifactLocation")
+                need(isinstance(art, dict) and bool(art.get("uri")),
+                     f"{lwhere}.physicalLocation.artifactLocation.uri "
+                     f"is required")
+                region = phys.get("region")
+                if isinstance(region, dict) and "startLine" in region:
+                    need(isinstance(region["startLine"], int)
+                         and region["startLine"] >= 1,
+                         f"{lwhere}.region.startLine must be >= 1")
+    return problems

@@ -12,6 +12,20 @@ They also carry a subscriber list (see :meth:`Wire.subscribe` /
 :meth:`Component.watch`) so that staging a write wakes any sleeping
 consumer — the staged value becomes visible next cycle, exactly when the
 woken consumer ticks.
+
+Write ownership
+---------------
+
+Determinism additionally assumes each channel has one writer per cycle:
+a :class:`Wire` enforces this itself (double-drive raises), but a
+:class:`FIFO` silently interleaves staged pushes in tick order, and a
+second producer makes the committed item order scheduler-dependent.
+None of that is policed here — the hot path stays free of per-write
+bookkeeping.  Ownership is checked statically by the access-graph rules
+QL007/QL008 (``repro lint``) and dynamically by the opt-in race
+detector (``Simulator(sanitize="race")``, SAN004/SAN005 in
+:mod:`repro.lint.runtime`), which instruments these classes by subclass
+swap exactly like the contract sanitizer.
 """
 
 from __future__ import annotations

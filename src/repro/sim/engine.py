@@ -43,14 +43,24 @@ from bisect import insort
 from heapq import heappop, heappush
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.sim.stats import StatsRegistry
 
 #: environment switch for the activity-driven fast path ("0" disables)
 FASTPATH_ENV = "REPRO_SIM_FASTPATH"
 
-#: environment switch for the runtime contract sanitizer ("1" enables)
+#: environment switch for the runtime contract sanitizer ("1" enables;
+#: "race"/"2" also arms the race detector, "record" its non-raising mode)
 SANITIZE_ENV = "REPRO_SIM_SANITIZE"
 
 #: environment switch for the wall-clock profiler ("1" enables)
@@ -64,11 +74,20 @@ def fastpath_default() -> bool:
     )
 
 
-def sanitize_default() -> bool:
-    """The sanitizer setting used when ``Simulator(sanitize=None)``."""
-    return os.environ.get(SANITIZE_ENV, "0").lower() in (
-        "1", "true", "on", "yes",
-    )
+def sanitize_default() -> object:
+    """The sanitizer setting used when ``Simulator(sanitize=None)``.
+
+    ``REPRO_SIM_SANITIZE=1`` enables the contract sanitizer
+    (SAN001–SAN003); ``=race`` (or ``2``) additionally arms the race
+    detector (SAN004/SAN005, see :mod:`repro.lint.runtime`);
+    ``=record`` arms it in non-raising record mode.
+    """
+    raw = os.environ.get(SANITIZE_ENV, "0").lower()
+    if raw in ("race", "2"):
+        return "race"
+    if raw == "record":
+        return "record"
+    return raw in ("1", "true", "on", "yes")
 
 
 def profile_default() -> bool:
@@ -197,8 +216,11 @@ class Simulator:
         (:class:`repro.lint.runtime.Sanitizer`): channel primitives
         record per-component read/write sets and structural contract
         violations raise :class:`repro.lint.runtime.SanitizerError`.
-        ``None`` (the default) reads :data:`SANITIZE_ENV` and falls
-        back to disabled.
+        ``"race"`` additionally arms the per-cycle write-ownership race
+        detector (SAN004/SAN005); ``"record"`` arms it in non-raising,
+        violation-accumulating mode.  ``None`` (the default) reads
+        :data:`SANITIZE_ENV` (``1``/``race``/``record``) and falls back
+        to disabled.
     profile:
         Enable the opt-in wall-clock profiler
         (:class:`repro.obs.profile.Profiler`): each component tick,
@@ -212,7 +234,7 @@ class Simulator:
 
     def __init__(self, name: str = "sim", max_cycles: int = 10_000_000,
                  fast_path: Optional[bool] = None,
-                 sanitize: Optional[bool] = None,
+                 sanitize: Union[bool, str, None] = None,
                  profile: Optional[bool] = None):
         self.name = name
         self.cycle = 0
@@ -245,7 +267,10 @@ class Simulator:
         if self.sanitize:
             from repro.lint.runtime import Sanitizer
 
-            self._sanitizer: Optional["Sanitizer"] = Sanitizer(self)
+            # sanitize=True -> contract checks only; sanitize="race" /
+            # "record" additionally arms the SAN004/SAN005 race detector
+            race = self.sanitize if isinstance(self.sanitize, str) else False
+            self._sanitizer: Optional["Sanitizer"] = Sanitizer(self, race=race)
         else:
             self._sanitizer = None
         # True while neither sanitizer nor profiler is attached: step()

@@ -50,9 +50,16 @@ Equivalence rules
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.sim.engine import Simulator
+
+#: method names that synchronize kernel state back into the object-path
+#: containers.  Object-path code that reads a ``VEC_FIELDS`` attribute
+#: outside the tick path must call one of these first — lint rule QL010
+#: (:mod:`repro.lint.race`) uses this tuple as its flush-site metadata,
+#: so a renamed flush entry point must be reflected here.
+VEC_FLUSH_SITES: Tuple[str, ...] = ("flush", "flush_kernels")
 
 try:
     import numpy as np

@@ -1,0 +1,8 @@
+"""Seeded contract-violation fixtures for the lint regression suite.
+
+Every module in this package intentionally violates a determinism rule
+and must KEEP violating it: CI asserts the analyzer still flags each
+one (``tests/lint/test_race_rules.py`` and the ``lint-graph`` CI job),
+so a refactor that silently stops the detection fails loudly.  The
+``tests/lint/fixtures`` directory policy re-enables every rule here.
+"""

@@ -1,0 +1,68 @@
+"""Seeded QL008/SAN005 fixture: a FIFO with two producers and two
+consumers.
+
+Both producers push distinct payloads in the same cycle, so the
+committed item order depends on tick order: the static rule QL008 must
+flag the multi-producer (and multi-consumer) topology, and a
+``sanitize="record"`` run must record SAN004 plus an order-sensitive
+SAN005 shadow-commit divergence (``sanitize="race"`` raises at the
+first SAN004).  Do not fix this file — CI asserts detection.
+"""
+
+from repro.sim.channel import FIFO
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+class PusherA(Component):
+    def __init__(self, name, queue):
+        super().__init__(name)
+        self._queue = queue
+
+    def tick(self, sim):
+        self._queue.push(("A", sim.cycle))
+        return None
+
+
+class PusherB(Component):
+    def __init__(self, name, queue):
+        super().__init__(name)
+        self._queue = queue
+
+    def tick(self, sim):
+        self._queue.push(("B", sim.cycle))
+        return None
+
+
+class PopperA(Component):
+    def __init__(self, name, queue):
+        super().__init__(name)
+        self._queue = queue
+        self.seen = []
+
+    def tick(self, sim):
+        item = self._queue.try_pop()
+        if item is not None:
+            self.seen.append(item)
+        return None
+
+
+class PopperB(PopperA):
+    pass
+
+
+class RacyQueueFabric:
+    """One FIFO, two tick-path pushers, two tick-path poppers."""
+
+    def __init__(self, sim: Simulator):
+        self.queue = FIFO(sim, "jobs")
+        self.pa = PusherA("pa", self.queue)
+        self.pb = PusherB("pb", self.queue)
+        self.ca = PopperA("ca", self.queue)
+        self.cb = PopperB("cb", self.queue)
+        for component in (self.pa, self.pb, self.ca, self.cb):
+            sim.add(component)
+
+
+def build(sim: Simulator) -> RacyQueueFabric:
+    return RacyQueueFabric(sim)

@@ -1,0 +1,48 @@
+"""Seeded QL007/SAN004 fixture: two components drive one shared wire.
+
+``Fabric`` owns the wire and hands it to two producer components
+through their constructors; both stage a write every cycle.  The access
+graph must resolve the constructor aliasing and report a QL007
+write-write race, and a ``sanitize="race"`` run must raise SAN004 (the
+plain double-drive ``SimError`` fires too, but without naming both
+drivers).  Do not fix this file — CI asserts the race stays detected.
+"""
+
+from repro.sim.channel import Wire
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+
+
+class ProducerA(Component):
+    def __init__(self, name, grant):
+        super().__init__(name)
+        self._grant = grant
+
+    def tick(self, sim):
+        self._grant.drive(("A", sim.cycle))
+        return None
+
+
+class ProducerB(Component):
+    def __init__(self, name, grant):
+        super().__init__(name)
+        self._grant = grant
+
+    def tick(self, sim):
+        self._grant.drive(("B", sim.cycle))
+        return None
+
+
+class Fabric:
+    """Wires the racy topology: one wire, two tick-path drivers."""
+
+    def __init__(self, sim: Simulator):
+        self.grant = Wire(sim, "grant")
+        self.a = ProducerA("a", self.grant)
+        self.b = ProducerB("b", self.grant)
+        sim.add(self.a)
+        sim.add(self.b)
+
+
+def build(sim: Simulator) -> Fabric:
+    return Fabric(sim)
