@@ -2,7 +2,18 @@
 
 These are not paper artifacts; they track the simulator's own speed so
 performance regressions in the hot paths (kernel step, FIFO, S-XY
-decision, end-to-end scenario) are visible."""
+decision, end-to-end scenario) are visible.
+
+Besides the pytest-benchmark suite, the module is a CLI guarding the
+journey-recording overhead contract (``docs/observability.md``)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_perf.py --smoke --check
+
+times a dense fabric workload per architecture with journeys off and
+on; ``--check`` exits 1 if a journeys-off/on run pair diverges in its
+stats fingerprint or delivered count (journeys must never perturb the
+simulation), or if journeys-on overhead exceeds the contract bound.
+"""
 
 from repro.arch import build_architecture
 from repro.arch.dynoc.routing import NORMAL, sxy_next
@@ -141,3 +152,138 @@ def test_perf_minimal_scenario_all_archs(benchmark):
         return total
 
     assert benchmark(run) > 0
+
+
+# ----------------------------------------------------------------------
+# journey overhead CLI (CI: --smoke --check)
+# ----------------------------------------------------------------------
+JOURNEY_ARCHS = ("dynoc", "staticmesh", "sharedbus", "buscom", "rmboc",
+                 "conochi")
+
+#: journeys-on may cost at most this factor over journeys-off on the
+#: dense workload (plus an absolute CI-noise allowance) — the
+#: documented overhead contract for full-rate recording
+JOURNEY_OVERHEAD_FACTOR = 2.0
+JOURNEY_OVERHEAD_SLACK_S = 0.05
+
+
+def _run_journey_workload(key, journeys, cycles=4_000, seed=13,
+                          period=25):
+    """One seeded steady-traffic run; returns
+    ``(wall_seconds, stats_fingerprint, delivered, sampled)``."""
+    import json
+    import random
+    import time
+
+    from repro.obs.journey import JourneyRecorder
+    from repro.sim import Simulator
+
+    sim = Simulator(name=f"journey-bench-{key}")
+    arch = build_architecture(key, sim=sim, seed=seed)
+    if journeys:
+        sim.journey = JourneyRecorder(seed=seed)
+    mods = list(arch.modules)
+    rng = random.Random(seed)
+    t = 1
+    while t < cycles:
+        src, dst = rng.sample(mods, 2)
+        pb = rng.choice([64, 256, 1024])
+        sim.at(t, lambda _s, a=arch, s=src, d=dst, p=pb:
+               a.ports[s].send(d, p))
+        t += rng.randrange(1, period)
+    t0 = time.perf_counter()
+    sim.run(cycles)
+    wall = time.perf_counter() - t0
+    fp = json.dumps(sim.stats.snapshot(), sort_keys=True, default=str)
+    sampled = len(sim.journey) if sim.journey is not None else 0
+    return wall, fp, len(arch.log.delivered()), sampled
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import sys
+    import time
+
+    ap = argparse.ArgumentParser(
+        description="journey-recording overhead/parity gate")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI scale: fewer cycles and repeats")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 on stats divergence or overhead "
+                         "beyond the contract bound")
+    ap.add_argument("--write", metavar="PATH",
+                    help="write results JSON to PATH")
+    ap.add_argument("--archs", nargs="+", default=list(JOURNEY_ARCHS),
+                    choices=JOURNEY_ARCHS)
+    args = ap.parse_args(argv)
+
+    cycles, repeats = (2_000, 1) if args.smoke else (6_000, 3)
+    rows = []
+    failures = []
+    for key in args.archs:
+        best = {}
+        fps = {}
+        meta = {}
+        for journeys in (False, True):
+            times = []
+            for _ in range(repeats):
+                wall, fp, delivered, sampled = _run_journey_workload(
+                    key, journeys, cycles=cycles)
+                times.append(wall)
+            best[journeys] = min(times)
+            fps[journeys] = fp
+            meta[journeys] = (delivered, sampled)
+        overhead = best[True] / best[False] if best[False] else 1.0
+        row = {
+            "arch": key,
+            "off_seconds": round(best[False], 4),
+            "on_seconds": round(best[True], 4),
+            "overhead": round(overhead, 3),
+            "delivered": meta[True][0],
+            "sampled_journeys": meta[True][1],
+            "stats_identical": fps[False] == fps[True],
+        }
+        rows.append(row)
+        print(f"journeys {key:>10}: off {best[False]:.4f}s  "
+              f"on {best[True]:.4f}s  ({overhead:.2f}x, "
+              f"{row['sampled_journeys']} journeys, "
+              f"stats {'==' if row['stats_identical'] else '!='})")
+        if not row["stats_identical"]:
+            failures.append(f"{key}: journeys-on changed the stats "
+                            f"fingerprint (must be bit-identical)")
+        if meta[False][0] != meta[True][0]:
+            failures.append(f"{key}: delivered count diverged "
+                            f"({meta[False][0]} vs {meta[True][0]})")
+        bound = (best[False] * JOURNEY_OVERHEAD_FACTOR
+                 + JOURNEY_OVERHEAD_SLACK_S)
+        if best[True] > bound:
+            failures.append(f"{key}: journeys-on {best[True]:.4f}s "
+                            f"exceeds bound {bound:.4f}s")
+
+    if args.write:
+        doc = {
+            "schema": "repro.bench_journey/1",
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "workload": {"cycles": cycles, "repeats": repeats},
+            "rows": rows,
+        }
+        with open(args.write, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.write}")
+
+    if args.check:
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print("check passed: journeys-off/on stats identical, "
+              "overhead within contract on every architecture")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

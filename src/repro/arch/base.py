@@ -153,8 +153,13 @@ class ArchPort:
         # whatever else ran in the process before them
         msg = Message(src=self.module, dst=dst, payload_bytes=payload_bytes,
                       tag=tag, mid=next(self.arch._mid_seq))
-        msg.created_cycle = self.arch.sim.cycle
+        sim = self.arch.sim
+        msg.created_cycle = sim.cycle
         self.arch.log.sent(msg)
+        # open the provenance record before _submit so the injection
+        # path's stamps land on it (sampling decides inside start())
+        if sim.journeying:
+            sim.journey.start(msg, sim.cycle)
         self.arch._submit(msg)
         return msg
 
@@ -262,6 +267,8 @@ class CommArchitecture:
         if sim.telemetering:
             sim.telemetry.record_flow(sim.cycle, msg.src, msg.dst,
                                       msg.latency, msg.payload_bytes)
+        if sim.journeying:
+            sim.journey.finalize(msg, sim.cycle)
 
     def _note_parallelism(self, concurrent_transfers: int) -> None:
         """Record the number of independent transfers active this cycle."""

@@ -186,6 +186,13 @@ class SharedBus(CommArchitecture, Component):
                 )
                 self._current = msg
                 self._done_at = now + duration - 1
+                if sim.journeying:
+                    jr = sim.journey
+                    # queued-since-creation wait ends at the grant; the
+                    # burst (grant + addr phases + payload words) then
+                    # occupies the bus through _done_at
+                    jr.stamp_to(msg.mid, "arbitration_wait", now)
+                    jr.stamp_to(msg.mid, "link_transit", self._done_at)
                 self.sim.stats.counter("sharedbus.grants").inc()
                 if sim.telemetering:
                     sim.telemetry.backpressure(

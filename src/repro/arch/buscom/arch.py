@@ -415,6 +415,14 @@ class BusCom(CommArchitecture, Component):
             - 1
         )
         bus.frames_sent += 1
+        if self.sim.journeying:
+            jr = self.sim.journey
+            # everything since the last frame (or creation) was TDMA
+            # slot alignment; the frame then occupies this bus through
+            # its last word — concurrent frames on other buses merge
+            # through the record's cursor
+            jr.stamp_to(frag.msg.mid, "slot_wait", now)
+            jr.stamp_to(frag.msg.mid, "link_transit", bus.frame_done_at)
         if self.sim.telemetering:
             # the frame occupies this bus from launch to its last word
             self.sim.telemetry.link_busy(

@@ -163,6 +163,11 @@ class CoNoChi(CommArchitecture, Component):
             # NI serializes fragments onto the module->switch link.
             start = max(now + 1, self._port_free.get(("ni", msg.src), 0))
             self._port_free[("ni", msg.src)] = start + pkt.words
+            if self.sim.journeying:
+                jr = self.sim.journey
+                jr.stamp_to(msg.mid, "ni_queue", start)
+                jr.stamp_to(msg.mid, "link_transit",
+                            start + self.cfg.link_latency)
             self._arrivals.append(
                 (start + self.cfg.link_latency, pkt, src_switch)
             )
@@ -417,10 +422,19 @@ class CoNoChi(CommArchitecture, Component):
             raise
         if nxt == "local":
             start = self._reserve((at, "local"), now, pkt.words, pkt.msg.mid)
+            if self.sim.journeying:
+                jr = self.sim.journey
+                jr.stamp_to(pkt.msg.mid, "arbitration_wait", start)
+                jr.stamp_to(pkt.msg.mid, "delivery", start + pkt.words)
             self._land(pkt, start + pkt.words)
             self.sim.stats.histogram("conochi.hops").add(pkt.hops)
             return
         start = self._reserve((at, nxt), now, pkt.words, pkt.msg.mid)
+        if self.sim.journeying:
+            jr = self.sim.journey
+            jr.stamp_to(pkt.msg.mid, "arbitration_wait", start)
+            jr.stamp_to(pkt.msg.mid, "link_transit",
+                        start + self.link_cycles(at, nxt))
         stats = self.sim.stats
         stats.counter("conochi.word_hops").inc(pkt.words)
         stats.counter("conochi.word_wire_tiles").inc(

@@ -307,7 +307,11 @@ class DyNoC(CommArchitecture, Component):
             state=NORMAL,
         )
         msg.accepted_cycle = self.sim.cycle
-        # module -> access-router injection wire
+        if self.sim.journeying:
+            # module -> access-router injection wire transit
+            self.sim.journey.stamp_to(
+                msg.mid, "link_transit",
+                self.sim.cycle + self.cfg.link_latency)
         self._arrivals.append(
             (self.sim.cycle + self.cfg.link_latency, pkt, src_access)
         )
@@ -414,6 +418,10 @@ class DyNoC(CommArchitecture, Component):
                 self.sim.span_end("dynoc", "detour", key=pkt.msg.mid,
                                   left_at=at, delivered=True)
             start = self._reserve_port(at, "local", now, pkt.words, pkt.msg.mid)
+            if self.sim.journeying:
+                jr = self.sim.journey
+                jr.stamp_to(pkt.msg.mid, "arbitration_wait", start)
+                jr.stamp_to(pkt.msg.mid, "delivery", start + pkt.words)
             self._deliveries.append((start + pkt.words, pkt.msg))
             self.sim.stats.histogram("dynoc.hops").add(pkt.hops)
             return
@@ -451,6 +459,14 @@ class DyNoC(CommArchitecture, Component):
             arrival = start + pkt.words + self.cfg.link_latency - 1
         else:
             arrival = start + self.cfg.link_latency
+        if self.sim.journeying:
+            jr = self.sim.journey
+            jr.stamp_to(pkt.msg.mid, "arbitration_wait", start)
+            # hops taken while skirting an obstacle are the detour cost
+            jr.stamp_to(pkt.msg.mid,
+                        ("router_detour"
+                         if pkt.state.mode is not NORMAL.mode
+                         else "link_transit"), arrival)
         self._arrivals.append((arrival, pkt, nxt))
 
     def _tick_parallelism(self, now: int) -> None:

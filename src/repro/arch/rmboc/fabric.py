@@ -287,6 +287,9 @@ class RMBoC(CommArchitecture, Component):
             tel = self.sim.telemetry
             for seg, bus in tr.channel.lanes.items():
                 tel.link_busy(now, f"rmboc.lane.s{seg}b{bus}", words)
+        if self.sim.journeying:
+            # the word stream held the circuit from acceptance to now
+            self.sim.journey.stamp_to(tr.msg.mid, "link_transit", now)
         self._deliver(tr.msg)
         self._idle_since[tr.channel.cid] = now
 
@@ -519,6 +522,16 @@ class RMBoC(CommArchitecture, Component):
                 busy_channels.add(free.cid)
                 self._idle_since.pop(free.cid, None)
                 msg.accepted_cycle = now
+                if self.sim.journeying:
+                    # split the wait: NI queueing before the REQUEST,
+                    # circuit setup, then queueing for a free lane on
+                    # the established channel (cursor clipping makes
+                    # pre-existing circuits attribute zero setup)
+                    jr = self.sim.journey
+                    jr.stamp_to(msg.mid, "ni_queue", free.requested_cycle)
+                    jr.stamp_to(msg.mid, "setup_wait",
+                                free.established_cycle)
+                    jr.stamp_to(msg.mid, "ni_queue", now)
                 served.append(msg)
                 continue
             requesting = sum(

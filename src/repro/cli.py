@@ -108,7 +108,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         _, session = observe_named(args.which, trace=True,
                                    profile=args.profile,
                                    max_events=args.max_events,
-                                   keep=args.keep)
+                                   keep=args.keep,
+                                   journeys=args.journeys,
+                                   engine=args.engine)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -143,7 +145,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
 
     try:
-        _, session = observe_named(args.which, trace=False, profile=True)
+        _, session = observe_named(args.which, trace=False, profile=True,
+                                   engine=args.engine)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -183,6 +186,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             json_out=args.json,
             max_rows=args.rows,
             clear=not args.no_clear,
+            journeys=not args.no_journeys,
+            engine=args.engine,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -191,6 +196,36 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(f"experiment {args.which!r} built no simulators",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        explain_experiment,
+        render_explain,
+        validate_journey,
+    )
+
+    try:
+        doc = explain_experiment(args.which, engine=args.engine,
+                                 rate=args.rate, seed=args.seed,
+                                 max_records=args.max_records)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    validate_journey(doc)
+    text = (json.dumps(doc, indent=2, sort_keys=True) if args.json
+            else render_explain(doc, top=args.top))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"explain      : {args.out} "
+              f"({doc['total_flows']} flows, "
+              f"{doc['coverage']:.1%} attributed)")
+    else:
+        print(text)
     return 0
 
 
@@ -432,6 +467,12 @@ def make_parser() -> argparse.ArgumentParser:
                    help="which side to keep at capacity")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the terminal summary")
+    p.add_argument("--journeys", action="store_true",
+                   help="also record message journeys (adds journey "
+                        "threads + flow arcs to the Perfetto export)")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; traces are bit-identical)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("profile",
@@ -444,6 +485,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write a JSON stats/kernel/profile snapshot")
     p.add_argument("--top", type=int, default=10,
                    help="rows in the terminal summary")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object)")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("watch",
@@ -462,7 +506,36 @@ def make_parser() -> argparse.ArgumentParser:
                    help="rows per dashboard table")
     p.add_argument("--no-clear", action="store_true",
                    help="append refreshes instead of clearing the screen")
+    p.add_argument("--no-journeys", action="store_true",
+                   help="skip journey recording (drops the per-flow "
+                        "slowest-segment column)")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; snapshots are bit-identical)")
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser("explain",
+                       help="run an experiment with message journeys "
+                            "and attribute per-flow latency to fabric "
+                            "segments")
+    p.add_argument("which", help="experiment/ablation name (e1..e12, a1..a7)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.journey/1 document as JSON")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="write the report/document to FILE")
+    p.add_argument("--top", type=int, default=10,
+                   help="flows per simulator in the terminal report")
+    p.add_argument("--rate", type=float, default=1.0,
+                   help="deterministic journey sampling rate in [0, 1]")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed (same seed samples the same "
+                        "messages on either engine)")
+    p.add_argument("--max-records", type=int, default=100_000,
+                   help="journey record cap per simulator (keep-first)")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; journey records are bit-identical)")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("scenario", help="run the minimal scenario")
     p.add_argument("-a", "--arch", default="conochi",

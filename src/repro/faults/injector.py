@@ -170,6 +170,19 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # shared helpers (also used by recovery policies)
     # ------------------------------------------------------------------
+    def _fault_ref(self, record: Optional[FaultRecord]
+                   ) -> Optional[Dict[str, Any]]:
+        """Stable reference to a fault record for journey linkage (the
+        index doubles as the Perfetto flow-arc id)."""
+        if record is None:
+            return None
+        return {
+            "index": self.records.index(record),
+            "kind": record.kind.value,
+            "target": str(record.target),
+            "injected": record.injected,
+        }
+
     def drop_message(self, msg, record: Optional[FaultRecord] = None,
                      why: str = "fault") -> None:
         """Mark ``msg`` lost to a fault; queue it for retransmission."""
@@ -181,6 +194,9 @@ class FaultInjector:
         self._victims.append(msg)
         self._count("fault.msg.dropped")
         sim = self.arch.sim
+        if sim.journeying:
+            sim.journey.drop(msg, sim.cycle, why=why,
+                             fault=self._fault_ref(record))
         if (self.retransmit and record is not None
                 and record.recovered >= 0):
             # straggler: the fault already recovered (e.g. a detour took
@@ -224,8 +240,10 @@ class FaultInjector:
         self._count("fault.injected")
         sim.stats.counter(f"fault.injected.{ev.kind.value}").inc()
         if sim.tracing:
+            # data key is ``fault`` (not ``kind``) — ``kind`` would
+            # collide with span_begin's positional parameter
             sim.span_begin("faults", "outage", key=key,
-                           kind=ev.kind.value, target=str(ev.target))
+                           fault=ev.kind.value, target=str(ev.target))
 
         if ev.kind in LINK_KINDS:
             self._link_faults[ev.target] = _LinkFault(
@@ -263,7 +281,7 @@ class FaultInjector:
         sim.stats.histogram("fault.detection_cycles").add(
             rec.detection_latency)
         if sim.tracing:
-            sim.emit("faults", "detected", kind=ev.kind.value,
+            sim.emit("faults", "detected", fault=ev.kind.value,
                      target=str(ev.target))
         if ev.kind is FaultKind.NODE_DOWN:
             recovery_at = self.policy.on_detected(ev.target, sim.cycle)
@@ -332,6 +350,12 @@ class FaultInjector:
             self._retrans_origin[copy.mid] = msg
             rec.retransmitted += 1
             self._count("fault.msg.retransmitted")
+            sim = self.arch.sim
+            if sim.journeying:
+                # chain the copy's journey back to the dropped original
+                # and the fault that caused the resend
+                sim.journey.link_retransmission(
+                    copy.mid, msg.mid, self._fault_ref(rec))
 
     def _note_undelivered(self, _sim=None, rechecks: int = 8) -> None:
         """Gauge the undelivered backlog; while it is non-zero (e.g.

@@ -19,7 +19,10 @@ capture harness:
 * :mod:`repro.obs.alerts` — declarative SLO rules over telemetry
   (:class:`AlertEngine`), emitted into traces and Prometheus;
 * :mod:`repro.obs.watch` — the live ``repro watch`` dashboard and its
-  CI snapshot schema.
+  CI snapshot schema;
+* :mod:`repro.obs.journey` — per-message journey records with
+  hop-level latency attribution (``repro explain``, sampled via a
+  deterministic seed, exported under ``repro.journey/1``).
 
 Everything the exporters emit except profiler wall time is
 simulation-derived and deterministic; see ``docs/observability.md``.
@@ -36,6 +39,16 @@ from repro.obs.flows import (
     FlowTelemetry,
     LinkStats,
     merge_snapshots,
+)
+from repro.obs.journey import (
+    JOURNEY_SCHEMA,
+    JourneyRecord,
+    JourneyRecorder,
+    aggregate_flows,
+    build_journey_document,
+    explain_experiment,
+    render_explain,
+    validate_journey,
 )
 from repro.obs.perfetto import (
     summarize_trace,
@@ -67,6 +80,9 @@ __all__ = [
     "FlowStats",
     "FlowTelemetry",
     "Histogram",
+    "JOURNEY_SCHEMA",
+    "JourneyRecord",
+    "JourneyRecorder",
     "KernelMetrics",
     "LinkStats",
     "ObservationSession",
@@ -79,10 +95,15 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "WAKE_REASONS",
+    "aggregate_flows",
+    "build_journey_document",
     "collect_snapshot",
     "default_rules",
+    "explain_experiment",
     "merge_snapshots",
     "observe_named",
+    "render_explain",
+    "validate_journey",
     "render_dashboard",
     "sanitize_metric_name",
     "summarize_trace",

@@ -13,6 +13,15 @@ Mapping:
 * one simulated **cycle** is exported as one **microsecond**, so the
   Perfetto timeline reads directly in cycles.
 
+When a :class:`~repro.obs.journey.JourneyRecorder` is attached, each
+sampled message's segments additionally become per-source ``journey:*``
+threads whose slices are chained by *flow events* (``ph`` s/t/f
+sharing one id per message chain) — so one message's hops, and any
+fault-triggered retransmission copies, read as a single connected arc
+in the Perfetto UI.  Fault incidents get the same treatment: an arc
+per outage links the injection, the ``detected`` instant and the
+recovery end of the ``faults.outage`` span.
+
 Kernel self-metrics and profiler results ride along in ``otherData``
 (Perfetto ignores unknown top-level keys).
 """
@@ -24,6 +33,10 @@ from typing import Any, Dict, IO, Iterable, List, Sequence, Union
 
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
+
+#: journey threads sit above the tracer's per-source tids so the two
+#: namespaces can never collide however many sources a tracer grows
+_JOURNEY_TID_BASE = 1000
 
 
 def _jsonable(value: Any) -> Any:
@@ -41,7 +54,9 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-def _tracer_events(tracer: Tracer, pid: int) -> List[Dict[str, Any]]:
+def _tracer_events(
+    tracer: Tracer, pid: int,
+) -> "tuple[List[Dict[str, Any]], Dict[str, int]]":
     events: List[Dict[str, Any]] = []
     tids: Dict[str, int] = {}
 
@@ -67,6 +82,118 @@ def _tracer_events(tracer: Tracer, pid: int) -> List[Dict[str, Any]]:
             "pid": pid, "tid": tid_for(sp.source),
             "args": _jsonable(sp.data),
         })
+    return events, tids
+
+
+def _fault_flow_events(tracer: Tracer, pid: int,
+                       tid: int) -> List[Dict[str, Any]]:
+    """Flow events binding each fault incident into one arc: injection
+    (outage span begin) -> ``detected`` instant -> recovery (span end).
+
+    All three points live on the ``faults`` thread ``tid``, so the arc
+    attaches to the outage slice and the detection instant the tracer
+    already exports.  Detection instants are matched to their outage by
+    (kind, target) within the span window, each consumed at most once —
+    concurrent same-kind faults on different targets stay separate.
+    """
+    outages = [sp for sp in tracer.spans
+               if sp.source == "faults" and sp.kind == "outage"]
+    if not outages:
+        return []
+    detections = [ev for ev in tracer.events
+                  if ev.source == "faults" and ev.kind == "detected"]
+    used = [False] * len(detections)
+    events: List[Dict[str, Any]] = []
+    for i, sp in enumerate(outages):
+        arc = f"fault{pid}-{i}"
+        common = {"id": arc, "name": "fault-arc", "cat": "faults",
+                  "pid": pid, "tid": tid}
+        events.append({"ph": "s", "ts": sp.begin, **common})
+        for j, ev in enumerate(detections):
+            if used[j] or not sp.begin <= ev.cycle <= sp.end:
+                continue
+            if (ev.data.get("fault") != sp.data.get("fault")
+                    or ev.data.get("target") != sp.data.get("target")):
+                continue
+            used[j] = True
+            events.append({"ph": "t", "ts": ev.cycle, **common})
+            break
+        events.append({"ph": "f", "bp": "e", "ts": sp.end, **common})
+    return events
+
+
+def _journey_events(journey, pid: int) -> List[Dict[str, Any]]:
+    """Sampled journeys as per-segment ``X`` slices on ``journey:<src>``
+    threads, chained by flow events sharing one id per message chain.
+
+    A retransmission copy reuses its dropped original's arc id (chains
+    resolved through ``retrans_of``), so a NODE_DOWN incident reads as
+    enqueue -> ... -> drop -> resend -> ... -> delivery in one sweep.
+    The flow terminates (``ph: "f"``) only at a delivery, or at a drop
+    nothing retransmitted — a dropped-then-resent original keeps the
+    arc open for its copy's segments to continue.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    records = journey.records
+
+    def tid_for(src: str) -> int:
+        if src not in tids:
+            tids[src] = _JOURNEY_TID_BASE + len(tids)
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid,
+                "tid": tids[src], "args": {"name": f"journey:{src}"},
+            })
+        return tids[src]
+
+    def root_of(mid: int) -> int:
+        seen = set()
+        while mid not in seen:
+            seen.add(mid)
+            rec = records.get(mid)
+            if rec is None or rec.retrans_of is None:
+                break
+            mid = rec.retrans_of
+        return mid
+
+    resent = {r.retrans_of for r in records.values()
+              if r.retrans_of is not None}
+    for mid in sorted(records):
+        rec = records[mid]
+        tid = tid_for(rec.src)
+        arc = f"j{pid}-{root_of(mid)}"
+        terminal = rec.delivered >= 0 or (rec.dropped
+                                          and mid not in resent)
+        opens_arc = rec.retrans_of is None
+        args = {"mid": rec.mid, "src": rec.src, "dst": rec.dst,
+                "bytes": rec.payload_bytes}
+        if rec.retrans_of is not None:
+            args["retrans_of"] = rec.retrans_of
+        if rec.fault is not None:
+            args["fault"] = _jsonable(rec.fault)
+        last = len(rec.segments) - 1
+        for n, (kind, start, end) in enumerate(rec.segments):
+            events.append({
+                "name": kind, "cat": "journey", "ph": "X",
+                "ts": start, "dur": end - start,
+                "pid": pid, "tid": tid, "args": args,
+            })
+            if last == 0 and opens_arc and terminal:
+                continue  # one-point chain: nothing to link
+            flow = {"id": arc, "name": "journey", "cat": "journey",
+                    "pid": pid, "tid": tid, "ts": start}
+            if n == 0 and opens_arc:
+                events.append({"ph": "s", **flow})
+            elif n == last and terminal:
+                events.append({"ph": "f", "bp": "e", **flow})
+            else:
+                events.append({"ph": "t", **flow})
+        if rec.dropped:
+            events.append({
+                "name": "dropped", "cat": "journey", "ph": "i", "s": "t",
+                "ts": rec.cursor, "pid": pid, "tid": tid,
+                "args": {**args, "why": rec.drop_why},
+            })
     return events
 
 
@@ -97,10 +224,21 @@ def to_chrome_trace(
         }
         tracer = sim.tracer
         if tracer is not None:
-            trace_events.extend(_tracer_events(tracer, pid))
+            tev, tids = _tracer_events(tracer, pid)
+            trace_events.extend(tev)
+            if "faults" in tids:
+                trace_events.extend(
+                    _fault_flow_events(tracer, pid, tids["faults"]))
             meta["dropped_events"] = tracer.dropped
             meta["dropped_spans"] = tracer.dropped_spans
             meta["open_spans"] = _jsonable(tracer.open_spans())
+        if sim.journey is not None:
+            trace_events.extend(_journey_events(sim.journey, pid))
+            meta["journeys"] = {
+                "records": len(sim.journey),
+                "sampled_out": sim.journey.sampled_out,
+                "capped": sim.journey.capped,
+            }
         if sim.profiler is not None:
             meta["profile"] = sim.profiler.as_dict()
         if sim.telemetry is not None:

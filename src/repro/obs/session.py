@@ -19,10 +19,14 @@ exiting restores it.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.sim.engine import Simulator, set_new_sim_hook
 from repro.sim.trace import Tracer
+
+#: sentinel distinguishing "env var was unset" from "was empty string"
+_UNSET = object()
 
 
 class ObservationSession:
@@ -38,27 +42,55 @@ class ObservationSession:
         Attach a :class:`~repro.obs.flows.FlowTelemetry` (with an
         :class:`~repro.obs.alerts.AlertEngine` evaluating ``rules``)
         to each new simulator — the ``repro watch`` data source.
+    journeys:
+        Attach a :class:`~repro.obs.journey.JourneyRecorder` to each
+        new simulator (the ``repro explain`` data source), sampling
+        deterministically with ``journey_seed`` / ``journey_rate`` and
+        bounded by ``journey_max_records``.
     rules:
         Alert rules for the telemetry engine (default: the canonical
         :func:`~repro.obs.alerts.default_rules` set).
     max_events / keep:
         Tracer capacity policy; the default keeps the *tail* so the end
         of long runs stays observable.
+    engine:
+        Simulation engine for every simulator the observed harness
+        builds: ``"object"``, ``"vec"``, or None (leave the ambient
+        default).  Implemented by setting
+        :data:`repro.sim.vec.engine.ENGINE_ENV` for the duration of the
+        session and restoring it on exit — the same channel
+        ``repro sweep --engine`` uses, so observed runs and swept runs
+        resolve the engine identically.
     """
 
     def __init__(self, trace: bool = True, profile: bool = False,
-                 telemetry: bool = False, rules=None,
-                 max_events: int = 500_000, keep: str = "tail"):
+                 telemetry: bool = False, journeys: bool = False,
+                 rules=None, max_events: int = 500_000, keep: str = "tail",
+                 journey_rate: float = 1.0, journey_seed: int = 0,
+                 journey_max_records: int = 100_000,
+                 engine: Optional[str] = None):
+        if engine is not None:
+            from repro.sim.vec.engine import ENGINES
+
+            if engine not in ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; known: {ENGINES}")
         self.trace = trace
         self.profile = profile
         self.telemetry = telemetry
+        self.journeys = journeys
         self.rules = rules
         self.max_events = max_events
         self.keep = keep
+        self.journey_rate = journey_rate
+        self.journey_seed = journey_seed
+        self.journey_max_records = journey_max_records
+        self.engine = engine
         #: every simulator constructed while the session was active
         self.sims: List[Simulator] = []
         self._prev = None
         self._active = False
+        self._saved_engine_env = _UNSET
 
     # ------------------------------------------------------------------
     def _on_new_sim(self, sim: Simulator) -> None:
@@ -78,6 +110,12 @@ class ObservationSession:
             # rates are per-fabric state (the rule list is shared)
             tel.engine = AlertEngine(self.rules)
             tel.attach(sim)
+        if self.journeys and sim.journey is None:
+            from repro.obs.journey import JourneyRecorder
+
+            sim.journey = JourneyRecorder(
+                seed=self.journey_seed, rate=self.journey_rate,
+                max_records=self.journey_max_records)
         self.sims.append(sim)
         if self._prev is not None:
             self._prev(sim)
@@ -86,6 +124,11 @@ class ObservationSession:
         if self._active:
             raise RuntimeError("ObservationSession is not re-entrant")
         self._active = True
+        if self.engine is not None:
+            from repro.sim.vec.engine import ENGINE_ENV
+
+            self._saved_engine_env = os.environ.get(ENGINE_ENV, _UNSET)
+            os.environ[ENGINE_ENV] = self.engine
         self._prev = set_new_sim_hook(self._on_new_sim)
         return self
 
@@ -93,6 +136,14 @@ class ObservationSession:
         set_new_sim_hook(self._prev)
         self._prev = None
         self._active = False
+        if self.engine is not None:
+            from repro.sim.vec.engine import ENGINE_ENV
+
+            if self._saved_engine_env is _UNSET:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = self._saved_engine_env
+            self._saved_engine_env = _UNSET
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +162,11 @@ class ObservationSession:
         """Observed simulators that carry a telemetry collector."""
         return [s for s in self.sims if s.telemetry is not None]
 
+    @property
+    def journey_sims(self) -> List[Simulator]:
+        """Observed simulators that carry a journey recorder."""
+        return [s for s in self.sims if s.journey is not None]
+
     def flush_alerts(self) -> None:
         """Force a final rule evaluation on every observed simulator
         (so sub-eval_interval runs still surface their alerts)."""
@@ -119,8 +175,11 @@ class ObservationSession:
 
 
 def observe_named(name: str, trace: bool = True, profile: bool = False,
-                  telemetry: bool = False, rules=None,
-                  max_events: int = 500_000, keep: str = "tail",
+                  telemetry: bool = False, journeys: bool = False,
+                  rules=None, max_events: int = 500_000, keep: str = "tail",
+                  journey_rate: float = 1.0, journey_seed: int = 0,
+                  journey_max_records: int = 100_000,
+                  engine: Optional[str] = None,
                   ) -> "tuple[object, ObservationSession]":
     """Run a registered experiment/ablation harness under observation.
 
@@ -137,8 +196,13 @@ def observe_named(name: str, trace: bool = True, profile: bool = False,
             f"{', '.join(sorted(harnesses))}"
         )
     session = ObservationSession(trace=trace, profile=profile,
-                                 telemetry=telemetry, rules=rules,
-                                 max_events=max_events, keep=keep)
+                                 telemetry=telemetry, journeys=journeys,
+                                 rules=rules,
+                                 max_events=max_events, keep=keep,
+                                 journey_rate=journey_rate,
+                                 journey_seed=journey_seed,
+                                 journey_max_records=journey_max_records,
+                                 engine=engine)
     with session:
         result = harnesses[name]()
     if telemetry:

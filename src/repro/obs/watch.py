@@ -16,6 +16,13 @@ The snapshot document is a stable schema (:data:`SNAPSHOT_SCHEMA`)
 checked by :func:`validate_snapshot` — the CI smoke job feeds the
 ``--once --json`` output straight through it.
 
+With journeys enabled (the default) each flow row additionally carries
+``slowest_segment`` — the dominant latency segment from the journey
+aggregator (:func:`repro.obs.journey.flow_slowest_segments`) — shown as
+its own dashboard column.  The key is *additive*: ``repro.watch/1``
+consumers that predate it ignore it, and :func:`validate_snapshot`
+checks it only when present.
+
 The live loop reads telemetry that the experiment thread is still
 writing.  All telemetry stores are append-only dicts and bounded
 deques, so a concurrent reader sees a slightly stale but well-formed
@@ -32,6 +39,7 @@ import threading
 from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 from repro.obs.flows import merge_snapshots
+from repro.obs.journey import SEGMENT_KINDS, flow_slowest_segments
 from repro.obs.session import ObservationSession
 
 #: watch snapshot document version; bump on breaking shape changes
@@ -53,6 +61,15 @@ def collect_snapshot(session: ObservationSession, experiment: str = "",
             continue
         snap = tel.snapshot()
         snap["sim"] = sim.name
+        jr = sim.journey
+        if jr is not None and len(jr):
+            # additive repro.watch/1 key: dominant latency segment per
+            # flow, from the sampled journey records
+            slowest = flow_slowest_segments(jr)
+            for flow in snap.get("flows", ()):
+                seg = slowest.get((flow["src"], flow["dst"]))
+                if seg is not None:
+                    flow["slowest_segment"] = seg
         snaps.append(snap)
     doc = merge_snapshots(snaps)
     doc["schema"] = SNAPSHOT_SCHEMA
@@ -103,6 +120,11 @@ def validate_snapshot(doc: Dict[str, Any]) -> int:
             for key in ("count", "mean", "p50", "p95", "p99", "max"):
                 _require(key in flow["latency"],
                          f"flow latency summary missing {key!r}")
+            if "slowest_segment" in flow:  # additive; absent pre-journey
+                _require(flow["slowest_segment"] in SEGMENT_KINDS,
+                         f"flow slowest_segment "
+                         f"{flow['slowest_segment']!r} is not a known "
+                         f"segment kind")
         for link in entry.get("links", ()):
             for key in ("name", "utilization", "queue_watermark",
                         "stalls", "wait"):
@@ -144,14 +166,15 @@ def render_dashboard(doc: Dict[str, Any], max_rows: int = 8) -> str:
         flows.sort(key=lambda f: -f["latency"]["p99"])
         lines.append("")
         lines.append(f"  {'flow':<26} {'msgs':>7} {'p50':>9} "
-                     f"{'p99':>9} {'max':>9}")
+                     f"{'p99':>9} {'max':>9} {'slowest seg':<16}")
         for f in flows[:max_rows]:
             lat = f["latency"]
             name = f"{f['sim']}:{f['src']}->{f['dst']}"
             lines.append(
                 f"  {name:<26} {f['messages']:>7} "
                 f"{_fmt_cycles(lat['p50']):>9} {_fmt_cycles(lat['p99']):>9} "
-                f"{_fmt_cycles(lat['max']):>9}"
+                f"{_fmt_cycles(lat['max']):>9} "
+                f"{f.get('slowest_segment') or '-':<16}"
             )
         if len(flows) > max_rows:
             lines.append(f"  ... {len(flows) - max_rows} more flows")
@@ -218,11 +241,17 @@ def watch_experiment(
     stream: Optional[TextIO] = None,
     rules: Optional[List[Any]] = None,
     clear: bool = True,
+    journeys: bool = True,
+    engine: Optional[str] = None,
 ) -> Tuple[Any, Dict[str, Any]]:
     """Run a registered harness under telemetry and stream snapshots.
 
-    Returns ``(result, final_snapshot)``.  Raises :class:`KeyError`
-    for an unknown experiment name (the CLI maps that to exit code 2).
+    ``journeys`` additionally attaches journey recorders so flow rows
+    carry their ``slowest_segment``; ``engine`` pins the simulation
+    backend (``"object"`` / ``"vec"``) for the run, like ``repro sweep
+    --engine``.  Returns ``(result, final_snapshot)``.  Raises
+    :class:`KeyError` for an unknown experiment name (the CLI maps that
+    to exit code 2).
     """
     from repro.analysis.parallel import registry
 
@@ -233,7 +262,8 @@ def watch_experiment(
             f"{', '.join(sorted(harnesses))}"
         )
     out = stream if stream is not None else sys.stdout
-    session = ObservationSession(trace=False, telemetry=True, rules=rules)
+    session = ObservationSession(trace=False, telemetry=True, rules=rules,
+                                 journeys=journeys, engine=engine)
 
     if once:
         with session:

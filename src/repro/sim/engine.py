@@ -252,6 +252,13 @@ class Simulator:
         #: mirroring ``tracing``: instrumented fabrics test this single
         #: bool so the telemetry-off hot path is unchanged
         self.telemetering = False
+        #: optional repro.obs.journey.JourneyRecorder
+        self._journey = None
+        #: cheap guard for hot journey stamp sites (synced with journey),
+        #: mirroring ``tracing``/``telemetering``: a journeys-off run
+        #: executes one dead boolean test per stamp site and stays
+        #: bit-identical to pre-journey traces
+        self.journeying = False
         self.fast_path = fastpath_default() if fast_path is None else fast_path
         self.sanitize = sanitize_default() if sanitize is None else sanitize
         self.profile = profile_default() if profile is None else profile
@@ -332,6 +339,28 @@ class Simulator:
     def telemetry(self, telemetry) -> None:
         self._telemetry = telemetry
         self.telemetering = telemetry is not None
+
+    @property
+    def journey(self):
+        """The attached :class:`repro.obs.journey.JourneyRecorder` (or
+        None).
+
+        Hop stamp sites guard on :attr:`journeying` exactly like trace
+        sites guard on :attr:`tracing`::
+
+            if sim.journeying:
+                sim.journey.stamp_to(msg.mid, "link_transit", arrival)
+
+        Journeys observe model state but never write to :attr:`stats`,
+        so a journeys-on run stays bit-identical to a journeys-off run
+        in :meth:`StatsRegistry.snapshot`.
+        """
+        return self._journey
+
+    @journey.setter
+    def journey(self, journey) -> None:
+        self._journey = journey
+        self.journeying = journey is not None
 
     @property
     def profiler(self):

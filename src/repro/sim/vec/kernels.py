@@ -46,6 +46,15 @@ Equivalence rules
       the object path's per-cycle hint (telemetry records per-tick
       queue depths and link busy counts); vectorized scans inside one
       tick remain legal.
+    * Journey stamps (``sim.journeying`` — :mod:`repro.obs.journey`)
+      need **no** kernel fallback: every stamp site lives on an
+      object-code path (submits, grant/route/launch/serve decisions,
+      transfer completions, deliveries) that both backends execute at
+      identical cycles — the same invariant that already makes the
+      delivery stream and ``latency.message`` histogram bit-identical.
+      A kernel may therefore keep its cross-cycle batching with
+      journeys on; the journey-record equality suite
+      (``tests/obs/test_journey.py``) enforces this per architecture.
 """
 
 from __future__ import annotations
