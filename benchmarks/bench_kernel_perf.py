@@ -162,7 +162,9 @@ JOURNEY_ARCHS = ("dynoc", "staticmesh", "sharedbus", "buscom", "rmboc",
 
 #: journeys-on may cost at most this factor over journeys-off on the
 #: dense workload (plus an absolute CI-noise allowance) — the
-#: documented overhead contract for full-rate recording
+#: documented overhead contract for full-rate recording.  The same
+#: factor+slack envelope is the noise guard ``repro diff`` applies to
+#: wall-clock comparisons (:func:`repro.obs.diff.within_noise`).
 JOURNEY_OVERHEAD_FACTOR = 2.0
 JOURNEY_OVERHEAD_SLACK_S = 0.05
 
@@ -255,9 +257,13 @@ def main(argv=None) -> int:
         if meta[False][0] != meta[True][0]:
             failures.append(f"{key}: delivered count diverged "
                             f"({meta[False][0]} vs {meta[True][0]})")
-        bound = (best[False] * JOURNEY_OVERHEAD_FACTOR
-                 + JOURNEY_OVERHEAD_SLACK_S)
-        if best[True] > bound:
+        from repro.obs.diff import within_noise
+
+        if not within_noise(best[True], best[False],
+                            factor=JOURNEY_OVERHEAD_FACTOR,
+                            slack=JOURNEY_OVERHEAD_SLACK_S):
+            bound = (best[False] * JOURNEY_OVERHEAD_FACTOR
+                     + JOURNEY_OVERHEAD_SLACK_S)
             failures.append(f"{key}: journeys-on {best[True]:.4f}s "
                             f"exceeds bound {bound:.4f}s")
 

@@ -36,6 +36,12 @@ DEFAULT_BURST_GAP = 1_500
 DEFAULT_PAYLOADS = (64, 256, 1024)
 DEFAULT_CYCLES = 12_000
 
+#: fleets up to this many seeds also ledger one ``repro.run/1`` record
+#: per seed (with full telemetry/journey sections); larger fleets keep
+#: only the fleet-level summary record — per-seed instrumentation on a
+#: thousand-seed Monte-Carlo run would swamp the ledger
+PER_SEED_LEDGER_MAX = 32
+
 
 @dataclass
 class SeedResult:
@@ -60,6 +66,12 @@ class FleetResult:
     engine: Optional[str]
     results: List[SeedResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: ledger id of the fleet-level ``repro.run/1`` record (None when
+    #: the ledger is disabled or the fleet was run unledgered)
+    run_id: Optional[str] = None
+    #: ledger ids of the per-seed records, in seed order (empty for
+    #: fleets larger than :data:`PER_SEED_LEDGER_MAX`)
+    seed_run_ids: List[str] = field(default_factory=list)
 
     @property
     def seeds(self) -> List[int]:
@@ -131,22 +143,94 @@ def run_seed(
     )
 
 
+def _seed_spread(results: Sequence[SeedResult]) -> Dict[str, Any]:
+    """Across-seed dispersion per metric — the noise floor
+    ``repro diff`` uses when comparing runs of this configuration."""
+    metrics = {
+        "sent": [float(r.sent) for r in results],
+        "delivered": [float(r.delivered) for r in results],
+        "mean_latency": [r.mean_latency for r in results],
+        "max_latency": [float(r.max_latency) for r in results],
+    }
+    out: Dict[str, Any] = {}
+    for name, values in metrics.items():
+        n = len(values)
+        mean = sum(values) / n if n else 0.0
+        var = (sum((v - mean) ** 2 for v in values) / n) if n else 0.0
+        out[name] = {
+            "count": n,
+            "mean": mean,
+            "std": var ** 0.5,
+            "min": min(values) if values else 0.0,
+            "max": max(values) if values else 0.0,
+        }
+    return out
+
+
 def run_seed_fleet(
     arch_key: str,
     seeds: Sequence[int],
     engine: Optional[str] = "vec",
+    ledger: bool = True,
     **workload: Any,
 ) -> FleetResult:
     """The batched fleet: every seed simulated in this process,
     seed-major (seed *i* runs to completion before seed *i+1* starts),
     with the chosen engine — ``"vec"`` by default, where the compiled
-    ticks amortize the fleet's busy path."""
+    ticks amortize the fleet's busy path.
+
+    Ledgering (opt out with ``ledger=False`` or ``REPRO_LEDGER=0``):
+    fleets up to :data:`PER_SEED_LEDGER_MAX` seeds persist one fully
+    instrumented ``repro.run/1`` record per seed, and every fleet
+    persists a fleet-level summary record aggregating the per-seed
+    stats with their across-seed spread (``seed_stats``) and the
+    per-seed run ids (``seed_run_ids``) — see
+    :attr:`FleetResult.run_id`.
+    """
+    from repro.obs.ledger import (RunLedger, build_run_record,
+                                  ledger_enabled, ledgered_call)
+
+    seeds = list(seeds)
+    ledgered = ledger and ledger_enabled()
+    per_seed = ledgered and len(seeds) <= PER_SEED_LEDGER_MAX
     fleet = FleetResult(arch=arch_key, engine=engine)
     t0 = time.perf_counter()
     for seed in seeds:
-        fleet.results.append(run_seed(arch_key, seed, engine=engine,
-                                      **workload))
+        if per_seed:
+            result, rid = ledgered_call(
+                lambda s=seed: run_seed(arch_key, s, engine=engine,
+                                        **workload),
+                kind="seed", name=arch_key, config=dict(workload),
+                seed=seed, engine=engine)
+            fleet.seed_run_ids.append(rid)
+        else:
+            result = run_seed(arch_key, seed, engine=engine, **workload)
+        fleet.results.append(result)
     fleet.wall_seconds = time.perf_counter() - t0
+    if ledgered:
+        record = build_run_record(
+            "fleet", arch_key,
+            config={**workload, "seeds": seeds},
+            seed=seeds[0] if len(seeds) == 1 else None,
+            engine=engine,
+            stats={
+                "arch": arch_key,
+                "engine": engine,
+                "seeds": len(seeds),
+                "delivered_total": fleet.delivered_total,
+                "mean_latency": fleet.summary()["mean_latency"],
+                "per_seed": [{
+                    "seed": r.seed,
+                    "sent": r.sent,
+                    "delivered": r.delivered,
+                    "mean_latency": r.mean_latency,
+                    "max_latency": r.max_latency,
+                } for r in fleet.results],
+            },
+            seed_stats=_seed_spread(fleet.results),
+            seed_run_ids=fleet.seed_run_ids or None,
+            wall_seconds=fleet.wall_seconds)
+        fleet.run_id = RunLedger().store(record)
     return fleet
 
 

@@ -146,23 +146,65 @@ def discover_arch_keys(experiment: str) -> List[str]:
     return keys
 
 
+def _resilience_summary(scenarios: List[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Sweep-level resilience aggregate for the run-ledger record."""
+    mttrs = [s["metrics"]["mttr_max"] for s in scenarios
+             if s["metrics"]["mttr_max"] is not None]
+    return {
+        "survived": all(s["survived"] for s in scenarios),
+        "scenarios": len(scenarios),
+        "faults_injected": sum(s["metrics"]["faults_injected"]
+                               for s in scenarios),
+        "faults_recovered": sum(s["metrics"]["faults_recovered"]
+                                for s in scenarios),
+        "messages_undelivered": sum(s["metrics"]["messages_undelivered"]
+                                    for s in scenarios),
+        "availability_min": min(s["metrics"]["availability"]
+                                for s in scenarios),
+        "mttr_max": max(mttrs) if mttrs else None,
+        "alerts": sum(len(s.get("alerts", [])) for s in scenarios),
+    }
+
+
 def run_chaos_sweep(experiment: str, seed: int = 7,
                     rounds: int = 1,
                     telemetry: bool = True,
-                    engine: str = None) -> Dict[str, Any]:
+                    engine: str = None,
+                    ledger: bool = True) -> Dict[str, Any]:
     """The ``repro.chaos/1`` document: every architecture the
     experiment exercises, each through ``rounds`` seeded scenarios
-    (round *i* uses ``seed + i``)."""
+    (round *i* uses ``seed + i``).
+
+    Unless opted out (``ledger=False`` or ``REPRO_LEDGER=0``), the
+    sweep also persists a ``repro.run/1`` record — the chaos document
+    as its stats plus kernel metrics and a resilience aggregate — and
+    the returned document carries its id under ``run_id``.
+    """
     if rounds < 1:
         raise ValueError(f"rounds must be >= 1, got {rounds}")
+    from repro.obs.ledger import (RunLedger, build_run_record,
+                                  ledger_enabled)
+    from repro.obs.session import ObservationSession
+
     keys = discover_arch_keys(experiment)
+    ledgered = ledger and ledger_enabled()
+    # an all-off session: collect the scenarios' simulators for the
+    # record's kernel-metrics section without touching instrumentation
+    # (run_chaos_scenario attaches its own telemetry)
+    session = ObservationSession(trace=False)
     scenarios: List[Dict[str, Any]] = []
-    for i in range(rounds):
-        for key in keys:
-            scenarios.append(
-                run_chaos_scenario(key, seed=seed + i,
-                                   telemetry=telemetry, engine=engine))
-    return {
+    import time as _time
+
+    t0 = _time.perf_counter()
+    with session:
+        for i in range(rounds):
+            for key in keys:
+                scenarios.append(
+                    run_chaos_scenario(key, seed=seed + i,
+                                       telemetry=telemetry,
+                                       engine=engine))
+    doc = {
         "schema": CHAOS_SCHEMA,
         "experiment": experiment,
         "seed": seed,
@@ -171,6 +213,16 @@ def run_chaos_sweep(experiment: str, seed: int = 7,
         "scenarios": scenarios,
         "survived": all(s["survived"] for s in scenarios),
     }
+    if ledgered:
+        record = build_run_record(
+            "chaos", experiment,
+            config={"rounds": rounds, "telemetry": telemetry},
+            seed=seed, engine=engine, stats=doc,
+            sims=session.sims,
+            resilience=_resilience_summary(scenarios),
+            wall_seconds=_time.perf_counter() - t0)
+        doc["run_id"] = RunLedger().store(record)
+    return doc
 
 
 _SCENARIO_KEYS = ("arch", "target", "seed", "survived", "metrics")

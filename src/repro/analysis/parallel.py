@@ -8,9 +8,21 @@ list of :class:`Job`\\ s across a ``concurrent.futures``
 content hash of the job's configuration, so re-running a sweep after
 editing one experiment only recomputes that experiment.
 
-Cache entries key on the package version as well as the job config —
-any release invalidates the whole cache, which is crude but safe for
-results produced by a deterministic simulator.
+Cache entries key on (result-schema version, job config hash): the
+schema version (:data:`RESULT_SCHEMA`) is bumped only when the result
+dataclasses change shape, so releases that leave results untouched keep
+the cache warm — the simulator is deterministic, so a same-schema
+same-config entry is still correct.  (Earlier revisions keyed on the
+package version, invalidating the whole cache on any release.)
+
+Entries live in the same 2-hex-prefix sharded content-addressed layout
+as the run ledger (``objects/<2-hex>/<name>-<hash>.pkl`` next to the
+ledger's ``runs/``), and every cache hit refreshes the entry's mtime so
+``repro cache prune`` evicts genuinely-cold entries first.
+
+Every cache-miss execution also persists a ``repro.run/1`` record into
+the run ledger (:mod:`repro.obs.ledger`) — opt out with
+``REPRO_LEDGER=0``.
 
 ``max_workers=0`` forces serial in-process execution (no pool, no
 pickling), which is also what the runner silently uses for a single
@@ -31,11 +43,17 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-import repro
-
 #: environment override for the on-disk result cache location
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro-cache"
+#: cached pickles live under ``<root>/objects/<2-hex-prefix>/``
+OBJECTS_SUBDIR = "objects"
+
+#: version of the cached *result schema* — bump when the experiment /
+#: ablation result dataclasses change shape (a stale-schema entry
+#: would unpickle into the wrong fields); package releases that leave
+#: results untouched do NOT invalidate the cache
+RESULT_SCHEMA = 1
 
 
 def registry() -> Dict[str, Callable[..., Any]]:
@@ -70,12 +88,16 @@ class Job:
 
 
 def config_hash(job: Job) -> str:
-    """A stable content hash identifying a job's full configuration."""
+    """A stable content hash identifying a job's full configuration.
+
+    Keyed on (result-schema version, name, kwargs) — see
+    :data:`RESULT_SCHEMA` for why the package version is *not* part of
+    the key."""
     payload = json.dumps(
         {
             "name": job.name,
             "kwargs": job.kwargs,
-            "version": repro.__version__,
+            "schema": RESULT_SCHEMA,
         },
         sort_keys=True,
         default=repr,
@@ -88,12 +110,21 @@ def default_cache_dir() -> str:
 
 
 def _cache_path(cache_dir: str, job: Job) -> str:
-    return os.path.join(cache_dir, f"{job.name}-{config_hash(job)}.pkl")
+    """Sharded content-addressed entry path: the first two hex digits
+    of the config hash pick the shard, mirroring the run ledger's
+    ``runs/<2-hex>/`` layout under the same root."""
+    digest = config_hash(job)
+    return os.path.join(cache_dir, OBJECTS_SUBDIR, digest[:2],
+                        f"{job.name}-{digest}.pkl")
 
 
 def _cache_load(path: str) -> Optional[tuple]:
     """``("hit", result)`` from disk, or None on a miss (absent file,
     corrupt bytes, or a result class that no longer unpickles).
+
+    A hit refreshes the entry's mtime, so LRU eviction
+    (``repro cache prune``) sees recently *used* — not just recently
+    written — entries as fresh.
 
     Unpickling arbitrary corrupt bytes can raise almost anything
     (protocol-0 opcodes alone produce ValueError, KeyError, Unicode
@@ -101,9 +132,14 @@ def _cache_load(path: str) -> Optional[tuple]:
     so everything non-exiting is caught."""
     try:
         with open(path, "rb") as fh:
-            return ("hit", pickle.load(fh))
+            result = pickle.load(fh)
     except Exception:
         return None
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+    return ("hit", result)
 
 
 def _cache_store(path: str, result: Any) -> None:
@@ -124,14 +160,25 @@ def _cache_store(path: str, result: Any) -> None:
 def _execute(job: Job) -> Any:
     """Worker entry point: resolve the harness by name and run it.
 
-    Module-level so ``ProcessPoolExecutor`` can pickle it.
+    Module-level so ``ProcessPoolExecutor`` can pickle it.  Runs under
+    the run ledger (:func:`repro.obs.ledger.ledgered_call`), so every
+    executed job — serial or in a worker process — leaves a
+    ``repro.run/1`` record; ``REPRO_LEDGER=0`` opts out and degrades
+    this to a plain uninstrumented call.
     """
     jobs = registry()
     if job.name not in jobs:
         raise KeyError(
             f"unknown job {job.name!r}; known: {', '.join(sorted(jobs))}"
         )
-    return jobs[job.name](**job.kwargs)
+    from repro.obs.ledger import ledgered_call
+
+    seed = job.kwargs.get("seed")
+    result, _run_id = ledgered_call(
+        lambda: jobs[job.name](**job.kwargs),
+        kind="experiment", name=job.name, config=job.kwargs,
+        seed=seed if isinstance(seed, int) else None)
+    return result
 
 
 def _note(progress: Any, msg: str) -> None:

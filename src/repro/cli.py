@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -255,20 +256,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # fleet mode: N-seed batched Monte-Carlo run per architecture
         from repro.analysis.batch import render_fleet, run_seed_fleet
 
+        seeds = range(args.seed_start, args.seed_start + args.seeds)
         for arch in args.archs:
-            fleet = run_seed_fleet(arch, range(args.seeds),
-                                   engine=args.engine)
+            fleet = run_seed_fleet(arch, seeds, engine=args.engine)
             print(render_fleet(fleet))
+            if fleet.run_id:
+                print(f"  ledger: fleet run {fleet.run_id}"
+                      + (f" ({len(fleet.seed_run_ids)} per-seed "
+                         f"record(s))" if fleet.seed_run_ids else ""))
         return 0
     from repro.analysis.sweeps import SweepGrid, render_sweep, run_sweep
+    from repro.obs.ledger import ledgered_call
 
     grid = SweepGrid(
         arch=args.archs,
         width=args.widths,
         payload_bytes=args.payloads,
     )
-    points = run_sweep(grid, engine=args.engine)
+    points, run_id = ledgered_call(
+        lambda: run_sweep(grid, engine=args.engine),
+        kind="sweep", name="grid",
+        config={"arch": args.archs, "width": args.widths,
+                "payload_bytes": args.payloads},
+        engine=args.engine)
     print(render_sweep(grid, points))
+    if run_id:
+        print(f"ledger: sweep run {run_id}")
     return 0
 
 
@@ -414,7 +427,122 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(doc, indent=2, default=repr))
     else:
         print(render_chaos(doc))
+        if doc.get("run_id"):
+            print(f"ledger       : chaos run {doc['run_id']}")
     return 0 if doc["survived"] else 1
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import (LedgerError, RunLedger, render_entries,
+                                  render_run, validate_run)
+
+    ledger = RunLedger(args.ledger)
+    if args.action == "list":
+        entries = ledger.entries()
+        if args.json:
+            print(json.dumps([e.__dict__ for e in entries], indent=2))
+        else:
+            print(render_entries(entries))
+        return 0
+    if args.action == "show":
+        if not args.run:
+            print("runs show: a run id (prefix) is required",
+                  file=sys.stderr)
+            return 2
+        try:
+            doc = ledger.load(ledger.resolve(args.run))
+            validate_run(doc)
+        except (LedgerError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_run(doc))
+        return 0
+    # gc
+    max_bytes = (int(args.max_size * 1024 * 1024)
+                 if args.max_size is not None else None)
+    if args.max_age_days is None and max_bytes is None:
+        print("runs gc: give --max-age-days and/or --max-size",
+              file=sys.stderr)
+        return 2
+    report = ledger.gc(max_age_days=args.max_age_days,
+                       max_bytes=max_bytes, dry_run=args.dry_run)
+    print(f"ledger gc ({ledger.runs_dir}): {report.render()}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import default_cache_dir
+    from repro.obs.ledger import default_ledger_dir, prune_tree
+
+    max_bytes = (int(args.max_size * 1024 * 1024)
+                 if args.max_size is not None else None)
+    if args.max_age_days is None and max_bytes is None:
+        print("cache prune: give --max-age-days and/or --max-size",
+              file=sys.stderr)
+        return 2
+    # one LRU pass over result-cache pickles AND ledger records —
+    # they share the .repro-cache root unless REPRO_LEDGER_DIR says
+    # otherwise, in which case both roots join the same size budget
+    roots = [default_cache_dir()]
+    if default_ledger_dir() not in roots:
+        roots.append(default_ledger_dir())
+    report = prune_tree(roots, suffixes=(".pkl", ".json"),
+                        max_age_days=args.max_age_days,
+                        max_bytes=max_bytes, dry_run=args.dry_run)
+    print(f"cache prune ({', '.join(roots)}): {report.render()}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.diff import diff_runs, load_record, render_diff
+    from repro.obs.ledger import LedgerError, RunLedger
+
+    ledger = RunLedger(args.ledger)
+    try:
+        a = load_record(args.run_a, ledger)
+        b = load_record(args.run_b, ledger)
+        doc = diff_runs(a, b)
+    except (LedgerError, OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_diff(doc, top=args.top))
+    return 1 if args.check and doc["regressions"] else 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.diff import regress
+
+    try:
+        report = regress(args.baseline, names=args.archs or None,
+                         write_baseline=args.write_baseline)
+    except Exception as exc:  # the exit-2 contract: never crash CI
+        print(f"regress: internal error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({
+            "baseline": report.baseline_dir,
+            "checked": report.checked,
+            "regressions": report.regressions,
+            "errors": report.errors,
+            "written": report.written,
+            "diffs": report.diffs,
+            "exit_code": report.exit_code,
+        }, indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -560,6 +688,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="fleet mode: run N seeded Monte-Carlo runs per "
                         "architecture in one batched process instead of "
                         "the width/payload grid")
+    p.add_argument("--seed-start", type=int, default=0, metavar="S",
+                   help="first seed of the fleet (fleet mode runs "
+                        "seeds S..S+N-1; default 0)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("advise",
@@ -642,12 +773,91 @@ def make_parser() -> argparse.ArgumentParser:
                    help="simulation backend (default: REPRO_SIM_ENGINE "
                         "or object; the document is engine-independent)")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("runs",
+                       help="list/show/gc the persistent run ledger "
+                            "(repro.run/1 records)")
+    p.add_argument("action", choices=["list", "show", "gc"],
+                   help="list all records, show one, or garbage-collect")
+    p.add_argument("run", nargs="?", default=None,
+                   help="run id (unique prefix ok) for 'show'")
+    p.add_argument("--ledger", metavar="DIR", default=None,
+                   help="ledger root (default: the result cache dir / "
+                        "REPRO_LEDGER_DIR)")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of the rendered view")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="gc: evict records older than this")
+    p.add_argument("--max-size", type=float, default=None, metavar="MiB",
+                   help="gc: evict oldest records until under this size")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc: report what would be evicted, delete "
+                        "nothing")
+    p.set_defaults(func=_cmd_runs)
+
+    p = sub.add_parser("cache",
+                       help="manage the on-disk result cache + ledger")
+    p.add_argument("action", choices=["prune"],
+                   help="prune: age/size-bounded LRU eviction over "
+                        "cached results and run records")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   help="evict entries older than this")
+    p.add_argument("--max-size", type=float, default=None, metavar="MiB",
+                   help="evict least-recently-used entries until the "
+                        "store is under this size")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be evicted, delete nothing")
+    p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("diff",
+                       help="differential analysis of two ledger "
+                            "records (noise-aware, with latency "
+                            "attribution)")
+    p.add_argument("run_a", help="baseline record: run id prefix or "
+                                 "path to a repro.run/1 JSON file")
+    p.add_argument("run_b", help="candidate record: run id prefix or "
+                                 "path")
+    p.add_argument("--ledger", metavar="DIR", default=None,
+                   help="ledger root to resolve run ids in")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.diff/1 document as JSON")
+    p.add_argument("--top", type=int, default=20,
+                   help="delta rows in the terminal rendering")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when the diff finds significant "
+                        "regressions")
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("regress",
+                       help="re-run baseline fleet configurations and "
+                            "gate on per-metric budgets "
+                            "(exit 0 clean / 1 regression / 2 error)")
+    p.add_argument("--baseline", metavar="DIR",
+                   default="tests/data/regress-baseline",
+                   help="baseline ledger directory (default: "
+                        "tests/data/regress-baseline)")
+    p.add_argument("--archs", nargs="*", default=None,
+                   help="only gate these architectures (default: every "
+                        "fleet record in the baseline)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="replace the baseline records with fresh runs "
+                        "(after an intentional change)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.set_defaults(func=_cmd_regress)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro runs list | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise again, and exit like a SIGPIPE'd process would.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,13 @@ capture harness:
   CI snapshot schema;
 * :mod:`repro.obs.journey` — per-message journey records with
   hop-level latency attribution (``repro explain``, sampled via a
-  deterministic seed, exported under ``repro.journey/1``).
+  deterministic seed, exported under ``repro.journey/1``);
+* :mod:`repro.obs.ledger` — the persistent run ledger: every
+  experiment/sweep/chaos run leaves a content-addressed
+  ``repro.run/1`` record in a prefix-sharded store (``repro runs``);
+* :mod:`repro.obs.diff` — cross-run differential analysis with
+  noise-aware significance and latency attribution (``repro diff``)
+  plus the baseline regression gate (``repro regress``).
 
 Everything the exporters emit except profiler wall time is
 simulation-derived and deterministic; see ``docs/observability.md``.
@@ -34,6 +40,14 @@ from repro.sim.stats import Counter, CounterSnapshot, Histogram, \
 from repro.sim.trace import SpanEvent, TraceEvent, Tracer
 
 from repro.obs.alerts import Alert, AlertEngine, AlertRule, default_rules
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    Budget,
+    diff_runs,
+    regress,
+    render_diff,
+    within_noise,
+)
 from repro.obs.flows import (
     FlowStats,
     FlowTelemetry,
@@ -49,6 +63,14 @@ from repro.obs.journey import (
     explain_experiment,
     render_explain,
     validate_journey,
+)
+from repro.obs.ledger import (
+    RUN_SCHEMA,
+    RunLedger,
+    build_run_record,
+    ledgered_call,
+    render_run,
+    validate_run,
 )
 from repro.obs.perfetto import (
     summarize_trace,
@@ -75,8 +97,10 @@ __all__ = [
     "Alert",
     "AlertEngine",
     "AlertRule",
+    "Budget",
     "Counter",
     "CounterSnapshot",
+    "DIFF_SCHEMA",
     "FlowStats",
     "FlowTelemetry",
     "Histogram",
@@ -87,6 +111,8 @@ __all__ = [
     "LinkStats",
     "ObservationSession",
     "Profiler",
+    "RUN_SCHEMA",
+    "RunLedger",
     "SNAPSHOT_SCHEMA",
     "SpanEvent",
     "StatsRegistry",
@@ -97,13 +123,21 @@ __all__ = [
     "WAKE_REASONS",
     "aggregate_flows",
     "build_journey_document",
+    "build_run_record",
     "collect_snapshot",
     "default_rules",
+    "diff_runs",
     "explain_experiment",
+    "ledgered_call",
     "merge_snapshots",
     "observe_named",
+    "regress",
+    "render_diff",
     "render_explain",
+    "render_run",
     "validate_journey",
+    "validate_run",
+    "within_noise",
     "render_dashboard",
     "sanitize_metric_name",
     "summarize_trace",

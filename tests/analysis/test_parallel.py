@@ -33,11 +33,40 @@ def test_unknown_job_raises_keyerror():
 def test_serial_run_caches_result(tmp_path):
     cache = str(tmp_path / "cache")
     first = P.run_named(["e1"], max_workers=0, cache_dir=cache)
-    files = os.listdir(cache)
-    assert len(files) == 1 and files[0].startswith("e1-")
+    # sharded content-addressed layout: objects/<2-hex>/<name>-<hash>.pkl
+    path = P._cache_path(cache, P.Job("e1"))
+    digest = P.config_hash(P.Job("e1"))
+    assert os.path.isfile(path)
+    assert os.path.basename(os.path.dirname(path)) == digest[:2]
+    assert os.path.basename(path) == f"e1-{digest}.pkl"
+    assert os.path.dirname(os.path.dirname(path)) \
+        == os.path.join(cache, P.OBJECTS_SUBDIR)
     # second run must be a pure cache hit returning an equal object
     second = P.run_named(["e1"], max_workers=0, cache_dir=cache)
     assert repr(first["e1"]) == repr(second["e1"])
+
+
+def test_config_hash_keys_on_schema_not_release(monkeypatch):
+    """Package releases must not invalidate same-schema entries."""
+    import repro
+
+    job = P.Job("e1")
+    before = P.config_hash(job)
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert P.config_hash(job) == before
+    monkeypatch.setattr(P, "RESULT_SCHEMA", P.RESULT_SCHEMA + 1)
+    assert P.config_hash(job) != before
+
+
+def test_cache_hit_refreshes_mtime_for_lru(tmp_path):
+    cache = str(tmp_path / "cache")
+    job = P.Job("e1")
+    path = P._cache_path(cache, job)
+    P._cache_store(path, "sentinel")
+    stale = 1_000_000_000.0
+    os.utime(path, (stale, stale))
+    assert P._cache_load(path) == ("hit", "sentinel")
+    assert os.path.getmtime(path) > stale
 
 
 def test_cache_hit_skips_execution(tmp_path, monkeypatch):
@@ -60,7 +89,7 @@ def test_corrupted_cache_recomputes(tmp_path, garbage):
     cache = str(tmp_path / "cache")
     job = P.Job("e1")
     path = P._cache_path(cache, job)
-    os.makedirs(cache)
+    os.makedirs(os.path.dirname(path))
     with open(path, "wb") as fh:
         fh.write(garbage)
     result = P.run_jobs([job], max_workers=0, cache_dir=cache)[0]
@@ -70,10 +99,25 @@ def test_corrupted_cache_recomputes(tmp_path, garbage):
         assert repr(pickle.load(fh)) == repr(result)
 
 
-def test_no_cache_leaves_disk_untouched(tmp_path):
+def test_no_cache_leaves_disk_untouched(tmp_path, monkeypatch):
+    # the run ledger is opt-out too: disable it so *nothing* writes
+    monkeypatch.setenv("REPRO_LEDGER", "0")
     cache = str(tmp_path / "cache")
     P.run_named(["e1"], max_workers=0, cache_dir=cache, use_cache=False)
     assert not os.path.exists(cache)
+
+
+def test_executed_job_leaves_run_record(tmp_path):
+    from repro.obs.ledger import RUN_SCHEMA, RunLedger
+
+    P.run_named(["e1"], max_workers=0, cache_dir=str(tmp_path / "c"),
+                use_cache=False)
+    ledger = RunLedger()  # conftest points this at the test tmp dir
+    ids = ledger.ids()
+    assert len(ids) == 1
+    rec = ledger.load(ids[0])
+    assert rec["schema"] == RUN_SCHEMA
+    assert rec["kind"] == "experiment" and rec["name"] == "e1"
 
 
 def test_cache_dir_env_override(tmp_path, monkeypatch):

@@ -1,0 +1,17 @@
+"""Shared fixtures: keep the opt-out run ledger out of the repo tree.
+
+Ledgering is opt-out (every experiment/fleet/chaos run persists a
+``repro.run/1`` record), so without isolation the suite would scatter
+records into ``.repro-cache`` under the working directory.  Pointing
+``REPRO_LEDGER_DIR`` at a per-test temporary directory keeps the
+behavior exercised — records are still written and readable — while
+leaving the checkout clean.  Tests that need the ledger *disabled*
+set ``REPRO_LEDGER=0`` themselves.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "run-ledger"))

@@ -1,0 +1,137 @@
+"""repro regress: baseline gating with the 0/1/2 exit-code contract.
+
+Exit 0 — every fresh run within budget of its baseline record;
+exit 1 — at least one budgeted metric regressed;
+exit 2 — the gate itself could not run (no baseline, ledger off...).
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis.batch import run_seed_fleet
+from repro.cli import main
+from repro.obs.diff import REGRESS_BUDGETS, Budget, regress
+from repro.obs.ledger import RunLedger
+
+#: tiny fleet configuration; regress re-simulates it per check, so
+#: keep it just big enough to produce nonzero latencies
+WORKLOAD = dict(cycles=2_000, bursts=2, burst_size=8, burst_gap=700,
+                payloads=(64,))
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    """A baseline ledger holding one real buscom fleet record."""
+    fleet = run_seed_fleet("buscom", [0, 1], engine="vec", **WORKLOAD)
+    record = RunLedger().load(fleet.run_id)
+    store = RunLedger(str(tmp_path / "baseline"))
+    store.store(record)
+    return store
+
+
+def test_clean_rerun_exits_zero(baseline):
+    report = regress(baseline.root)
+    assert report.errors == [] and report.regressions == []
+    assert report.checked == 1
+    assert report.exit_code == 0
+    assert "CLEAN" in report.render()
+
+
+def test_doctored_baseline_exits_one(baseline):
+    rid = baseline.ids()[0]
+    doc = copy.deepcopy(baseline.load(rid))
+    doc["stats"]["mean_latency"] /= 2.0
+    for row in doc["stats"]["per_seed"]:
+        row["mean_latency"] /= 2.0
+    baseline.gc(max_bytes=0)
+    baseline.store(doc)
+    report = regress(baseline.root)
+    assert report.exit_code == 1
+    assert any("mean_latency" in r for r in report.regressions)
+    assert "REGRESSION" in report.render()
+
+
+def test_empty_baseline_exits_two(tmp_path):
+    report = regress(str(tmp_path / "nothing"))
+    assert report.exit_code == 2
+    assert any("no baseline fleet records" in e for e in report.errors)
+
+
+def test_disabled_ledger_exits_two(baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER", "0")
+    report = regress(baseline.root)
+    assert report.exit_code == 2
+    assert any("disabled" in e for e in report.errors)
+
+
+def test_names_filter_skips_other_archs(baseline):
+    report = regress(baseline.root, names=["dynoc"])
+    assert report.exit_code == 2  # nothing left to check
+    report = regress(baseline.root, names=["buscom"])
+    assert report.exit_code == 0 and report.checked == 1
+
+
+def test_write_baseline_replaces_records(baseline):
+    rid = baseline.ids()[0]
+    doc = copy.deepcopy(baseline.load(rid))
+    doc["stats"]["mean_latency"] /= 2.0
+    baseline.gc(max_bytes=0)
+    baseline.store(doc)
+    assert regress(baseline.root).exit_code == 1
+    report = regress(baseline.root, write_baseline=True)
+    assert report.exit_code == 0 and len(report.written) == 1
+    # the doctored record is gone, the fresh one gates cleanly
+    assert regress(baseline.root).exit_code == 0
+
+
+def test_custom_budgets_can_tighten_the_gate(baseline):
+    # an impossible budget (abs floor 0, rel 0) flags seed jitter in
+    # nothing — identical reruns really are identical — so the gate
+    # stays clean even at zero tolerance
+    report = regress(baseline.root,
+                     budgets=[Budget("stats.*"), Budget("*")])
+    assert report.exit_code == 0
+
+
+def test_regress_budgets_ignore_kernel_self_metrics():
+    assert any(b.pattern == "kernel.*" and b.ignore
+               for b in REGRESS_BUDGETS)
+
+
+class TestCli:
+    def test_cli_exit_codes(self, baseline, tmp_path):
+        assert main(["regress", "--baseline", baseline.root]) == 0
+        assert main(["regress", "--baseline",
+                     str(tmp_path / "missing")]) == 2
+
+    def test_cli_json_report(self, baseline, tmp_path, capsys):
+        rc = main(["regress", "--baseline", baseline.root, "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"checked": 1' in out
+
+    def test_cli_diff_of_ledger_prefixes(self, capsys):
+        a = run_seed_fleet("buscom", [0], engine="vec", **WORKLOAD)
+        b = run_seed_fleet("buscom", [1], engine="vec", **WORKLOAD)
+        rc = main(["diff", a.run_id[:8], b.run_id[:8]])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed" in out and "0 significant" in out
+        # --check turns significant regressions into exit 1; a quiet
+        # seed pair stays 0
+        assert main(["diff", a.run_id, b.run_id, "--check"]) == 0
+
+    def test_cli_diff_unknown_run_exits_two(self):
+        assert main(["diff", "doesnotexist", "alsomissing"]) == 2
+
+    def test_cli_runs_list_show_gc(self, capsys):
+        fleet = run_seed_fleet("dynoc", [0], engine="vec", **WORKLOAD)
+        assert main(["runs", "list"]) == 0
+        assert fleet.run_id[:8] in capsys.readouterr().out
+        assert main(["runs", "show", fleet.run_id[:8]]) == 0
+        assert "dynoc" in capsys.readouterr().out
+        # gc without a bound is refused
+        assert main(["runs", "gc"]) == 2
+        assert main(["runs", "gc", "--max-size", "0"]) == 0
+        assert len(RunLedger()) == 0
