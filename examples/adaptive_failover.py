@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Closed-loop adaptive fabric demo: the controller re-plans a TDMA
+slot and beats the static configuration.
+
+A BUS-COM segmented bus is misconfigured the way real systems drift
+into: every static slot belongs to a module that stopped talking, and
+the dynamic segment is too short to move even one payload.  A bulk
+sender's backlog grows without bound — the ``tdma-slot-overrun`` SLO
+alert fires and *stays* fired for the rest of the run.
+
+The same scenario is run twice under identical traffic and identical
+alert rules:
+
+* **static** — telemetry and alerts attached, nobody acting on them
+  (the alert feed is a wall of red nobody reads);
+* **adaptive** — a :class:`repro.control.ControlLoop` subscribes to
+  the alert stream, re-plans a slot to the backlogged module through
+  the guarded actuation pipeline, verifies the breach actually
+  cleared one observation window later, and rolls back anything that
+  did not help.
+
+The printout compares SLO burn (cycles spent in breach), MTTR (the
+longest fire-to-clear recovery), delivered traffic, and shows the
+controller's action trail — including the honest rollbacks.
+
+Run:  python examples/adaptive_failover.py
+"""
+
+from repro.control import run_adaptive_pair
+
+
+def show(tag, variant):
+    mttr = variant["mttr_max"]
+    print(f"  {tag:<9} burn {variant['slo_burn_cycles']:>6} cycles   "
+          f"MTTR {'-' if mttr is None else mttr:>6}   "
+          f"delivered {variant['messages_delivered']}"
+          f"/{variant['messages_sent']}")
+
+
+def main() -> None:
+    print("starved-slot scenario on BUS-COM (seed 7, identical "
+          "traffic and rules in both runs)\n")
+    pair = run_adaptive_pair("buscom", seed=7)
+    static, adaptive = pair["static"], pair["adaptive"]
+
+    print("slo outcome:")
+    show("static", static)
+    show("adaptive", adaptive)
+
+    control = adaptive["control"]
+    print(f"\ncontroller action trail ({control['counts']}):")
+    for action in control["actions"]:
+        line = (f"  cycle {action['cycle']:>6} [{action['status']:>11}] "
+                f"{action['kind']} {action['target']}")
+        if action["detail"]:
+            line += f": {action['detail']}"
+        if action["reason"]:
+            line += f" ({action['reason']})"
+        print(line)
+
+    print(f"\nverdict: {'improved' if pair['improved'] else 'no win'} "
+          f"(burn delta {pair['deltas']['slo_burn_cycles']}, "
+          f"mttr delta {pair['deltas']['mttr_max']})")
+
+    # the demo is executable documentation: the win must be real
+    assert pair["improved"], "adaptive run failed to beat static"
+    assert (adaptive["messages_undelivered"]
+            <= static["messages_undelivered"])
+    confirmed = [a for a in control["actions"]
+                 if a["status"] == "confirmed"]
+    assert confirmed, "no action survived its improvement check"
+
+
+if __name__ == "__main__":
+    main()

@@ -78,22 +78,30 @@ def _build_scenario_arch(key: str, sim: Simulator):
     return arch, target, mods[0], mods[-1]
 
 
-def run_chaos_scenario(key: str, seed: int = 7,
-                       telemetry: bool = True,
-                       engine: str = None) -> Dict[str, Any]:
-    """One architecture through its canonical fault scenario.
-
-    ``engine`` picks the simulation backend (``"object"``/``"vec"``);
-    the emitted document is engine-independent."""
+def _execute_scenario(key: str, seed: int, telemetry: bool,
+                      engine: str, adaptive_rules_on: bool,
+                      with_loop: bool):
+    """One simulated chaos run; returns ``(sim, injector, loop)``."""
     sim = make_simulator(name=f"chaos-{key}", engine=engine)
+    tel = None
     if telemetry:
         from repro.obs.alerts import AlertEngine
         from repro.obs.flows import FlowTelemetry
 
         tel = FlowTelemetry()
-        tel.engine = AlertEngine()
+        if adaptive_rules_on:
+            from repro.control.actions import adaptive_rules
+
+            tel.engine = AlertEngine(rules=adaptive_rules())
+        else:
+            tel.engine = AlertEngine()
         tel.attach(sim)
     arch, target, src, dst = _build_scenario_arch(key, sim)
+    loop = None
+    if with_loop:
+        from repro.control.loop import ControlLoop
+
+        loop = ControlLoop(arch, tel=tel)
     sched = FaultSchedule(seed=seed).one_shot(
         FAULT_AT, FaultKind.NODE_DOWN, target, duration=FAULT_DURATION)
     injector = inject(arch, sched)
@@ -103,6 +111,29 @@ def run_chaos_scenario(key: str, seed: int = 7,
                lambda s, src=src, dst=dst: ports[src].send(dst, 64,
                                                            tag="chaos"))
     sim.run(HORIZON)
+    return sim, target, injector, loop
+
+
+def run_chaos_scenario(key: str, seed: int = 7,
+                       telemetry: bool = True,
+                       engine: str = None,
+                       adaptive: bool = False) -> Dict[str, Any]:
+    """One architecture through its canonical fault scenario.
+
+    ``engine`` picks the simulation backend (``"object"``/``"vec"``);
+    the emitted document is engine-independent.  With ``adaptive``
+    the run watches the controller rule set, wires a
+    :class:`~repro.control.loop.ControlLoop` onto the alert stream,
+    and the document additionally carries the ``repro.control/1``
+    action log plus an SLO-burn comparison against a static twin run
+    under identical traffic, faults, and rules.
+    """
+    if adaptive and not telemetry:
+        raise ValueError("adaptive chaos runs need telemetry: the "
+                         "controller is driven by the alert stream")
+    sim, target, injector, loop = _execute_scenario(
+        key, seed, telemetry, engine,
+        adaptive_rules_on=adaptive, with_loop=adaptive)
     metrics = injector.metrics()
     survived = (
         metrics["messages_sent"] > 0
@@ -120,6 +151,18 @@ def run_chaos_scenario(key: str, seed: int = 7,
         sim.telemetry.evaluate_now()
         doc["alerts"] = [a.to_dict()
                          for a in sim.telemetry.engine.alerts]
+    if adaptive:
+        doc["control"] = loop.action_log(sim.cycle)
+        burn = sim.telemetry.engine.total_burn(sim.cycle)
+        static_sim, _, _, _ = _execute_scenario(
+            key, seed, telemetry, engine,
+            adaptive_rules_on=True, with_loop=False)
+        static_sim.telemetry.evaluate_now()
+        static_burn = static_sim.telemetry.engine.total_burn(
+            static_sim.cycle)
+        doc["slo_burn_cycles"] = burn
+        doc["static_slo_burn_cycles"] = static_burn
+        doc["burn_improved"] = burn <= static_burn
     return doc
 
 
@@ -171,7 +214,8 @@ def run_chaos_sweep(experiment: str, seed: int = 7,
                     rounds: int = 1,
                     telemetry: bool = True,
                     engine: str = None,
-                    ledger: bool = True) -> Dict[str, Any]:
+                    ledger: bool = True,
+                    adaptive: bool = False) -> Dict[str, Any]:
     """The ``repro.chaos/1`` document: every architecture the
     experiment exercises, each through ``rounds`` seeded scenarios
     (round *i* uses ``seed + i``).
@@ -203,7 +247,8 @@ def run_chaos_sweep(experiment: str, seed: int = 7,
                 scenarios.append(
                     run_chaos_scenario(key, seed=seed + i,
                                        telemetry=telemetry,
-                                       engine=engine))
+                                       engine=engine,
+                                       adaptive=adaptive))
     doc = {
         "schema": CHAOS_SCHEMA,
         "experiment": experiment,
@@ -213,10 +258,21 @@ def run_chaos_sweep(experiment: str, seed: int = 7,
         "scenarios": scenarios,
         "survived": all(s["survived"] for s in scenarios),
     }
+    if adaptive:
+        doc["adaptive"] = True
+        doc["slo_burn_cycles"] = sum(s["slo_burn_cycles"]
+                                     for s in scenarios)
+        doc["static_slo_burn_cycles"] = sum(
+            s["static_slo_burn_cycles"] for s in scenarios)
+        doc["burn_improved"] = (doc["slo_burn_cycles"]
+                                <= doc["static_slo_burn_cycles"])
+        doc["actions"] = sum(len(s["control"]["actions"])
+                             for s in scenarios)
     if ledgered:
         record = build_run_record(
             "chaos", experiment,
-            config={"rounds": rounds, "telemetry": telemetry},
+            config={"rounds": rounds, "telemetry": telemetry,
+                    "adaptive": adaptive},
             seed=seed, engine=engine, stats=doc,
             sims=session.sims,
             resilience=_resilience_summary(scenarios),
@@ -282,6 +338,12 @@ def render_chaos(doc: Dict[str, Any]) -> str:
         for alert in s.get("alerts", []):
             lines.append(f"{'':<11}  alert: {alert['rule']} "
                          f"({alert['severity']}) {alert['message']}")
+        if "control" in s:
+            lines.append(
+                f"{'':<11}  control: "
+                f"burn {s['slo_burn_cycles']} vs static "
+                f"{s['static_slo_burn_cycles']}, "
+                f"actions {dict(s['control']['counts']) or 'none'}")
     lines.append("")
     lines.append("verdict      : "
                  + ("all scenarios survived" if doc["survived"]

@@ -139,6 +139,42 @@ class SharedBus(CommArchitecture, Component):
         self.wake()
 
     # ------------------------------------------------------------------
+    # arbiter rebalancing (repro.control)
+    # ------------------------------------------------------------------
+    def arbitration_order(self) -> List[str]:
+        """Service order as the arbiter will scan it at the next grant."""
+        n = len(self._rr_order)
+        return [self._rr_order[(self._rr_next + i) % n] for i in range(n)]
+
+    def backlogs(self) -> Dict[str, int]:
+        """Messages queued at each module's send port."""
+        return {m: len(q) for m, q in sorted(self._queues.items())}
+
+    def set_arbitration_order(self, order: List[str]) -> None:
+        """Rebalance arbiter priority: install a new scan order.
+
+        The only runtime adaptation a single shared bus allows — the
+        control plane rotates a starved module to the front of the
+        round-robin scan.  ``order`` must be a permutation of the
+        attached modules; the scan restarts at its head.
+        """
+        if sorted(order) != sorted(self._rr_order):
+            raise ValueError(
+                f"order {order!r} is not a permutation of the attached "
+                f"modules {sorted(self._rr_order)!r}"
+            )
+        self._rr_order = list(order)
+        self._rr_next = 0
+        self.sim.stats.counter("sharedbus.arbiter.rebalanced").inc()
+        if self.sim.telemetering:
+            self.sim.telemetry.count(self.sim.cycle,
+                                     "sharedbus.arbiter.rebalanced")
+        if self.sim.tracing:
+            self.sim.emit("sharedbus", "arbiter_rebalance",
+                          head=order[0] if order else "")
+        self.wake()
+
+    # ------------------------------------------------------------------
     def words(self, payload_bytes: int) -> int:
         return -(-payload_bytes * 8 // self.width)
 

@@ -29,6 +29,7 @@ from repro.core.parameters import PAPER_TABLE_1, DesignParameters
 from repro.fabric.area import AreaModel
 from repro.fabric.timing import ClockModel
 from repro.sim import SLEEP, Component, Simulator
+from repro.sim.backoff import bounded_backoff
 from repro.sim.vec.kernels import BatchKernel
 from repro.sim.vec.store import CountdownSet
 
@@ -77,6 +78,9 @@ class RMBoC(CommArchitecture, Component):
         self._chan_by_pair: Dict[Tuple[str, str], List[Channel]] = {}
         self._retry_at: Dict[Tuple[str, str], int] = {}
         self._idle_since: Dict[int, int] = {}     # cid -> cycle it went idle
+        # runtime lane-allocation knob (defaults to the static config
+        # cap; the control plane throttles it under backoff storms)
+        self._channel_cap = cfg.channels_per_module
         # per-fabric cids keep traces of identical runs identical
         self._cid_seq = itertools.count()
         self._init_vec(sim)
@@ -220,6 +224,35 @@ class RMBoC(CommArchitecture, Component):
         return sum(
             1 for seg in self._lanes for owner in seg if owner is not None
         )
+
+    @property
+    def channel_cap(self) -> int:
+        """Current per-module concurrent-circuit cap (lane allocation)."""
+        return self._channel_cap
+
+    def set_channel_cap(self, cap: int) -> None:
+        """Re-allocate lane budget: cap concurrent circuits per module.
+
+        The runtime counterpart of ``max_channels_per_module`` — the
+        control plane lowers it during a backoff storm so competing
+        REQUESTs stop re-colliding on saturated segments, and restores
+        it afterwards.  Established circuits are never torn down; a
+        lowered cap only gates *new* channel setup.
+        """
+        if not 1 <= cap <= self.cfg.num_buses:
+            raise ValueError(
+                f"channel cap {cap} outside 1..{self.cfg.num_buses}"
+            )
+        if cap == self._channel_cap:
+            return
+        self._channel_cap = cap
+        self.sim.stats.counter("rmboc.channel_cap.set").inc()
+        if self.sim.telemetering:
+            self.sim.telemetry.count(self.sim.cycle,
+                                     "rmboc.channel_cap.set")
+        if self.sim.tracing:
+            self.sim.emit("rmboc", "channel_cap", cap=cap)
+        self.wake()  # a raised cap lets queued traffic open circuits
 
     # ==================================================================
     # per-cycle behaviour
@@ -431,9 +464,9 @@ class RMBoC(CommArchitecture, Component):
                 # backoff so a dead cross-point isn't hammered forever
                 n = self._fault_attempts.get((src_mod, dst_mod), 0)
                 if n:
-                    backoff = min(
-                        self.cfg.retry_backoff * (1 << min(n - 1, 16)),
-                        self.cfg.fault_backoff_cap,
+                    backoff = bounded_backoff(
+                        self.cfg.retry_backoff, n,
+                        cap=self.cfg.fault_backoff_cap,
                     )
                     self._retry_at[(src_mod, dst_mod)] = (
                         now + backoff + ch.src_xp
@@ -542,7 +575,7 @@ class RMBoC(CommArchitecture, Component):
                 continue  # a circuit is already on its way for this message
             if self._retry_at.get(pair, -1) > now:
                 continue
-            if self._module_channels(module) >= self.cfg.channels_per_module:
+            if self._module_channels(module) >= self._channel_cap:
                 continue
             if msg.dst not in self._module_xp:
                 continue  # destination currently detached; wait

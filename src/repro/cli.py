@@ -418,7 +418,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     try:
         doc = run_chaos_sweep(args.which, seed=args.seed,
                               rounds=1 if args.once else args.rounds,
-                              engine=args.engine)
+                              engine=args.engine,
+                              adaptive=args.adaptive)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -430,6 +431,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if doc.get("run_id"):
             print(f"ledger       : chaos run {doc['run_id']}")
     return 0 if doc["survived"] else 1
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control import render_adapt, run_adapt, validate_adapt
+
+    try:
+        doc = run_adapt(args.which, seed=args.seed, engine=args.engine)
+    except (KeyError, RuntimeError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    validate_adapt(doc)
+    if args.json:
+        print(json.dumps(doc, indent=2, default=repr))
+    else:
+        print(render_adapt(doc))
+        if doc.get("run_id"):
+            print(f"ledger        : adapt run {doc['run_id']}")
+    return 0 if not doc["regressions"] else 1
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
@@ -772,7 +793,27 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["object", "vec"], default=None,
                    help="simulation backend (default: REPRO_SIM_ENGINE "
                         "or object; the document is engine-independent)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="attach the SLO control loop to every scenario "
+                        "and embed its repro.control/1 action log plus "
+                        "an SLO-burn comparison against a static twin")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("adapt",
+                       help="adaptive-vs-static evaluation: run every "
+                            "architecture an experiment builds through "
+                            "a sustained-pressure scenario with and "
+                            "without the SLO control loop")
+    p.add_argument("which", help="experiment whose architectures to "
+                                 "evaluate (e1..e12)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="traffic-phase seed (default: 7)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro.adapt/1 document as JSON")
+    p.add_argument("--engine", choices=["object", "vec"], default=None,
+                   help="simulation backend (default: REPRO_SIM_ENGINE "
+                        "or object; the document is engine-independent)")
+    p.set_defaults(func=_cmd_adapt)
 
     p = sub.add_parser("runs",
                        help="list/show/gc the persistent run ledger "

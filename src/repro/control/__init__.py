@@ -1,0 +1,50 @@
+"""repro.control — the SLO-driven closed-loop control plane.
+
+PR 4 built the sensors (the declarative alert engine), PR 5 the
+actuators (per-architecture recovery policies); this package closes
+the loop: alerts drive runtime adaptation — slot re-planning, switch
+insertion, module re-placement, lane re-allocation, arbiter
+rebalancing — through a guarded actuation pipeline with preflight,
+bounded retries, rollback, and a hard safety budget.
+
+Entry points:
+
+* :func:`attach_control` / :class:`ControlLoop` — wire a controller
+  onto an architecture's telemetry;
+* :func:`adaptive_rules` — the alert rule set adaptive runs watch;
+* :func:`run_adapt` / ``repro adapt`` — adaptive-vs-static evaluation
+  (same traffic, same faults, measured by SLO burn / MTTR /
+  undelivered traffic);
+* :func:`validate_control` — structural check of ``repro.control/1``
+  action logs (used by the CI ``adaptive-smoke`` job).
+"""
+
+from repro.control.actions import (Action, ActionPolicy, adaptive_rules,
+                                   make_action_policy,
+                                   register_action_policy)
+from repro.control.evaluate import (ADAPT_SCHEMA, render_adapt,
+                                    run_adapt, run_adaptive_pair,
+                                    validate_adapt, validate_control)
+from repro.control.guards import ActuationGuard, GuardConfig
+from repro.control.loop import (CONTROL_SCHEMA, ActionRecord,
+                                ControlLoop, attach_control)
+
+__all__ = [
+    "Action",
+    "ActionPolicy",
+    "ActionRecord",
+    "ActuationGuard",
+    "ADAPT_SCHEMA",
+    "CONTROL_SCHEMA",
+    "ControlLoop",
+    "GuardConfig",
+    "adaptive_rules",
+    "attach_control",
+    "make_action_policy",
+    "register_action_policy",
+    "render_adapt",
+    "run_adapt",
+    "run_adaptive_pair",
+    "validate_adapt",
+    "validate_control",
+]

@@ -1,0 +1,154 @@
+"""The guarded actuation pipeline: what keeps the loop from flapping.
+
+An SLO controller that fires a reconfiguration at every alert is worse
+than no controller — it thrashes the fabric exactly when the fabric is
+busiest.  :class:`ActuationGuard` sits between the alert stream and
+the per-architecture action policies and enforces, in order:
+
+* **cooldown / hysteresis** per ``(rule, target)``: after an action
+  (and doubly so after a rollback) the same knob is left alone for a
+  configurable window, so a breach that survives one actuation cannot
+  drive an actuation storm;
+* **concurrency** — at most ``max_concurrent`` actions may be between
+  apply and post-check at once;
+* a hard **safety budget**: at most ``max_actions_per_window`` applies
+  per trailing ``budget_window`` cycles.  Past it the controller
+  degrades to observe-only (fires are logged as suppressed) and raises
+  a ``controller-saturated`` alert; actuation resumes when the
+  trailing window drains back under budget.
+
+Retry pacing reuses the repo-wide bounded-exponential helper
+(:func:`repro.sim.backoff.bounded_backoff`) plus a crc32-keyed
+deterministic jitter, so same-seed runs produce byte-identical retry
+schedules without an RNG object.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.sim.backoff import bounded_backoff, deterministic_jitter
+
+__all__ = ["GuardConfig", "ActuationGuard"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tunables of the actuation pipeline (all in cycles)."""
+
+    #: leave a (rule, target) pair alone this long after an apply
+    cooldown: int = 2_048
+    #: after a rollback the pair's cooldown is multiplied by this
+    rollback_penalty: int = 4
+    #: observation window between apply and the improvement check
+    observe_window: int = 2_048
+    #: success unless the re-read metric still exceeds
+    #: ``max(threshold, improve_frac * value-at-fire)``
+    improve_frac: float = 0.9
+    #: bounded retries when planning/apply is momentarily infeasible
+    max_retries: int = 2
+    retry_backoff: int = 512
+    retry_backoff_cap: int = 8_192
+    #: deterministic jitter span added to each retry wait
+    jitter: int = 64
+    #: actions allowed between apply and post-check simultaneously
+    max_concurrent: int = 2
+    #: hard safety budget: applies per trailing budget_window
+    max_actions_per_window: int = 8
+    budget_window: int = 32_768
+
+    def __post_init__(self) -> None:
+        if self.cooldown < 0 or self.observe_window < 1:
+            raise ValueError("cooldown must be >= 0, observe_window >= 1")
+        if not 0.0 <= self.improve_frac <= 1.0:
+            raise ValueError(
+                f"improve_frac must be in [0, 1], got {self.improve_frac}"
+            )
+        if self.max_concurrent < 1 or self.max_actions_per_window < 1:
+            raise ValueError("concurrency and budget must be >= 1")
+
+
+class ActuationGuard:
+    """Pure bookkeeping — no simulator access, trivially deterministic."""
+
+    def __init__(self, cfg: Optional[GuardConfig] = None):
+        self.cfg = cfg or GuardConfig()
+        #: (rule, target) -> cycle the pair becomes actionable again
+        self._cooldown_until: Dict[Tuple[str, str], int] = {}
+        #: action ids between apply and post-check
+        self._inflight: set = set()
+        #: cycles of recent applies (trailing safety-budget window)
+        self._applied_at: Deque[int] = deque()
+        self.suppressed_counts: Dict[str, int] = {}
+
+    # -- admission ------------------------------------------------------
+    def admit(self, rule: str, target: str,
+              now: int) -> Optional[str]:
+        """None when an action may proceed, else the suppression
+        reason (``"saturated"`` / ``"concurrent-limit"`` /
+        ``"cooldown"``)."""
+        reason = None
+        if self.saturated(now):
+            reason = "saturated"
+        elif len(self._inflight) >= self.cfg.max_concurrent:
+            reason = "concurrent-limit"
+        elif self._cooldown_until.get((rule, target), 0) > now:
+            reason = "cooldown"
+        if reason is not None:
+            self.suppressed_counts[reason] = (
+                self.suppressed_counts.get(reason, 0) + 1
+            )
+        return reason
+
+    def saturated(self, now: int) -> bool:
+        """Trailing-window apply count at (or past) the hard budget."""
+        self._prune(now)
+        return len(self._applied_at) >= self.cfg.max_actions_per_window
+
+    def _prune(self, now: int) -> None:
+        horizon = now - self.cfg.budget_window
+        while self._applied_at and self._applied_at[0] <= horizon:
+            self._applied_at.popleft()
+
+    # -- lifecycle ------------------------------------------------------
+    def note_applied(self, aid: str, rule: str, target: str,
+                     now: int) -> None:
+        self._inflight.add(aid)
+        self._applied_at.append(now)
+        self._cooldown_until[(rule, target)] = now + self.cfg.cooldown
+
+    def note_settled(self, aid: str, rule: str, target: str, now: int,
+                     rolled_back: bool) -> None:
+        self._inflight.discard(aid)
+        if rolled_back:
+            # hysteresis: an action that did not help must not be
+            # retried at the base cadence — the breach needs to clear
+            # and re-fire, and even then the knob stays cold longer
+            self._cooldown_until[(rule, target)] = (
+                now + self.cfg.cooldown * self.cfg.rollback_penalty
+            )
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    # -- retry pacing ---------------------------------------------------
+    def retry_delay(self, attempt: int, rule: str, target: str) -> int:
+        """Bounded exponential wait before retry ``attempt`` (1-based),
+        plus a deterministic jitter keyed on the (rule, target,
+        attempt) stream."""
+        wait = bounded_backoff(self.cfg.retry_backoff, attempt,
+                               cap=self.cfg.retry_backoff_cap)
+        return wait + deterministic_jitter(
+            self.cfg.jitter, "control", rule, target, attempt
+        )
+
+    def snapshot(self, now: int) -> Dict[str, object]:
+        self._prune(now)
+        return {
+            "inflight": len(self._inflight),
+            "window_applies": len(self._applied_at),
+            "saturated": self.saturated(now),
+            "suppressed": dict(sorted(self.suppressed_counts.items())),
+        }

@@ -35,6 +35,12 @@ QL006    error     a component that installs a batch kernel (declares
                    call-graph mutates a private ``self._x`` attribute
                    not listed in either declaration — the kernel's
                    stretch replay would not account for it
+QL012    error     control-plane code (``repro.control``) touching
+                   another object's private (underscore) state —
+                   adaptive actions must go through public architecture
+                   entry points (``reassign_slot``, ``add_switch``,
+                   ``set_channel_cap``, ...) so every actuation stays
+                   observable and rollback-safe
 QL000    error     file failed to parse
 =======  ========  =====================================================
 
@@ -70,6 +76,9 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "QL006": (Severity.ERROR,
               "batch-kernel component's tick mutates state outside "
               "VEC_FIELDS/VEC_SHARED"),
+    "QL012": (Severity.ERROR,
+              "control-plane code touches another object's private "
+              "state instead of a public entry point"),
 }
 
 _CHANNEL_CONSTRUCTORS = {"Wire", "PulseWire", "FIFO"}
@@ -518,6 +527,76 @@ class _ComponentChecker:
 # ----------------------------------------------------------------------
 # module / path drivers
 # ----------------------------------------------------------------------
+# QL012: the control plane mutates architectures only through public
+# entry points
+# ----------------------------------------------------------------------
+def _is_control_path(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(a == "repro" and b == "control"
+               for a, b in zip(parts, parts[1:]))
+
+
+def _walk_without_defs(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body, descending into lambdas (action closures)
+    but not into nested function/class definitions."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _lint_control_module(path: str, tree: ast.Module) -> List[Finding]:
+    """QL012 over every function in a ``repro.control`` module: no
+    foreign private mutation, no foreign private call — adaptive
+    actions stay on public architecture entry points."""
+    findings: List[Finding] = []
+    fp = _ComponentChecker._foreign_private
+
+    def _add(node: ast.AST, symbol: str, detail: str) -> None:
+        findings.append(Finding("QL012", Severity.ERROR, path,
+                                node.lineno, symbol, detail))
+
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in _walk_without_defs(func):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                hit = fp(node.func)
+                if hit is not None:
+                    _add(node, func.name,
+                         f"calls {hit}() — a private entry point of "
+                         f"another object; control actions must use "
+                         f"public architecture methods so actuation "
+                         f"stays observable and rollback-safe")
+                    continue
+                if node.func.attr in _CONTAINER_MUTATORS:
+                    hit = fp(node.func.value)
+                    if hit is not None:
+                        _add(node, func.name,
+                             f"mutates {hit} via .{node.func.attr}() — "
+                             f"another object's private state; control "
+                             f"actions must use public architecture "
+                             f"methods")
+                continue
+            for target in targets:
+                hit = fp(target)
+                if hit is not None:
+                    _add(node, func.name,
+                         f"assigns to {hit} — another object's private "
+                         f"state; control actions must use public "
+                         f"architecture methods")
+    return findings
+
+
 def _lint_module(path: str, tree: ast.Module,
                  component_classes: Set[str]) -> List[Finding]:
     findings: List[Finding] = []
@@ -547,6 +626,8 @@ def _lint_module(path: str, tree: ast.Module,
             continue
         findings.extend(
             _ComponentChecker(path, _ClassInfo(cls)).run())
+    if _is_control_path(path):
+        findings.extend(_lint_control_module(path, tree))
     return findings
 
 

@@ -24,6 +24,7 @@ Metric selectors:
 ``flow_jitter_p99``    max over flows of jitter p99 (cycles)
 ``link_utilization``   max over links of recent-window utilization [0,1]
 ``queue_depth``        max over links of the queue-depth watermark
+``queue_current``      max over links of the *instantaneous* queue depth
 ``backpressure_p99``   max over links of sender-wait p99 (cycles)
 ``quiesce_max``        longest reconfiguration quiesce seen (cycles)
 ``fault_mttr_max``     longest fault recovery (injection->recovered)
@@ -37,13 +38,23 @@ nothing and the kernel's fast-forward is preserved.  Fired alerts are
 kept on the engine, emitted as span events (source ``"alerts"``) into
 an attached tracer — so they land on the Perfetto timeline — and
 exported as ``repro_alert_*`` series by :mod:`repro.obs.prom`.
+
+Every fired episode also gets an explicit edge-down **clear** event
+when its metric drops back under the threshold (``Alert.event ==
+"clear"``, kept on :attr:`AlertEngine.clears`), so consumers — the
+``repro watch`` feed and the :mod:`repro.control` control plane — can
+distinguish "resolved" from "still burning".  Subscribers registered
+with :meth:`AlertEngine.subscribe` see both edges as ``listener(event,
+alert)`` callbacks, and per-rule SLO burn (breach cycles of fired
+episodes) is accounted in :meth:`AlertEngine.burn_cycles`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
+                    Tuple)
 
 KINDS = ("threshold", "sustained", "burn_rate")
 
@@ -105,6 +116,12 @@ class Alert:
     #: cycle the breach began (== cycle for plain threshold rules)
     since: int = -1
     message: str = ""
+    #: the argmax entity behind the metric value — a link name, a
+    #: "src->dst" flow, or a counter/gauge key ("" when the metric has
+    #: no natural subject, e.g. quiesce_max)
+    subject: str = ""
+    #: "fire" on edge-up, "clear" on edge-down of a fired episode
+    event: str = "fire"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -117,6 +134,8 @@ class Alert:
             "severity": self.severity,
             "kind": self.kind,
             "message": self.message,
+            "subject": self.subject,
+            "event": self.event,
         }
 
 
@@ -183,7 +202,7 @@ class AlertEngine:
     """Evaluates :class:`AlertRule`\\ s against telemetry snapshots."""
 
     def __init__(self, rules: Optional[Iterable[AlertRule]] = None,
-                 max_alerts: int = 1_000):
+                 max_alerts: int = 1_000, cooldown: int = 0):
         self.rules: List[AlertRule] = list(
             default_rules() if rules is None else rules
         )
@@ -193,8 +212,17 @@ class AlertEngine:
                 raise ValueError(f"duplicate rule name {rule.name!r}")
             seen.add(rule.name)
         self.max_alerts = max_alerts
+        #: suppress a refire of the same rule within this many cycles
+        #: of its previous fire (0 = every episode fires, the
+        #: pre-cooldown behaviour); suppressed fires are counted in
+        #: :attr:`deduped` so flap storms stay visible as a number
+        #: instead of a feed full of identical lines
+        self.cooldown = cooldown
         self.alerts: List[Alert] = []
+        #: explicit edge-down events for fired episodes (see clears())
+        self.clears: List[Alert] = []
         self.dropped = 0
+        self.deduped = 0
         self.evaluations = 0
         #: rule name -> cycle the current breach episode began
         self._breach_since: Dict[str, int] = {}
@@ -204,50 +232,99 @@ class AlertEngine:
         self._rate_state: Dict[str, Deque[Tuple[int, float]]] = {}
         self.fired_counts: Dict[str, int] = {}
         self.last_fired: Dict[str, int] = {}
+        self.cleared_counts: Dict[str, int] = {}
+        self.last_cleared: Dict[str, int] = {}
+        self.deduped_counts: Dict[str, int] = {}
+        #: rule name -> breach cycles accumulated by *closed* fired
+        #: episodes (open episodes are added by burn_cycles())
+        self._burn: Dict[str, int] = {}
+        self._listeners: List[Callable[[str, Alert], None]] = []
 
     # ------------------------------------------------------------------
-    def _metric_value(self, rule: AlertRule, tel,
-                      now: int) -> Optional[float]:
+    def subscribe(self, listener: Callable[[str, Alert], None]) -> None:
+        """Register ``listener(event, alert)`` for ``"fire"``/``"clear"``
+        edges.
+
+        Listeners run inside the (lazy) evaluation pass, in
+        subscription order — this is how the control plane closes the
+        loop without any eager per-cycle walk.  Cooldown-deduped
+        refires are *not* delivered: the episode is still burning and
+        the listener already saw its edge-up.
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _argmax(pairs: List[Tuple[float, str]],
+                ) -> Tuple[Optional[float], str]:
+        """(max value, subject) — ties pick the lexically first subject."""
+        if not pairs:
+            return None, ""
+        value = max(v for v, _ in pairs)
+        subject = min(s for v, s in pairs if v == value)
+        return value, subject
+
+    def _metric(self, rule: AlertRule, tel,
+                now: int) -> Tuple[Optional[float], str]:
+        """The rule's current metric value and its argmax subject."""
         metric = rule.metric
         if metric.startswith("counter:"):
-            return float(tel.counters.get(metric[len("counter:"):], 0))
+            key = metric[len("counter:"):]
+            return float(tel.counters.get(key, 0)), key
         if metric == "flow_p99_latency":
-            vals = [f.latency.percentile(99) for f in tel.flows.values()
-                    if f.latency.count]
-            return max(vals) if vals else None
+            return self._argmax(
+                [(f.latency.percentile(99), f"{f.src}->{f.dst}")
+                 for f in tel.flows.values() if f.latency.count])
         if metric == "flow_p50_latency":
-            vals = [f.latency.percentile(50) for f in tel.flows.values()
-                    if f.latency.count]
-            return max(vals) if vals else None
+            return self._argmax(
+                [(f.latency.percentile(50), f"{f.src}->{f.dst}")
+                 for f in tel.flows.values() if f.latency.count])
         if metric == "flow_jitter_p99":
-            vals = [f.jitter.percentile(99) for f in tel.flows.values()
-                    if f.jitter.count]
-            return max(vals) if vals else None
+            return self._argmax(
+                [(f.jitter.percentile(99), f"{f.src}->{f.dst}")
+                 for f in tel.flows.values() if f.jitter.count])
         if metric == "link_utilization":
-            vals = [ls.utilization(now) for ls in tel.links.values()]
-            return max(vals) if vals else None
+            return self._argmax(
+                [(ls.utilization(now), name)
+                 for name, ls in tel.links.items()])
         if metric == "queue_depth":
-            vals = [ls.queue_watermark for ls in tel.links.values()]
-            return float(max(vals)) if vals else None
+            return self._argmax(
+                [(float(ls.queue_watermark), name)
+                 for name, ls in tel.links.items()])
+        if metric == "queue_current":
+            return self._argmax(
+                [(float(ls.queue_depth), name)
+                 for name, ls in tel.links.items()])
         if metric == "backpressure_p99":
-            vals = [ls.wait.percentile(99) for ls in tel.links.values()
-                    if ls.wait.count]
-            return max(vals) if vals else None
+            return self._argmax(
+                [(ls.wait.percentile(99), name)
+                 for name, ls in tel.links.items() if ls.wait.count])
         if metric == "quiesce_max":
-            return tel.quiesce.max if tel.quiesce.count else None
+            return (tel.quiesce.max if tel.quiesce.count else None), ""
         if metric == "fault_mttr_max":
-            return tel.mttr.max if tel.mttr.count else None
+            return (tel.mttr.max if tel.mttr.count else None), ""
         if metric.startswith("gauge:"):
-            return tel.gauges.get(metric[len("gauge:"):])
+            key = metric[len("gauge:"):]
+            return tel.gauges.get(key), key
         raise ValueError(f"rule {rule.name!r}: unknown metric {metric!r}")
+
+    def _metric_value(self, rule: AlertRule, tel,
+                      now: int) -> Optional[float]:
+        return self._metric(rule, tel, now)[0]
 
     # ------------------------------------------------------------------
     def evaluate(self, tel, now: int) -> List[Alert]:
-        """Evaluate every rule; returns alerts fired by this call."""
+        """Evaluate every rule; returns alerts fired by this call.
+
+        Edge-down ``clear`` events for previously fired episodes are
+        recorded on :attr:`clears` (and delivered to subscribers) but
+        are *not* part of the return value, which keeps the historical
+        "fired alerts only" contract.
+        """
         self.evaluations += 1
         fired: List[Alert] = []
         for rule in self.rules:
-            value = self._metric_value(rule, tel, now)
+            value, subject = self._metric(rule, tel, now)
             if value is None:
                 continue
             if rule.kind == "burn_rate":
@@ -256,17 +333,31 @@ class AlertEngine:
                 alert = self._eval_sustained(rule, value, now)
             else:
                 alert = self._eval_threshold(rule, value, now)
-            if alert is not None:
-                fired.append(alert)
-                self._record(alert, tel)
+            if alert is None:
+                continue
+            alert.subject = subject
+            if alert.event == "clear":
+                self._record_clear(alert, tel)
+                continue
+            last = self.last_fired.get(rule.name)
+            if (self.cooldown and last is not None
+                    and alert.cycle - last < self.cooldown):
+                # flap dedupe: the episode state machine already
+                # re-armed, but an identical alert this soon after the
+                # previous fire is feed spam, not new signal
+                self.deduped += 1
+                self.deduped_counts[rule.name] = (
+                    self.deduped_counts.get(rule.name, 0) + 1
+                )
+                continue
+            fired.append(alert)
+            self._record(alert, tel)
         return fired
 
     def _eval_threshold(self, rule: AlertRule, value: float,
                         now: int) -> Optional[Alert]:
         if value <= rule.threshold:
-            self._breach_since.pop(rule.name, None)
-            self._fired_episode.discard(rule.name)
-            return None
+            return self._close_episode(rule, value, now)
         since = self._breach_since.setdefault(rule.name, now)
         if rule.name in self._fired_episode:
             return None
@@ -276,9 +367,7 @@ class AlertEngine:
     def _eval_sustained(self, rule: AlertRule, value: float,
                         now: int) -> Optional[Alert]:
         if value <= rule.threshold:
-            self._breach_since.pop(rule.name, None)
-            self._fired_episode.discard(rule.name)
-            return None
+            return self._close_episode(rule, value, now)
         since = self._breach_since.setdefault(rule.name, now)
         if now - since < rule.for_cycles:
             return None
@@ -299,14 +388,32 @@ class AlertEngine:
         base_cycle, base_value = ring[0]
         delta = total - base_value
         if delta <= rule.threshold:
-            self._breach_since.pop(rule.name, None)
-            self._fired_episode.discard(rule.name)
-            return None
+            return self._close_episode(rule, delta, now)
         since = self._breach_since.setdefault(rule.name, base_cycle)
         if rule.name in self._fired_episode:
             return None
         self._fired_episode.add(rule.name)
         return self._alert(rule, delta, now, since)
+
+    def _close_episode(self, rule: AlertRule, value: float,
+                       now: int) -> Optional[Alert]:
+        """Edge-down: end the breach episode; a clear Alert iff it had
+        fired."""
+        since = self._breach_since.pop(rule.name, -1)
+        if rule.name not in self._fired_episode:
+            return None
+        self._fired_episode.discard(rule.name)
+        burned = now - since if since >= 0 else 0
+        if burned > 0:
+            self._burn[rule.name] = (
+                self._burn.get(rule.name, 0) + burned
+            )
+        msg = (f"{rule.metric} recovered to {value:g} <= "
+               f"{rule.threshold:g} after {burned} cycles")
+        return Alert(rule=rule.name, metric=rule.metric, cycle=now,
+                     value=float(value), threshold=rule.threshold,
+                     severity=rule.severity, kind=rule.kind,
+                     since=since, message=msg, event="clear")
 
     # ------------------------------------------------------------------
     def _alert(self, rule: AlertRule, value: float, now: int,
@@ -337,26 +444,126 @@ class AlertEngine:
                 begin=alert.since if alert.since >= 0 else alert.cycle,
                 end=alert.cycle, value=alert.value,
                 threshold=alert.threshold, severity=alert.severity,
-                metric=alert.metric,
+                metric=alert.metric, subject=alert.subject,
             )
+        for listener in self._listeners:
+            listener("fire", alert)
+
+    def _record_clear(self, alert: Alert, tel) -> None:
+        if len(self.clears) >= self.max_alerts:
+            self.dropped += 1
+        else:
+            self.clears.append(alert)
+        self.cleared_counts[alert.rule] = (
+            self.cleared_counts.get(alert.rule, 0) + 1
+        )
+        self.last_cleared[alert.rule] = alert.cycle
+        sim = getattr(tel, "sim", None)
+        if sim is not None and sim.tracer is not None:
+            sim.span_event(
+                "alerts", f"{alert.rule}.clear",
+                begin=alert.cycle, end=alert.cycle, value=alert.value,
+                threshold=alert.threshold, severity=alert.severity,
+                metric=alert.metric, subject=alert.subject,
+            )
+        for listener in self._listeners:
+            listener("clear", alert)
+
+    # ------------------------------------------------------------------
+    def rule_named(self, name: str) -> AlertRule:
+        """The rule registered under ``name`` (KeyError if absent)."""
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(f"no rule named {name!r}")
+
+    def current_value(self, name: str, tel,
+                      now: int) -> Optional[float]:
+        """Re-read a rule's metric right now (post-action checks)."""
+        return self._metric(self.rule_named(name), tel, now)[0]
+
+    def inject(self, name: str, *, cycle: int, value: float = 0.0,
+               threshold: float = 0.0, severity: str = "critical",
+               message: str = "", subject: str = "",
+               tel=None) -> Alert:
+        """Record an externally produced alert (one not driven by a
+        registered rule) — e.g. the control plane's
+        ``controller-saturated`` signal.  Delivered to subscribers and
+        kept on :attr:`alerts` like any rule-driven fire."""
+        alert = Alert(rule=name, metric="external", cycle=cycle,
+                      value=float(value), threshold=threshold,
+                      severity=severity, kind="threshold", since=cycle,
+                      message=message, subject=subject)
+        self._record(alert, tel)
+        return alert
 
     # ------------------------------------------------------------------
     def active(self, now: int) -> List[str]:
         """Rules currently in a fired, un-cleared breach episode."""
         return sorted(self._fired_episode)
 
+    def burn_cycles(self, now: int) -> Dict[str, int]:
+        """Per-rule SLO burn: breach cycles of fired episodes.
+
+        Closed episodes contribute their full breach span (edge-up to
+        edge-down); an episode still burning contributes up to ``now``.
+        """
+        out = dict(self._burn)
+        for name in sorted(self._fired_episode):
+            since = self._breach_since.get(name)
+            if since is not None and now > since:
+                out[name] = out.get(name, 0) + (now - since)
+        return out
+
+    def total_burn(self, now: int) -> int:
+        """Total SLO burn across rules (cycles)."""
+        return sum(self.burn_cycles(now).values())
+
+    def episodes(self, now: int) -> List[Dict[str, Any]]:
+        """Fired breach episodes, closed and still open.
+
+        The adaptive-vs-static harness reads recovery time (MTTR) off
+        this: a closed episode's duration is edge-up to edge-down, an
+        open one is censored at ``now``.
+        """
+        out: List[Dict[str, Any]] = [
+            {
+                "rule": a.rule,
+                "since": a.since,
+                "cleared": a.cycle,
+                "duration": a.cycle - a.since if a.since >= 0 else 0,
+                "open": False,
+            }
+            for a in self.clears
+        ]
+        for name in sorted(self._fired_episode):
+            since = self._breach_since.get(name)
+            if since is None:
+                continue
+            out.append({"rule": name, "since": since, "cleared": None,
+                        "duration": max(0, now - since), "open": True})
+        out.sort(key=lambda e: (e["since"], e["rule"]))
+        return out
+
     def snapshot(self, now: int) -> Dict[str, Any]:
+        burn = self.burn_cycles(now)
         return {
             "rules": [
                 {"name": r.name, "metric": r.metric, "kind": r.kind,
                  "threshold": r.threshold, "severity": r.severity,
                  "fired": self.fired_counts.get(r.name, 0),
                  "last_fired": self.last_fired.get(r.name, -1),
+                 "cleared": self.cleared_counts.get(r.name, 0),
+                 "last_cleared": self.last_cleared.get(r.name, -1),
+                 "deduped": self.deduped_counts.get(r.name, 0),
+                 "burn_cycles": burn.get(r.name, 0),
                  "active": r.name in self._fired_episode}
                 for r in self.rules
             ],
             "alerts": [a.to_dict() for a in self.alerts],
+            "clears": [a.to_dict() for a in self.clears],
             "dropped": self.dropped,
+            "deduped": self.deduped,
             "evaluations": self.evaluations,
         }
 

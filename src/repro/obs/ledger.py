@@ -76,7 +76,7 @@ MAX_FLOWS_PER_SIM = 64
 MAX_LINKS_PER_SIM = 64
 
 #: run kinds the validator accepts
-RUN_KINDS = ("experiment", "sweep", "seed", "fleet", "chaos")
+RUN_KINDS = ("experiment", "sweep", "seed", "fleet", "chaos", "adapt")
 
 
 def ledger_enabled() -> bool:

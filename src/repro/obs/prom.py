@@ -148,7 +148,36 @@ def to_prometheus_text(
                          "counter", "profiled calls by bucket", labels)
         if sim.telemetry is not None:
             _telemetry_samples(w, sim.telemetry, sim.cycle, base)
+        if getattr(sim, "control", None) is not None:
+            _control_samples(w, sim.control, sim.cycle, base)
     return w.text()
+
+
+def _control_samples(w: _Writer, loop: Any, now: int,
+                     base: Dict[str, str]) -> None:
+    """Control-plane series from an attached ControlLoop."""
+    for status, count in loop.status_counts().items():
+        labels = dict(base)
+        labels["status"] = status
+        w.sample("control_actions_total", count, "counter",
+                 "controller decisions by final status", labels)
+    for reason, count in sorted(
+            loop.guard.suppressed_counts.items()):
+        labels = dict(base)
+        labels["reason"] = reason
+        w.sample("control_suppressed_total", count, "counter",
+                 "fires suppressed by the actuation guard", labels)
+    w.sample("control_observe_only", int(loop.observe_only), "gauge",
+             "1 while the safety budget keeps the controller "
+             "observe-only", base or None)
+    w.sample("control_inflight", loop.guard.inflight(), "gauge",
+             "actions between apply and post-check", base or None)
+    for rule, burned in sorted(
+            loop.engine.burn_cycles(now).items()):
+        labels = dict(base)
+        labels["rule"] = rule
+        w.sample("control_burn_cycles", burned, "counter",
+                 "SLO burn per rule (fired breach cycles)", labels)
 
 
 def _telemetry_samples(w: _Writer, tel: Any, now: int,

@@ -75,6 +75,26 @@ def collect_snapshot(session: ObservationSession, experiment: str = "",
     doc["schema"] = SNAPSHOT_SCHEMA
     doc["experiment"] = experiment
     doc["done"] = bool(done)
+    controls = [sim.control for sim in list(session.sims)
+                if getattr(sim, "control", None) is not None]
+    if controls:
+        # versioned extension: control-plane decisions, rendered as
+        # their own pane.  Pre-controller consumers ignore both keys.
+        counts: Dict[str, int] = {}
+        recent: List[Dict[str, Any]] = []
+        for loop in controls:
+            for status, n in loop.status_counts().items():
+                counts[status] = counts.get(status, 0) + n
+            for record in loop.actions[-8:]:
+                recent.append(dict(record.to_dict(), sim=loop.sim.name))
+        recent.sort(key=lambda r: (r["cycle"], r["sim"], r["aid"]))
+        doc["extensions"] = sorted(
+            set(doc.get("extensions", ())) | {"actions/1"})
+        doc["actions"] = {
+            "counts": dict(sorted(counts.items())),
+            "recent": recent[-16:],
+            "observe_only": any(l.observe_only for l in controls),
+        }
     return doc
 
 
@@ -131,6 +151,20 @@ def validate_snapshot(doc: Dict[str, Any]) -> int:
                 _require(key in link, f"link missing {key!r}")
             _require(0.0 <= link["utilization"] <= 1.0,
                      f"link {link.get('name')!r} utilization out of range")
+    if "actions" in doc:  # actions/1 extension; absent pre-controller
+        _require("actions/1" in doc.get("extensions", ()),
+                 "actions key present without the actions/1 extension "
+                 "marker")
+        actions = doc["actions"]
+        _require(isinstance(actions.get("counts"), dict),
+                 "actions counts is not a dict")
+        _require(isinstance(actions.get("observe_only"), bool),
+                 "actions missing observe_only flag")
+        recent = actions.get("recent")
+        _require(isinstance(recent, list), "actions recent is not a list")
+        for record in recent:
+            for key in ("aid", "rule", "kind", "status", "cycle", "sim"):
+                _require(key in record, f"action record missing {key!r}")
     _require(doc["total_flows"] == sum(len(e.get("flows", ()))
                                        for e in sims),
              "total_flows does not match simulator entries")
@@ -197,6 +231,20 @@ def render_dashboard(doc: Dict[str, Any], max_rows: int = 8) -> str:
             )
         if len(links) > max_rows:
             lines.append(f"  ... {len(links) - max_rows} more links")
+    if doc.get("actions"):
+        actions = doc["actions"]
+        counts = actions["counts"]
+        summary = "  ".join(f"{k} {v}" for k, v in counts.items())
+        mode = "  [OBSERVE-ONLY]" if actions["observe_only"] else ""
+        lines.append("")
+        lines.append(f"  actions: {summary or 'none'}{mode}")
+        for record in actions["recent"][-max_rows:]:
+            what = record["detail"] or record["reason"] or record["rule"]
+            lines.append(
+                f"  > cycle {record['cycle']:>9,}  "
+                f"[{record['status']}] {record['kind']} "
+                f"{record['target']}: {what}"
+            )
     if doc["alerts"]:
         lines.append("")
         lines.append("  alerts:")

@@ -31,6 +31,7 @@ from repro.fabric.device import Device
 from repro.fabric.geometry import Rect
 from repro.reconfig.module import ModuleSpec
 from repro.sim import SimError, Simulator
+from repro.sim.backoff import bounded_backoff
 
 
 @dataclass
@@ -75,7 +76,8 @@ class ReconfigurationManager:
                  quiesce_timeout: int = 100_000,
                  strict_quiesce: bool = False,
                  max_retries: int = 3,
-                 retry_backoff: int = 64):
+                 retry_backoff: int = 64,
+                 retry_backoff_cap: int = 4096):
         self.arch = arch
         self.sim: Simulator = arch.sim
         self.timing = ReconfigTimingModel(device, port or ConfigPort())
@@ -85,6 +87,10 @@ class ReconfigurationManager:
         self.strict_quiesce = strict_quiesce
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        #: clamp on the exponential retry wait — the fault path (RMBoC
+        #: ``fault_backoff_cap``) was capped but this path was not, so
+        #: a high ``max_retries`` could grow an unbounded stall
+        self.retry_backoff_cap = retry_backoff_cap
         self.records: List[SwapRecord] = []
         self._busy = False
         self._pending: List[Callable[[], None]] = []
@@ -464,7 +470,8 @@ class ReconfigurationManager:
             # bounded retry with exponential backoff before re-driving
             # the configuration port
             record.retries += 1
-            backoff = self.retry_backoff * (1 << (record.retries - 1))
+            backoff = bounded_backoff(self.retry_backoff, record.retries,
+                                      cap=self.retry_backoff_cap)
             sim.stats.counter("reconfig.retries").inc()
             sim.after(backoff,
                       lambda s: self._attempt(record, rid, spec,

@@ -1,0 +1,66 @@
+"""Bounded exponential backoff, shared across retry paths.
+
+Three subsystems retry with exponential backoff: the reconfiguration
+manager's bitstream-corruption retries, RMBoC's fault-escalated
+channel re-setup (``fault_backoff_cap``), and the control plane's
+guarded actuation pipeline.  They must all agree on the same bounded
+formula so a retry storm can never grow an unbounded wait, and any
+jitter must come from a deterministic stream so same-seed runs stay
+byte-identical.
+
+``bounded_backoff`` reproduces the historical formulas bit-for-bit:
+
+* ``base * (1 << (attempt - 1))`` shifted growth,
+* the shift clamped at ``shift_cap`` so the doubling cannot overflow,
+* the result clamped at ``cap`` when one is given.
+
+``deterministic_jitter`` derives a small offset from a crc32 of the
+caller-supplied stream parts (the same keying scheme as
+:func:`repro.sim.rng.make_rng`'s ``_stream_key``), so it needs no
+numpy and no RNG object: the same ``(span, parts)`` always yields the
+same offset, and distinct parts decorrelate retry times that would
+otherwise collide in lockstep.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+__all__ = ["bounded_backoff", "deterministic_jitter"]
+
+#: default clamp on the exponent so ``1 << n`` stays a small int
+DEFAULT_SHIFT_CAP = 16
+
+
+def bounded_backoff(base: int, attempt: int, *,
+                    cap: Optional[int] = None,
+                    shift_cap: int = DEFAULT_SHIFT_CAP) -> int:
+    """Backoff (in cycles) before retry number ``attempt`` (1-based).
+
+    ``base * 2**(attempt-1)``, with the exponent clamped to
+    ``shift_cap`` and the product clamped to ``cap`` when given.
+    ``attempt <= 1`` yields ``base`` — callers never wait a negative
+    or zero-shifted amount for their first retry.
+    """
+    if base < 0:
+        raise ValueError(f"backoff base must be >= 0, got {base}")
+    shift = min(max(attempt - 1, 0), shift_cap)
+    backoff = base * (1 << shift)
+    if cap is not None:
+        backoff = min(backoff, cap)
+    return backoff
+
+
+def deterministic_jitter(span: int, *parts: object) -> int:
+    """A stable pseudo-random offset in ``[0, span)``.
+
+    Derived from a crc32 over the stream parts (rule name, target,
+    attempt number, ...), matching the stream-keying discipline of
+    :func:`repro.sim.rng.make_rng` without requiring numpy.  ``span <=
+    1`` always yields 0.
+    """
+    if span <= 1:
+        return 0
+    key = "/".join(str(p) for p in parts)
+    return zlib.crc32(key.encode()) % span

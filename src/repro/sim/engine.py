@@ -259,6 +259,9 @@ class Simulator:
         #: executes one dead boolean test per stamp site and stays
         #: bit-identical to pre-journey traces
         self.journeying = False
+        #: optional repro.control.ControlLoop (set by the loop itself
+        #: on attach; exporters discover the action log through it)
+        self.control = None
         self.fast_path = fastpath_default() if fast_path is None else fast_path
         self.sanitize = sanitize_default() if sanitize is None else sanitize
         self.profile = profile_default() if profile is None else profile

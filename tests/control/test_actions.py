@@ -1,0 +1,131 @@
+"""Action-policy tests: registry wiring, the adaptive rule set, and a
+policy's plan/apply/rollback round trip on a live architecture."""
+
+import pytest
+
+from repro.arch import build_architecture
+from repro.control import adaptive_rules, make_action_policy
+from repro.control.actions import (ActionPolicy, SharedBusActionPolicy,
+                                   StaticMeshActionPolicy,
+                                   register_action_policy)
+from repro.obs.alerts import Alert, default_rules
+
+
+def _alert(rule="fabric-pressure", subject=""):
+    return Alert(rule=rule, metric="queue_current", cycle=100,
+                 value=12.0, threshold=8.0, severity="critical",
+                 kind="sustained", since=90, subject=subject)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("key", ["buscom", "conochi", "dynoc",
+                                     "staticmesh", "rmboc", "sharedbus"])
+    def test_every_architecture_has_a_policy(self, key):
+        arch = (build_architecture(key, num_modules=4)
+                if key not in ("conochi", "dynoc")
+                else build_architecture(key, num_modules=2))
+        policy = make_action_policy(arch)
+        assert policy.ARCH == key
+        assert policy.RULES, "a policy must cover at least one rule"
+
+    def test_unknown_architecture_raises(self):
+        class Fake:
+            KEY = "nonesuch"
+
+        with pytest.raises(KeyError, match="nonesuch"):
+            make_action_policy(Fake())
+
+    def test_out_of_tree_registration(self):
+        class MyPolicy(ActionPolicy):
+            ARCH = "custom-arch"
+            RULES = ("flow-latency-p99",)
+
+        class Fake:
+            KEY = "custom-arch"
+
+        register_action_policy("custom-arch", MyPolicy)
+        try:
+            assert isinstance(make_action_policy(Fake()), MyPolicy)
+        finally:
+            from repro.control.actions import _POLICIES
+
+            del _POLICIES["custom-arch"]
+
+
+class TestAdaptiveRules:
+    def test_extends_defaults(self):
+        names = {r.name for r in adaptive_rules()}
+        assert {r.name for r in default_rules()} <= names
+        assert {"fabric-pressure", "backoff-storm"} <= names
+
+    def test_staticmesh_covers_fabric_pressure(self):
+        # the welded-shut baseline must still *react* (and honestly
+        # fail) when router queues stay deep
+        assert "fabric-pressure" in StaticMeshActionPolicy.RULES
+
+    def test_rmboc_covers_both_famine_signals(self):
+        arch = build_architecture("rmboc", num_modules=4)
+        policy = make_action_policy(arch)
+        assert policy.covers("backoff-storm")
+        assert policy.covers("fabric-pressure")
+        assert not policy.covers("tdma-slot-overrun")
+
+
+class TestSharedBusRoundTrip:
+    """plan/apply/rollback against a real arbiter, no control loop."""
+
+    def _loaded_bus(self):
+        arch = build_architecture("sharedbus", num_modules=4)
+        ports = arch.ports
+        for _ in range(6):
+            ports["m2"].send("m0", 64, tag="t")
+        return arch
+
+    def test_plan_targets_most_backlogged_module(self):
+        arch = self._loaded_bus()
+        action = make_action_policy(arch).plan(_alert(), None, 100)
+        assert action is not None
+        assert action.kind == "rebalance-arbiter"
+        assert action.target == "m2"
+
+    def test_apply_then_rollback_restores_scan_order(self):
+        arch = self._loaded_bus()
+        before = arch.arbitration_order()
+        action = make_action_policy(arch).plan(_alert(), None, 100)
+        action.apply()
+        assert arch.arbitration_order()[0] == "m2"
+        action.rollback()
+        assert arch.arbitration_order() == before
+
+    def test_no_backlog_means_no_action(self):
+        arch = build_architecture("sharedbus", num_modules=4)
+        assert make_action_policy(arch).plan(_alert(), None, 100) is None
+
+
+class TestRMBoCRoundTrip:
+    def test_cap_raise_and_restore(self):
+        arch = build_architecture("rmboc", num_modules=4,
+                                  max_channels_per_module=1)
+        action = make_action_policy(arch).plan(
+            _alert(rule="backoff-storm"), None, 100)
+        assert action is not None and action.kind == "raise-channel-cap"
+        action.apply()
+        assert arch.channel_cap == 2
+        action.rollback()
+        assert arch.channel_cap == 1
+
+    def test_cap_at_bus_count_is_infeasible(self):
+        arch = build_architecture("rmboc", num_modules=4)
+        arch.set_channel_cap(arch.cfg.num_buses)
+        policy = make_action_policy(arch)
+        assert policy.plan(_alert(rule="backoff-storm"), None, 100) is None
+
+
+class TestSharedBusBacklogs:
+    def test_backlogs_reflect_queued_sends(self):
+        arch = build_architecture("sharedbus", num_modules=3)
+        arch.ports["m1"].send("m0", 64, tag="t")
+        arch.ports["m1"].send("m2", 64, tag="t")
+        depths = arch.backlogs()
+        assert depths["m1"] == 2 and depths["m0"] == 0
+        assert list(depths) == sorted(depths)

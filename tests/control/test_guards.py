@@ -1,0 +1,123 @@
+"""Unit tests for the actuation guard: admission order, cooldown
+hysteresis, the trailing safety budget, and deterministic retry
+pacing."""
+
+import pytest
+
+from repro.control import ActuationGuard, GuardConfig
+from repro.sim.backoff import bounded_backoff
+
+
+class TestGuardConfig:
+    def test_defaults_valid(self):
+        cfg = GuardConfig()
+        assert cfg.cooldown > 0 and cfg.max_actions_per_window >= 1
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError, match="cooldown"):
+            GuardConfig(cooldown=-1)
+
+    def test_observe_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="observe_window"):
+            GuardConfig(observe_window=0)
+
+    def test_improve_frac_bounds(self):
+        with pytest.raises(ValueError, match="improve_frac"):
+            GuardConfig(improve_frac=1.5)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            GuardConfig(max_actions_per_window=0)
+
+
+class TestAdmission:
+    def test_fresh_guard_admits(self):
+        guard = ActuationGuard()
+        assert guard.admit("r", "t", 0) is None
+
+    def test_cooldown_blocks_same_pair_only(self):
+        guard = ActuationGuard(GuardConfig(cooldown=100))
+        guard.note_applied("a0", "r", "t", now=10)
+        assert guard.admit("r", "t", 50) == "cooldown"
+        assert guard.admit("r", "other", 50) is None
+        assert guard.admit("r", "t", 110) is None
+
+    def test_rollback_extends_cooldown(self):
+        cfg = GuardConfig(cooldown=100, rollback_penalty=4)
+        guard = ActuationGuard(cfg)
+        guard.note_applied("a0", "r", "t", now=0)
+        guard.note_settled("a0", "r", "t", now=50, rolled_back=True)
+        # base cooldown would have expired at 100; the penalty holds
+        # the knob cold until 50 + 400
+        assert guard.admit("r", "t", 200) == "cooldown"
+        assert guard.admit("r", "t", 449) == "cooldown"
+        assert guard.admit("r", "t", 450) is None
+
+    def test_confirmed_settle_keeps_base_cooldown(self):
+        guard = ActuationGuard(GuardConfig(cooldown=100))
+        guard.note_applied("a0", "r", "t", now=0)
+        guard.note_settled("a0", "r", "t", now=50, rolled_back=False)
+        assert guard.admit("r", "t", 100) is None
+
+    def test_concurrent_limit(self):
+        guard = ActuationGuard(GuardConfig(cooldown=0, max_concurrent=2))
+        guard.note_applied("a0", "r0", "t0", now=0)
+        guard.note_applied("a1", "r1", "t1", now=0)
+        assert guard.inflight() == 2
+        assert guard.admit("r2", "t2", 1) == "concurrent-limit"
+        guard.note_settled("a0", "r0", "t0", now=2, rolled_back=False)
+        assert guard.admit("r2", "t2", 3) is None
+
+    def test_suppression_reasons_counted(self):
+        guard = ActuationGuard(GuardConfig(cooldown=100))
+        guard.note_applied("a0", "r", "t", now=0)
+        guard.admit("r", "t", 10)
+        guard.admit("r", "t", 20)
+        assert guard.suppressed_counts == {"cooldown": 2}
+
+
+class TestSafetyBudget:
+    def test_budget_trips_and_drains(self):
+        cfg = GuardConfig(cooldown=0, max_actions_per_window=2,
+                          budget_window=1_000)
+        guard = ActuationGuard(cfg)
+        guard.note_applied("a0", "r", "t0", now=100)
+        guard.note_applied("a1", "r", "t1", now=200)
+        assert guard.saturated(300)
+        assert guard.admit("r", "t2", 300) == "saturated"
+        guard.note_settled("a0", "r", "t0", now=350, rolled_back=False)
+        guard.note_settled("a1", "r", "t1", now=350, rolled_back=False)
+        # the trailing window drains: the 100-cycle apply ages out
+        assert not guard.saturated(1_101)
+        assert guard.admit("r", "t2", 1_101) is None
+
+    def test_snapshot_reports_window_state(self):
+        guard = ActuationGuard(GuardConfig(max_actions_per_window=1,
+                                           budget_window=1_000))
+        guard.note_applied("a0", "r", "t", now=10)
+        snap = guard.snapshot(20)
+        assert snap["inflight"] == 1
+        assert snap["window_applies"] == 1
+        assert snap["saturated"] is True
+
+
+class TestRetryPacing:
+    def test_delay_is_deterministic(self):
+        guard = ActuationGuard()
+        a = guard.retry_delay(1, "rule", "target")
+        b = guard.retry_delay(1, "rule", "target")
+        assert a == b
+
+    def test_delay_grows_bounded(self):
+        cfg = GuardConfig(retry_backoff=512, retry_backoff_cap=8_192,
+                          jitter=64)
+        guard = ActuationGuard(cfg)
+        for attempt in (1, 2, 5, 50):
+            delay = guard.retry_delay(attempt, "r", "t")
+            base = bounded_backoff(512, attempt, cap=8_192)
+            assert base <= delay < base + 64
+
+    def test_distinct_streams_decorrelate(self):
+        guard = ActuationGuard()
+        delays = {guard.retry_delay(1, "r", f"t{i}") for i in range(8)}
+        assert len(delays) > 1

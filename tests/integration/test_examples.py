@@ -36,5 +36,6 @@ def test_example_inventory():
         "conochi_fault_tolerance.py",
         "congestion_monitor.py",
         "failover_demo.py",
+        "adaptive_failover.py",
     }
     assert expected <= set(EXAMPLES)

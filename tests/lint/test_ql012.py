@@ -1,0 +1,125 @@
+"""QL012: control-plane code must actuate through public architecture
+entry points — no reaching into another object's private state."""
+
+import textwrap
+
+from repro.lint import Severity, lint_source
+
+CONTROL_PATH = "src/repro/control/custom_policy.py"
+
+
+def findings_for(src, filename=CONTROL_PATH):
+    found = lint_source(textwrap.dedent(src), filename=filename)
+    return [f for f in found if f.rule == "QL012"]
+
+
+class TestForeignPrivateAssignment:
+    BUGGY = """
+    class MyPolicy:
+        def plan(self, alert, tel, now):
+            self.arch._channel_cap = 4
+    """
+
+    def test_flags_assignment(self):
+        (f,) = findings_for(self.BUGGY)
+        assert f.severity is Severity.ERROR
+        assert f.symbol == "plan"
+        assert "self.arch._channel_cap" in f.message
+        assert "public architecture methods" in f.message
+
+    def test_public_entry_point_passes(self):
+        clean = self.BUGGY.replace(
+            "self.arch._channel_cap = 4",
+            "self.arch.set_channel_cap(4)")
+        assert findings_for(clean) == []
+
+    def test_own_private_state_is_fine(self):
+        clean = self.BUGGY.replace(
+            "self.arch._channel_cap = 4", "self._last_plan = now")
+        assert findings_for(clean) == []
+
+    def test_non_control_path_is_out_of_scope(self):
+        assert findings_for(
+            self.BUGGY, filename="src/repro/arch/rmboc/fabric.py"
+        ) == []
+
+
+class TestForeignPrivateCall:
+    BUGGY = """
+    class MyPolicy:
+        def plan(self, alert, tel, now):
+            self.arch._rebuild_schedule()
+    """
+
+    def test_flags_private_method_call(self):
+        (f,) = findings_for(self.BUGGY)
+        assert "self.arch._rebuild_schedule()" in f.message
+
+    def test_dunder_calls_are_not_private_reach(self):
+        clean = self.BUGGY.replace(
+            "self.arch._rebuild_schedule()", "self.arch.__repr__()")
+        assert findings_for(clean) == []
+
+
+class TestForeignContainerMutation:
+    BUGGY = """
+    class MyPolicy:
+        def plan(self, alert, tel, now):
+            self.arch._queues.clear()
+    """
+
+    def test_flags_mutator_on_foreign_private(self):
+        (f,) = findings_for(self.BUGGY)
+        assert ".clear()" in f.message
+
+    def test_reading_is_not_mutating(self):
+        clean = self.BUGGY.replace(
+            "self.arch._queues.clear()",
+            "depth = len(self.arch.backlogs())")
+        assert findings_for(clean) == []
+
+
+class TestClosures:
+    """Apply/rollback closures are lambdas — they must be checked."""
+
+    BUGGY = """
+    class MyPolicy:
+        def plan(self, alert, tel, now):
+            arch = self.arch
+            return Action(
+                kind="hack", target="fabric",
+                apply=lambda: setattr_free(arch),
+                rollback=lambda: arch._queues.append(None),
+            )
+    """
+
+    def test_lambda_bodies_are_linted(self):
+        (f,) = findings_for(self.BUGGY)
+        assert "arch._queues" in f.message
+
+    def test_nested_helper_class_is_skipped(self):
+        # nested defs are other scopes walked on their own; the walk
+        # from plan() must not double-report them
+        src = """
+        class MyPolicy:
+            def plan(self, alert, tel, now):
+                def helper(a):
+                    a._cap = 1
+                return None
+        """
+        hits = findings_for(src)
+        assert len(hits) == 1
+        assert hits[0].symbol == "helper"
+
+
+class TestRepositoryControlPackageIsClean:
+    def test_shipped_policies_pass_their_own_rule(self):
+        import os
+
+        import repro
+        from repro.lint import lint_paths
+
+        pkg = os.path.join(
+            os.path.dirname(os.path.abspath(repro.__file__)), "control")
+        hits = [f for f in lint_paths([pkg]) if f.rule == "QL012"]
+        assert hits == []

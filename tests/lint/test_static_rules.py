@@ -461,7 +461,7 @@ class TestDrivers:
 
     def test_every_documented_rule_exists(self):
         assert set(RULES) == {"QL000", "QL001", "QL002", "QL003",
-                              "QL004", "QL005", "QL006"}
+                              "QL004", "QL005", "QL006", "QL012"}
 
     def test_repository_sources_are_strict_clean(self):
         """The acceptance gate: `repro lint --strict` over the package."""

@@ -1,0 +1,133 @@
+"""Alert edge semantics: clear events, the subscription stream,
+cooldown dedupe, injected alerts, and the burn/episode accounting the
+control plane and adaptive harness are built on."""
+
+import pytest
+
+from repro.obs import AlertEngine, AlertRule, FlowTelemetry
+
+
+def _q_rule(threshold=5):
+    return AlertRule("q", "queue_current", threshold)
+
+
+def _tel_at(depth_by_cycle, engine):
+    tel = FlowTelemetry()
+    fired = {}
+    for cycle, depth in depth_by_cycle:
+        tel.queue_depth(cycle, "l", depth)
+        fired[cycle] = engine.evaluate(tel, cycle)
+    return tel, fired
+
+
+class TestClearEvents:
+    def test_recovery_records_a_clear(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel, fired = _tel_at([(0, 9), (100, 2)], eng)
+        assert [a.rule for a in fired[0]] == ["q"]
+        assert fired[100] == []  # clears are not part of the return
+        (clear,) = eng.clears
+        assert clear.rule == "q" and clear.event == "clear"
+        assert clear.since == 0 and clear.cycle == 100
+        assert "recovered" in clear.message
+        assert eng.cleared_counts == {"q": 1}
+        assert eng.last_cleared == {"q": 100}
+
+    def test_unfired_episode_clears_silently(self):
+        # a sustained breach that recovers before for_cycles never
+        # fired, so there is nothing to clear
+        rule = AlertRule("s", "queue_current", 5, kind="sustained",
+                         for_cycles=256)
+        eng = AlertEngine(rules=[rule])
+        _tel, fired = _tel_at([(0, 9), (10, 2)], eng)
+        assert fired[0] == [] and eng.clears == []
+
+    def test_snapshot_carries_clears(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel_at([(0, 9), (100, 2)], eng)
+        snap = eng.snapshot(100)
+        assert len(snap["clears"]) == 1
+        (row,) = [r for r in snap["rules"] if r["name"] == "q"]
+        assert row["cleared"] == 1 and row["last_cleared"] == 100
+        assert row["active"] is False
+
+
+class TestSubscription:
+    def test_listener_sees_both_edges_in_order(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        events = []
+        eng.subscribe(lambda event, alert: events.append(
+            (event, alert.rule, alert.cycle)))
+        _tel_at([(0, 9), (100, 2)], eng)
+        assert events == [("fire", "q", 0), ("clear", "q", 100)]
+
+    def test_injected_alert_reaches_listeners(self):
+        eng = AlertEngine(rules=[])
+        events = []
+        eng.subscribe(lambda event, alert: events.append(
+            (event, alert.rule)))
+        alert = eng.inject("controller-saturated", cycle=42,
+                           message="budget hit")
+        assert events == [("fire", "controller-saturated")]
+        assert alert in eng.alerts
+        assert eng.fired_counts["controller-saturated"] == 1
+
+
+class TestCooldownDedupe:
+    def test_flap_within_cooldown_is_suppressed(self):
+        eng = AlertEngine(rules=[_q_rule()], cooldown=1_000)
+        events = []
+        eng.subscribe(lambda event, alert: events.append(
+            (event, alert.cycle)))
+        _tel, fired = _tel_at(
+            [(0, 9), (100, 2), (200, 9), (300, 2)], eng)
+        assert [a.cycle for a in fired[0]] == [0]
+        assert fired[200] == []  # deduped, not refired
+        assert eng.deduped == 1
+        assert eng.deduped_counts == {"q": 1}
+        assert len(eng.alerts) == 1
+        # listeners saw one fire and both clears — the second episode
+        # still burned and recovered even though its refire was spam
+        assert events == [("fire", 0), ("clear", 100), ("clear", 300)]
+
+    def test_deduped_episode_still_burns(self):
+        eng = AlertEngine(rules=[_q_rule()], cooldown=1_000)
+        _tel_at([(0, 9), (100, 2), (200, 9)], eng)
+        assert eng.active(200) == ["q"]
+        assert eng.burn_cycles(250) == {"q": 150}  # 100 closed + 50 open
+
+    def test_refire_after_cooldown_recorded(self):
+        eng = AlertEngine(rules=[_q_rule()], cooldown=150)
+        _tel, fired = _tel_at([(0, 9), (100, 2), (200, 9)], eng)
+        assert [a.cycle for a in fired[200]] == [200]
+        assert eng.deduped == 0 and len(eng.alerts) == 2
+
+    def test_zero_cooldown_keeps_legacy_behaviour(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel, fired = _tel_at([(0, 9), (100, 2), (200, 9)], eng)
+        assert len(eng.alerts) == 2 and eng.deduped == 0
+
+
+class TestBurnAndEpisodes:
+    def test_closed_episode_duration(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel_at([(0, 9), (100, 2)], eng)
+        (ep,) = eng.episodes(500)
+        assert ep == {"rule": "q", "since": 0, "cleared": 100,
+                      "duration": 100, "open": False}
+        assert eng.total_burn(500) == 100
+
+    def test_open_episode_censored_at_now(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel_at([(0, 9)], eng)
+        (ep,) = eng.episodes(50)
+        assert ep["open"] is True and ep["cleared"] is None
+        assert ep["duration"] == 50
+        assert eng.total_burn(50) == 50
+
+    def test_multiple_episodes_accumulate(self):
+        eng = AlertEngine(rules=[_q_rule()])
+        _tel_at([(0, 9), (100, 2), (200, 9), (250, 2)], eng)
+        eps = eng.episodes(300)
+        assert [e["duration"] for e in eps] == [100, 50]
+        assert eng.total_burn(300) == 150

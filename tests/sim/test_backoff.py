@@ -1,0 +1,56 @@
+"""The shared bounded-backoff helper: formula fidelity, clamps, and
+the RNG-free jitter stream."""
+
+import pytest
+
+from repro.sim.backoff import (DEFAULT_SHIFT_CAP, bounded_backoff,
+                               deterministic_jitter)
+
+
+class TestBoundedBackoff:
+    def test_reproduces_shifted_growth(self):
+        assert [bounded_backoff(100, a) for a in (1, 2, 3, 4)] == \
+            [100, 200, 400, 800]
+
+    def test_first_attempt_is_base(self):
+        assert bounded_backoff(64, 1) == 64
+        assert bounded_backoff(64, 0) == 64
+        assert bounded_backoff(64, -3) == 64
+
+    def test_cap_clamps_product(self):
+        assert bounded_backoff(512, 10, cap=8_192) == 8_192
+        assert bounded_backoff(512, 2, cap=8_192) == 1_024
+
+    def test_shift_cap_prevents_unbounded_doubling(self):
+        huge = bounded_backoff(1, 10_000)
+        assert huge == 1 << DEFAULT_SHIFT_CAP
+        assert bounded_backoff(2, 5, shift_cap=2) == 8
+
+    def test_zero_base_stays_zero(self):
+        assert bounded_backoff(0, 7) == 0
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base"):
+            bounded_backoff(-1, 1)
+
+
+class TestDeterministicJitter:
+    def test_same_stream_same_offset(self):
+        a = deterministic_jitter(64, "control", "rule", "t", 1)
+        b = deterministic_jitter(64, "control", "rule", "t", 1)
+        assert a == b
+
+    def test_offset_in_range(self):
+        for i in range(32):
+            off = deterministic_jitter(64, "s", i)
+            assert 0 <= off < 64
+
+    def test_distinct_streams_differ(self):
+        offsets = {deterministic_jitter(1_024, "s", i)
+                   for i in range(16)}
+        assert len(offsets) > 1
+
+    def test_degenerate_span_is_zero(self):
+        assert deterministic_jitter(0, "x") == 0
+        assert deterministic_jitter(1, "x") == 0
+        assert deterministic_jitter(-5, "x") == 0
